@@ -1,0 +1,303 @@
+// Package apdeepsense is the public facade of the ApDeepSense reproduction:
+// sampling-free output-uncertainty estimation for dropout-trained
+// fully-connected neural networks on resource-constrained devices (Yao et
+// al., "ApDeepSense: Deep Learning Uncertainty Estimation Without the Pain
+// for IoT Applications", ICDCS 2018).
+//
+// The typical flow:
+//
+//	net, _ := apdeepsense.LoadModel("model.gob")       // a dropout-trained network
+//	est, _ := apdeepsense.New(net, apdeepsense.Options{})
+//	dist, _ := est.Predict(x)                          // one deterministic pass
+//	fmt.Println(dist.Mean[0], "±", dist.Std(0))        // mean and uncertainty
+//
+// Baselines (MCDrop-k sampling, retrained RDeepSense), training, synthetic
+// IoT datasets, the Intel Edison cost model, and the full experiment harness
+// that regenerates the paper's tables and figures are re-exported below.
+package apdeepsense
+
+import (
+	"io"
+
+	"github.com/apdeepsense/apdeepsense/internal/conv"
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/datasets"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/experiments"
+	"github.com/apdeepsense/apdeepsense/internal/mcdrop"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/quantize"
+	"github.com/apdeepsense/apdeepsense/internal/rdeepsense"
+	"github.com/apdeepsense/apdeepsense/internal/rnn"
+	"github.com/apdeepsense/apdeepsense/internal/stream"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+// Core model vocabulary.
+type (
+	// Vector is a dense float64 vector.
+	Vector = tensor.Vector
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = tensor.Matrix
+	// Network is a fully-connected neural network with dropout.
+	Network = nn.Network
+	// NetworkConfig describes a network to construct.
+	NetworkConfig = nn.Config
+	// Activation identifies a layer non-linearity.
+	Activation = nn.Activation
+	// GaussianVec is a diagonal Gaussian predictive distribution.
+	GaussianVec = core.GaussianVec
+	// Estimator is the common contract of all uncertainty estimators.
+	Estimator = core.Estimator
+	// Options configures the ApDeepSense propagator (PWL piece counts).
+	Options = core.Options
+)
+
+// Activation values.
+const (
+	ActIdentity = nn.ActIdentity
+	ActReLU     = nn.ActReLU
+	ActTanh     = nn.ActTanh
+	ActSigmoid  = nn.ActSigmoid
+)
+
+// NewNetwork constructs a freshly initialized dropout network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return nn.New(cfg) }
+
+// LoadModel reads a serialized network from a file.
+func LoadModel(path string) (*Network, error) { return nn.LoadFile(path) }
+
+// ReadModel reads a serialized network from a reader.
+func ReadModel(r io.Reader) (*Network, error) { return nn.Load(r) }
+
+// New builds the ApDeepSense estimator for a dropout-trained network with no
+// observation-noise floor. Use NewWithObsVar to add one.
+func New(net *Network, opts Options) (*core.ApDeepSense, error) {
+	return core.NewApDeepSense(net, opts, 0)
+}
+
+// NewWithObsVar builds the ApDeepSense estimator with an observation-noise
+// variance added to every predictive variance.
+func NewWithObsVar(net *Network, opts Options, obsVar float64) (*core.ApDeepSense, error) {
+	return core.NewApDeepSense(net, opts, obsVar)
+}
+
+// NewMCDrop builds the MCDrop-k sampling baseline over the same network.
+func NewMCDrop(net *Network, k int, obsVar float64, seed int64) (*mcdrop.Estimator, error) {
+	return mcdrop.New(net, k, obsVar, seed)
+}
+
+// Parallel batch inference over any estimator (worker-pool fan-out).
+var (
+	// PredictBatch runs Predict over a batch of inputs concurrently.
+	PredictBatch = core.PredictBatch
+	// PredictProbsBatch runs PredictProbs over a batch concurrently.
+	PredictProbsBatch = core.PredictProbsBatch
+)
+
+// Convolutional extension re-exports (paper §VI future work, internal/conv).
+type (
+	// Seq is a time-series tensor for Conv1D models.
+	Seq = conv.Seq
+	// Conv1D is a 1-D convolution layer with channel dropout.
+	Conv1D = conv.Conv1D
+	// ConvNet is a hybrid conv → pool → dense network with end-to-end
+	// moment propagation.
+	ConvNet = conv.Net
+	// ConvSample is one supervised time-series example.
+	ConvSample = conv.Sample
+	// ConvTrainConfig controls TrainConvNet.
+	ConvTrainConfig = conv.TrainConfig
+)
+
+// Convolutional constructors and training.
+var (
+	// NewSeq allocates a zero time-series tensor.
+	NewSeq = conv.NewSeq
+	// NewConv1D builds a Glorot-initialized conv layer.
+	NewConv1D = conv.NewConv1D
+	// NewConvNet assembles conv layers and a dense head.
+	NewConvNet = conv.NewNet
+	// TrainConvNet fits a hybrid network with minibatch SGD.
+	TrainConvNet = conv.Train
+)
+
+// Recurrent extension re-exports (paper §VI future work, internal/rnn).
+type (
+	// RNNCell is an Elman recurrence with recurrent (per-sequence) dropout.
+	RNNCell = rnn.Cell
+	// RNNSample is one supervised sequence example.
+	RNNSample = rnn.Sample
+	// RNNTrainConfig controls TrainRNN.
+	RNNTrainConfig = rnn.TrainConfig
+)
+
+// Recurrent constructors and training.
+var (
+	// NewRNNCell builds a Glorot-initialized recurrent cell.
+	NewRNNCell = rnn.NewCell
+	// TrainRNN fits a cell with BPTT and variational recurrent dropout.
+	TrainRNN = rnn.Train
+	// NewGRU builds a gated recurrent unit with recurrent dropout.
+	NewGRU = rnn.NewGRU
+	// TrainGRU fits a GRU with BPTT and variational recurrent dropout.
+	TrainGRU = rnn.TrainGRU
+)
+
+// GRU is a gated recurrent unit with moment propagation through its gates.
+type GRU = rnn.GRU
+
+// LSTM is a long short-term memory cell (the architecture of Gal &
+// Ghahramani's variational RNN, the paper's [37]) with moment propagation.
+type LSTM = rnn.LSTM
+
+// LSTM constructors and training.
+var (
+	// NewLSTM builds an LSTM with recurrent dropout and forget bias +1.
+	NewLSTM = rnn.NewLSTM
+	// TrainLSTM fits an LSTM with BPTT and variational recurrent dropout.
+	TrainLSTM = rnn.TrainLSTM
+)
+
+// Streaming inference re-exports (internal/stream).
+type (
+	// Windower slices continuous sensor samples into sliding windows.
+	Windower = stream.Windower
+	// OnlineStandardizer z-scores vectors against running statistics.
+	OnlineStandardizer = stream.OnlineStandardizer
+	// Gate converts predictive variance into accept/escalate decisions.
+	Gate = stream.Gate
+	// StreamPipeline chains windowing, standardization, an estimator, and
+	// a gate into a push-based predictor.
+	StreamPipeline = stream.Pipeline
+	// StreamResult is one emitted pipeline prediction.
+	StreamResult = stream.Result
+)
+
+// Streaming constructors.
+var (
+	// NewWindower builds a sliding windower.
+	NewWindower = stream.NewWindower
+	// NewOnlineStandardizer tracks running input statistics.
+	NewOnlineStandardizer = stream.NewOnlineStandardizer
+	// NewGate bounds the mean predictive standard deviation.
+	NewGate = stream.NewGate
+	// NewStreamPipeline assembles a streaming predictor.
+	NewStreamPipeline = stream.NewPipeline
+)
+
+// Quantization re-exports (internal/quantize): int8 post-training weight
+// quantization for flash-constrained deployment.
+type (
+	// QuantizedModel is an int8-quantized network.
+	QuantizedModel = quantize.Model
+)
+
+// Quantization entry points.
+var (
+	// QuantizeModel converts a trained network to int8 codes.
+	QuantizeModel = quantize.Quantize
+	// LoadQuantized reads a quantized model from a reader.
+	LoadQuantized = quantize.Load
+)
+
+// Training re-exports.
+type (
+	// TrainSample is one supervised example.
+	TrainSample = train.Sample
+	// TrainConfig controls Fit.
+	TrainConfig = train.Config
+	// TrainHistory records per-epoch losses.
+	TrainHistory = train.History
+)
+
+// Fit trains a network in place (dropout masks sampled per example).
+func Fit(net *Network, trainSet, valSet []TrainSample, cfg TrainConfig) (*TrainHistory, error) {
+	return train.Fit(net, trainSet, valSet, cfg)
+}
+
+// Losses and optimizers for TrainConfig.
+var (
+	// NewAdam returns an Adam optimizer.
+	NewAdam = train.NewAdam
+	// NewSGD returns an SGD optimizer with momentum.
+	NewSGD = train.NewSGD
+)
+
+// MSELoss returns the mean-squared-error training loss.
+func MSELoss() train.Loss { return train.MSE{} }
+
+// CrossEntropyLoss returns the fused softmax cross-entropy training loss.
+func CrossEntropyLoss() train.Loss { return train.SoftmaxCrossEntropy{} }
+
+// Dataset re-exports: the synthetic IoT tasks of the paper's evaluation.
+type (
+	// Dataset is a generated, split, standardized task.
+	Dataset = datasets.Dataset
+	// DatasetSize controls generated split sizes.
+	DatasetSize = datasets.Size
+)
+
+// Synthetic task generators (see internal/datasets for the simulators).
+var (
+	// BPEst generates the blood-pressure waveform task.
+	BPEst = datasets.BPEst
+	// NYCommute generates the taxi commute-time task.
+	NYCommute = datasets.NYCommute
+	// GasSen generates the gas-mixture estimation task.
+	GasSen = datasets.GasSen
+	// HHAR generates the heterogeneous activity recognition task.
+	HHAR = datasets.HHAR
+)
+
+// RDeepSense baseline re-exports.
+type (
+	// RDeepSenseEstimator is the retrained baseline estimator.
+	RDeepSenseEstimator = rdeepsense.Estimator
+	// RDeepSenseConfig controls RDeepSense retraining.
+	RDeepSenseConfig = rdeepsense.TrainConfig
+)
+
+// RDeepSense training entry points.
+var (
+	// TrainRDeepSenseRegression retrains the regression baseline.
+	TrainRDeepSenseRegression = rdeepsense.TrainRegression
+	// TrainRDeepSenseClassification retrains the classification baseline.
+	TrainRDeepSenseClassification = rdeepsense.TrainClassification
+)
+
+// Device cost model re-exports.
+type (
+	// Device models an Edison-class processor.
+	Device = edison.Device
+	// Cost is a hardware-independent inference cost.
+	Cost = edison.Cost
+)
+
+// NewEdison returns the calibrated Intel Edison device model.
+func NewEdison() *Device { return edison.NewEdison() }
+
+// Experiment harness re-exports.
+type (
+	// ExperimentRunner regenerates the paper's tables and figures.
+	ExperimentRunner = experiments.Runner
+	// ExperimentScale trades fidelity for runtime.
+	ExperimentScale = experiments.Scale
+)
+
+// Experiment scales and constructor.
+var (
+	// QuickScale is for smoke tests.
+	QuickScale = experiments.QuickScale
+	// DefaultScale is the recorded-results configuration.
+	DefaultScale = experiments.DefaultScale
+	// PaperScale matches the paper's 5-layer 512-wide networks.
+	PaperScale = experiments.PaperScale
+	// NewExperimentRunner builds a Runner.
+	NewExperimentRunner = experiments.NewRunner
+	// WithModelDir enables model caching for a Runner.
+	WithModelDir = experiments.WithModelDir
+	// WithExperimentLogf sets a Runner progress logger.
+	WithExperimentLogf = experiments.WithLogf
+)

@@ -1,0 +1,194 @@
+package apdeepsense_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+// TestFacadeEndToEnd drives the entire public API the way the README's
+// quickstart does: build, train, save, load, and predict with both
+// estimators, plus the device cost model.
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var samples []apds.TrainSample
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()*2 - 1
+		samples = append(samples, apds.TrainSample{
+			X: apds.Vector{x},
+			Y: apds.Vector{2 * x},
+		})
+	}
+
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 1, Hidden: []int{16, 16}, OutputDim: 1,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if _, err := apds.Fit(net, samples, nil, apds.TrainConfig{
+		Epochs: 20, BatchSize: 16, Seed: 2,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.01),
+	}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+
+	// Save + reload through the facade.
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := net.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := apds.LoadModel(path)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+
+	est, err := apds.New(loaded, apds.Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mc, err := apds.NewMCDrop(loaded, 200, 0, 3)
+	if err != nil {
+		t.Fatalf("NewMCDrop: %v", err)
+	}
+
+	x := apds.Vector{0.5}
+	g, err := est.Predict(x)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if math.Abs(g.Mean[0]-1.0) > 0.3 {
+		t.Errorf("prediction %v, want ≈ 1.0", g.Mean[0])
+	}
+	if g.Var[0] < 0 {
+		t.Errorf("negative variance %v", g.Var[0])
+	}
+	m, err := mc.Predict(x)
+	if err != nil {
+		t.Fatalf("MCDrop Predict: %v", err)
+	}
+	if math.Abs(g.Mean[0]-m.Mean[0]) > 0.2 {
+		t.Errorf("ApDS mean %v vs MCDrop mean %v", g.Mean[0], m.Mean[0])
+	}
+
+	dev := apds.NewEdison()
+	if dev.TimeMillis(est.Cost()) >= dev.TimeMillis(mc.Cost()) {
+		t.Error("ApDeepSense should be cheaper than MCDrop-200")
+	}
+}
+
+// TestFacadeDatasets exercises the dataset re-exports.
+func TestFacadeDatasets(t *testing.T) {
+	sz := apds.DatasetSize{Train: 40, Val: 10, Test: 10, Seed: 1}
+	for name, gen := range map[string]func(apds.DatasetSize) (*apds.Dataset, error){
+		"BPEst": apds.BPEst, "NYCommute": apds.NYCommute,
+		"GasSen": apds.GasSen, "HHAR": apds.HHAR,
+	} {
+		d, err := gen(sz)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(d.Train) == 0 || len(d.Test) == 0 {
+			t.Errorf("%s: empty splits", name)
+		}
+	}
+}
+
+// TestFacadeRDeepSense exercises the baseline trainer re-export.
+func TestFacadeRDeepSense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var samples []apds.TrainSample
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()
+		samples = append(samples, apds.TrainSample{
+			X: apds.Vector{x},
+			Y: apds.Vector{x + 0.1*rng.NormFloat64()},
+		})
+	}
+	est, err := apds.TrainRDeepSenseRegression(samples, nil, 1, 1, apds.RDeepSenseConfig{
+		Hidden: []int{12}, Activation: apds.ActTanh, KeepProb: 0.95,
+		Epochs: 10, BatchSize: 16, LearningRate: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("TrainRDeepSenseRegression: %v", err)
+	}
+	g, err := est.Predict(apds.Vector{0.5})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if g.Var[0] <= 0 {
+		t.Errorf("RDeepSense variance %v, want > 0", g.Var[0])
+	}
+}
+
+// TestFacadeExperimentRunner smoke-tests the harness re-export.
+func TestFacadeExperimentRunner(t *testing.T) {
+	r, err := apds.NewExperimentRunner(apds.QuickScale, apds.WithModelDir(t.TempDir()))
+	if err != nil {
+		t.Fatalf("NewExperimentRunner: %v", err)
+	}
+	fig, err := r.Figure(3)
+	if err != nil {
+		t.Fatalf("Figure(3): %v", err)
+	}
+	if len(fig.Charts) != 2 {
+		t.Errorf("charts = %d", len(fig.Charts))
+	}
+}
+
+// TestFacadeMiscEntryPoints covers the remaining facade constructors.
+func TestFacadeMiscEntryPoints(t *testing.T) {
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 2, Hidden: []int{4}, OutputDim: 2,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := apds.ReadModel(&buf)
+	if err != nil {
+		t.Fatalf("ReadModel: %v", err)
+	}
+	if back.Params() != net.Params() {
+		t.Error("ReadModel param mismatch")
+	}
+	est, err := apds.NewWithObsVar(net, apds.Options{}, 0.5)
+	if err != nil {
+		t.Fatalf("NewWithObsVar: %v", err)
+	}
+	g, err := est.Predict(apds.Vector{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Var {
+		if v < 0.5 {
+			t.Errorf("obsVar floor missing: %v", v)
+		}
+	}
+	if apds.CrossEntropyLoss().Name() != "softmax-xent" {
+		t.Error("CrossEntropyLoss wrong")
+	}
+	// Quantization facade round trip.
+	q, err := apds.QuantizeModel(net)
+	if err != nil {
+		t.Fatalf("QuantizeModel: %v", err)
+	}
+	buf.Reset()
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := apds.LoadQuantized(&buf); err != nil {
+		t.Fatalf("LoadQuantized: %v", err)
+	}
+}

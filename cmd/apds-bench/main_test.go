@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "paper"} {
+		s, err := scaleByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("scale %q has name %q", name, s.Name)
+		}
+	}
+	if _, err := scaleByName("huge"); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/datasets"
+)
+
+func TestGenerator(t *testing.T) {
+	for _, task := range []string{"BPEst", "NYCommute", "GasSen", "HHAR"} {
+		if _, err := generator(task); err != nil {
+			t.Errorf("%s: %v", task, err)
+		}
+	}
+	if _, err := generator("nope"); err == nil {
+		t.Error("expected error for unknown task")
+	}
+}
+
+func TestPick(t *testing.T) {
+	d, err := datasets.NYCommute(datasets.Size{Train: 10, Val: 5, Test: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		split string
+		want  int
+	}{{"train", 10}, {"val", 5}, {"test", 5}} {
+		s, err := pick(d, c.split)
+		if err != nil {
+			t.Fatalf("%s: %v", c.split, err)
+		}
+		if len(s) != c.want {
+			t.Errorf("%s: %d samples, want %d", c.split, len(s), c.want)
+		}
+	}
+	if _, err := pick(d, "all"); err == nil {
+		t.Error("expected error for unknown split")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ny.csv")
+	err := run([]string{
+		"-task", "NYCommute", "-split", "test", "-out", out,
+		"-train", "20", "-val", "5", "-test", "10", "-seed", "3",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	samples, err := datasets.ReadCSVFile(out, 5, 1)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if len(samples) != 10 {
+		t.Errorf("exported %d samples, want 10", len(samples))
+	}
+	if err := run([]string{"-task", "NYCommute"}); err == nil {
+		t.Error("expected error without -out")
+	}
+	if err := run([]string{"-out", out}); err == nil {
+		t.Error("expected error without -task")
+	}
+}

@@ -1,0 +1,132 @@
+// Command apds-infer runs one uncertainty-aware inference: it loads a
+// dropout-trained model, reads a comma-separated input vector, and prints
+// the predictive mean ± standard deviation per output, with the modeled
+// Intel Edison cost of the chosen estimator.
+//
+// Usage:
+//
+//	apds-infer -model models/NYCommute-relu-dropout-default.gob -input "0.1,0.2,-0.3,0.4,0.5"
+//	apds-infer -model m.gob -input "..." -estimator mcdrop-30
+//	echo "0.1,0.2" | apds-infer -model m.gob
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/mcdrop"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apds-infer: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("apds-infer", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to a serialized dropout network (required)")
+	input := fs.String("input", "", "comma-separated input vector; read from stdin if empty")
+	estimatorName := fs.String("estimator", "apdeepsense", "apdeepsense or mcdrop-K (e.g. mcdrop-30)")
+	probs := fs.Bool("probs", false, "treat outputs as class logits and print probabilities")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+
+	net, err := nn.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	raw := *input
+	if raw == "" {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		if !scanner.Scan() {
+			return fmt.Errorf("no input on stdin")
+		}
+		raw = scanner.Text()
+	}
+	x, err := parseVector(raw)
+	if err != nil {
+		return err
+	}
+	if len(x) != net.InputDim() {
+		return fmt.Errorf("input has %d values, model expects %d", len(x), net.InputDim())
+	}
+
+	est, err := buildEstimator(net, *estimatorName)
+	if err != nil {
+		return err
+	}
+
+	device := edison.NewEdison()
+	cost := est.Cost()
+	fmt.Fprintf(out, "model: %s\n", net.Summary())
+	fmt.Fprintf(out, "estimator: %s (modeled %s: %.1f ms, %.1f mJ)\n",
+		est.Name(), device.Name, device.TimeMillis(cost), device.EnergyMillijoules(cost))
+
+	if *probs {
+		p, err := est.PredictProbs(x)
+		if err != nil {
+			return err
+		}
+		for i, v := range p {
+			fmt.Fprintf(out, "class %d: %.4f\n", i, v)
+		}
+		return nil
+	}
+	g, err := est.Predict(x)
+	if err != nil {
+		return err
+	}
+	for i := range g.Mean {
+		fmt.Fprintf(out, "output %d: %.6f ± %.6f\n", i, g.Mean[i], g.Std(i))
+	}
+	return nil
+}
+
+func buildEstimator(net *nn.Network, name string) (core.Estimator, error) {
+	switch {
+	case name == "apdeepsense":
+		return core.NewApDeepSense(net, core.Options{}, 0)
+	case strings.HasPrefix(name, "mcdrop-"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "mcdrop-"))
+		if err != nil {
+			return nil, fmt.Errorf("bad estimator %q: %w", name, err)
+		}
+		return mcdrop.New(net, k, 0, 1)
+	default:
+		return nil, fmt.Errorf("unknown estimator %q (apdeepsense, mcdrop-K)", name)
+	}
+}
+
+func parseVector(s string) (tensor.Vector, error) {
+	fields := strings.Split(s, ",")
+	out := make(tensor.Vector, 0, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %d %q: %w", i, f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty input vector")
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+func TestParseVector(t *testing.T) {
+	v, err := parseVector("1, 2.5 ,-3")
+	if err != nil {
+		t.Fatalf("parseVector: %v", err)
+	}
+	if len(v) != 3 || v[0] != 1 || v[1] != 2.5 || v[2] != -3 {
+		t.Errorf("parsed %v", v)
+	}
+	if _, err := parseVector("1,abc"); err == nil {
+		t.Error("expected error for bad value")
+	}
+	if _, err := parseVector(""); err == nil {
+		t.Error("expected error for empty input")
+	}
+	sci, err := parseVector("1e-3,2E4")
+	if err != nil {
+		t.Fatalf("scientific notation: %v", err)
+	}
+	if math.Abs(sci[0]-1e-3) > 1e-15 || sci[1] != 2e4 {
+		t.Errorf("parsed %v", sci)
+	}
+}
+
+func testNet(t *testing.T) *nn.Network {
+	t.Helper()
+	net, err := nn.New(nn.Config{
+		InputDim: 2, Hidden: []int{4}, OutputDim: 2,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuildEstimator(t *testing.T) {
+	net := testNet(t)
+	est, err := buildEstimator(net, "apdeepsense")
+	if err != nil {
+		t.Fatalf("apdeepsense: %v", err)
+	}
+	if est.Name() != "ApDeepSense" {
+		t.Errorf("Name = %q", est.Name())
+	}
+	est, err = buildEstimator(net, "mcdrop-30")
+	if err != nil {
+		t.Fatalf("mcdrop-30: %v", err)
+	}
+	if est.Name() != "MCDrop-30" {
+		t.Errorf("Name = %q", est.Name())
+	}
+	if _, err := buildEstimator(net, "mcdrop-x"); err == nil {
+		t.Error("expected error for bad k")
+	}
+	if _, err := buildEstimator(net, "magic"); err == nil {
+		t.Error("expected error for unknown estimator")
+	}
+	if _, err := buildEstimator(net, "mcdrop-1"); err == nil {
+		t.Error("expected error for k < 2")
+	}
+}
+
+func TestRunInferEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.gob")
+	net := testNet(t)
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run([]string{"-model", path, "-input", "0.5,-1"}, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"estimator: ApDeepSense", "output 0:", "output 1:", "±"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("infer output missing %q in:\n%s", want, text)
+		}
+	}
+	// Probability mode with MCDrop.
+	if err := run([]string{"-model", path, "-input", "0.5,-1", "-estimator", "mcdrop-5", "-probs"}, out); err != nil {
+		t.Fatalf("probs run: %v", err)
+	}
+	// Error paths.
+	if err := run([]string{"-input", "1,2"}, out); err == nil {
+		t.Error("expected error without -model")
+	}
+	if err := run([]string{"-model", path, "-input", "1"}, out); err == nil {
+		t.Error("expected error for wrong input dim")
+	}
+}

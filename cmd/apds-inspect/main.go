@@ -1,0 +1,105 @@
+// Command apds-inspect prints a serialized model's architecture, parameter
+// counts, and the modeled Intel Edison cost of every uncertainty estimator
+// over it — the quick "what will this cost on-device?" check.
+//
+// Usage:
+//
+//	apds-inspect -model models/BPEst-relu-dropout-default.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/mcdrop"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apds-inspect: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("apds-inspect", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to a serialized network (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	net, err := nn.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	return inspect(net, out)
+}
+
+func inspect(net *nn.Network, out *os.File) error {
+	fmt.Fprintf(out, "architecture: %s\n", net.Summary())
+	fmt.Fprintf(out, "parameters:   %d\n", net.Params())
+	fmt.Fprintf(out, "forward FLOPs: %d (deterministic), %d (one dropout sample)\n\n",
+		net.ForwardFLOPs(), net.SampleFLOPs())
+
+	layers := &report.Table{
+		Title:   "Layers",
+		Headers: []string{"#", "shape", "activation", "keep", "params"},
+	}
+	for i, l := range net.Layers() {
+		layers.AddRow(
+			fmt.Sprint(i),
+			fmt.Sprintf("%dx%d", l.InDim(), l.OutDim()),
+			l.Act.String(),
+			fmt.Sprintf("%g", l.KeepProb),
+			fmt.Sprint(l.W.Rows*l.W.Cols+len(l.B)),
+		)
+	}
+	text, err := layers.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, text)
+
+	device := edison.NewEdison()
+	costs := &report.Table{
+		Title:   fmt.Sprintf("Modeled per-inference cost (%s)", device.Name),
+		Headers: []string{"estimator", "time ms", "energy mJ", "vs MCDrop-50"},
+	}
+	apds, err := core.NewApDeepSense(net, core.Options{}, 0)
+	if err != nil {
+		return err
+	}
+	ests := []core.Estimator{apds}
+	for _, k := range []int{3, 5, 10, 30, 50} {
+		mc, err := mcdrop.New(net, k, 0, 1)
+		if err != nil {
+			return err
+		}
+		ests = append(ests, mc)
+	}
+	ref := device.TimeMillis(ests[len(ests)-1].Cost())
+	for _, est := range ests {
+		t := device.TimeMillis(est.Cost())
+		costs.AddRow(
+			est.Name(),
+			fmt.Sprintf("%.2f", t),
+			fmt.Sprintf("%.2f", device.EnergyMillijoules(est.Cost())),
+			fmt.Sprintf("%.1f%%", 100*t/ref),
+		)
+	}
+	text, err = costs.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, text)
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+func TestRunInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.gob")
+	net, err := nn.New(nn.Config{
+		InputDim: 3, Hidden: []int{8, 8}, OutputDim: 2,
+		Activation: nn.ActTanh, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run([]string{"-model", path}, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"architecture:", "parameters:", "ApDeepSense", "MCDrop-50", "8x8", "tanh"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("inspect output missing %q", want)
+		}
+	}
+}
+
+func TestRunInspectErrors(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Error("expected error without -model")
+	}
+	if err := run([]string{"-model", "/nonexistent.gob"}, os.Stdout); err == nil {
+		t.Error("expected error for missing model")
+	}
+}

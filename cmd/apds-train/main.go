@@ -1,0 +1,98 @@
+// Command apds-train trains the "pre-trained" dropout networks and the
+// RDeepSense baselines for the paper's four IoT tasks and caches them on
+// disk, where apds-bench (and any user of the library) can load them.
+//
+// Usage:
+//
+//	apds-train [-scale default|paper|quick] [-models DIR] [-task NAME] [-act relu|tanh] [-v]
+//
+// With no -task/-act it trains the full 4×2 grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/experiments"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apds-train: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("apds-train", flag.ContinueOnError)
+	scaleName := fs.String("scale", "default", "experiment scale: quick, default, or paper")
+	modelDir := fs.String("models", "models", "directory for trained model files")
+	task := fs.String("task", "", "train only this task (BPEst, NYCommute, GasSen, HHAR)")
+	act := fs.String("act", "", "train only this activation (relu or tanh)")
+	verbose := fs.Bool("v", false, "log per-epoch training progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) {
+		if *verbose || !strings.HasPrefix(format, "epoch") {
+			log.Printf(format, a...)
+		}
+	}
+	runner, err := experiments.NewRunner(scale,
+		experiments.WithModelDir(*modelDir),
+		experiments.WithLogf(logf),
+	)
+	if err != nil {
+		return err
+	}
+
+	tasks := experiments.TaskNames
+	if *task != "" {
+		tasks = []string{*task}
+	}
+	acts := []string{"relu", "tanh"}
+	if *act != "" {
+		acts = []string{*act}
+	}
+
+	start := time.Now()
+	for _, t := range tasks {
+		for _, a := range acts {
+			activation, err := nn.ParseActivation(a)
+			if err != nil {
+				return err
+			}
+			cellStart := time.Now()
+			if _, err := runner.Models(t, activation); err != nil {
+				return fmt.Errorf("train %s/%s: %w", t, a, err)
+			}
+			log.Printf("%s/%s ready in %.1fs", t, a, time.Since(cellStart).Seconds())
+		}
+	}
+	log.Printf("all models ready in %.1fs (cache: %s)", time.Since(start).Seconds(), *modelDir)
+	return nil
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "quick":
+		return experiments.QuickScale, nil
+	case "default":
+		return experiments.DefaultScale, nil
+	case "paper":
+		return experiments.PaperScale, nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (quick, default, paper)", name)
+	}
+}

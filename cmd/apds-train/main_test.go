@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "paper"} {
+		if _, err := scaleByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := scaleByName("mega"); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+}
+
+// TestRunTrainsAndCaches is the CLI integration test: train one quick-scale
+// cell and verify the model files land in the cache directory.
+func TestRunTrainsAndCaches(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-scale", "quick", "-models", dir,
+		"-task", "NYCommute", "-act", "relu",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{
+		"NYCommute-relu-dropout-quick.gob",
+		"NYCommute-relu-rds-quick.gob",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing cached model %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "warp"}); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+	if err := run([]string{"-scale", "quick", "-models", t.TempDir(), "-task", "NYCommute", "-act", "swish"}); err == nil {
+		t.Error("expected error for unknown activation")
+	}
+	if err := run([]string{"-scale", "quick", "-models", t.TempDir(), "-task", "Mars", "-act", "relu"}); err == nil {
+		t.Error("expected error for unknown task")
+	}
+}

@@ -1,0 +1,90 @@
+package apdeepsense_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+// ExampleNew demonstrates the core workflow: train a dropout network and get
+// a predictive distribution from one deterministic ApDeepSense pass.
+func ExampleNew() {
+	rng := rand.New(rand.NewSource(1))
+	var data []apds.TrainSample
+	for i := 0; i < 600; i++ {
+		x := rng.Float64()
+		data = append(data, apds.TrainSample{
+			X: apds.Vector{x},
+			Y: apds.Vector{3 * x},
+		})
+	}
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 1, Hidden: []int{16}, OutputDim: 1,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := apds.Fit(net, data, nil, apds.TrainConfig{
+		Epochs: 30, BatchSize: 32, Seed: 2,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.01),
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	g, err := est.Predict(apds.Vector{0.5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("prediction near 1.5: %v, has uncertainty: %v\n",
+		g.Mean[0] > 1.2 && g.Mean[0] < 1.8, g.Var[0] > 0)
+	// Output: prediction near 1.5: true, has uncertainty: true
+}
+
+// ExampleNewEdison shows the device cost model comparing ApDeepSense against
+// MCDrop-50 on the paper's 5-layer 512-wide architecture.
+func ExampleNewEdison() {
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 16, Hidden: []int{512, 512, 512, 512}, OutputDim: 2,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mc, err := apds.NewMCDrop(net, 50, 0, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev := apds.NewEdison()
+	saving := 1 - dev.TimeMillis(est.Cost())/dev.TimeMillis(mc.Cost())
+	fmt.Printf("ApDeepSense saves > 90%% of MCDrop-50's modeled cost: %v\n", saving > 0.9)
+	// Output: ApDeepSense saves > 90% of MCDrop-50's modeled cost: true
+}
+
+// ExampleBPEst shows generating one of the paper's synthetic IoT tasks.
+func ExampleBPEst() {
+	d, err := apds.BPEst(apds.DatasetSize{Train: 50, Val: 10, Test: 10, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(d.Name, d.InputDim, d.OutputDim, d.Unit)
+	// Output: BPEst 250 250 mmHg
+}

@@ -1,0 +1,89 @@
+// BPEst example: cuff-less blood-pressure monitoring with uncertainty — the
+// paper's health-and-wellbeing task. It generates the synthetic PPG→ABP
+// dataset, trains a dropout network, and prints per-sample ABP predictions
+// with ApDeepSense confidence bands in mmHg, flagging low-confidence windows
+// the way a clinical IoT pipeline would.
+//
+// Run with:
+//
+//	go run ./examples/bpest
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("generating synthetic PPG→ABP dataset (250-sample windows)...")
+	ds, err := apds.BPEst(apds.DatasetSize{Train: 1200, Val: 150, Test: 200, Seed: 11})
+	if err != nil {
+		return err
+	}
+
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: ds.InputDim, Hidden: []int{96, 96, 96}, OutputDim: ds.OutputDim,
+		Activation:       apds.ActReLU,
+		OutputActivation: apds.ActIdentity,
+		KeepProb:         0.9,
+		Seed:             5,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("training", net.Summary())
+	if _, err := apds.Fit(net, ds.Train, ds.Val, apds.TrainConfig{
+		Epochs: 10, BatchSize: 32, Seed: 2,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.001),
+		EarlyStopPatience: 3,
+	}); err != nil {
+		return err
+	}
+
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nper-window mean ABP prediction with 90% confidence half-width:")
+	fmt.Println("  window   true mean ABP   predicted     ±90% band   verdict")
+	const z90 = 1.6448536269514722
+	for i := 0; i < 8; i++ {
+		s := ds.Test[i]
+		g, err := est.Predict(s.X)
+		if err != nil {
+			return err
+		}
+		mean, variance := ds.DenormPrediction(g.Mean, g.Var)
+		truth := ds.DenormTarget(s.Y)
+
+		var predAvg, trueAvg, bandAvg float64
+		for j := range mean {
+			predAvg += mean[j]
+			trueAvg += truth[j]
+			bandAvg += z90 * math.Sqrt(variance[j])
+		}
+		n := float64(len(mean))
+		predAvg /= n
+		trueAvg /= n
+		bandAvg /= n
+
+		verdict := "ok"
+		if bandAvg > 12 {
+			verdict = "LOW CONFIDENCE — recheck cuff"
+		}
+		fmt.Printf("  %6d   %9.1f mmHg  %7.1f mmHg  ±%5.1f mmHg  %s\n",
+			i, trueAvg, predAvg, bandAvg, verdict)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Custom-data example: the bring-your-own-dataset workflow. It writes a CSV
+// (standing in for your real sensor log), loads it back, pipes it through
+// the same split/standardize pipeline as the built-in tasks, trains a
+// dropout model, and serves ApDeepSense uncertainty — everything a user
+// needs to apply the library to their own data.
+//
+// Run with:
+//
+//	go run ./examples/customdata
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	apds "github.com/apdeepsense/apdeepsense"
+	"github.com/apdeepsense/apdeepsense/internal/datasets"
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Pretend this CSV came from your deployment: 3 sensor features and
+	// one target (a battery-health index driven by temperature and load).
+	dir, err := os.MkdirTemp("", "apds-custom")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	csvPath := filepath.Join(dir, "battery.csv")
+	rng := rand.New(rand.NewSource(1))
+	var raw []train.Sample
+	for i := 0; i < 2000; i++ {
+		temp := 15 + 30*rng.Float64()  // °C
+		load := rng.Float64()          // duty cycle
+		cycles := rng.Float64() * 1000 // charge cycles
+		health := 100 - 0.02*cycles - 8*load - 0.4*math.Max(0, temp-35) + rng.NormFloat64()
+		raw = append(raw, train.Sample{
+			X: []float64{temp, load, cycles},
+			Y: []float64{health},
+		})
+	}
+	if err := datasets.WriteCSVFile(csvPath, raw); err != nil {
+		return err
+	}
+	fmt.Println("wrote", csvPath)
+
+	// 2. Load it back and build a Dataset through the standard pipeline.
+	loaded, err := datasets.ReadCSVFile(csvPath, 3, 1)
+	if err != nil {
+		return err
+	}
+	ds, err := datasets.FromSamples("battery", datasets.TaskRegression, loaded,
+		datasets.Size{Train: 1500, Val: 200, Test: 300, Seed: 5})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d train / %d val / %d test\n", len(ds.Train), len(ds.Val), len(ds.Test))
+
+	// 3. Train a dropout network and wrap it in ApDeepSense.
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 3, Hidden: []int{32, 32}, OutputDim: 1,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 3,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := apds.Fit(net, ds.Train, ds.Val, apds.TrainConfig{
+		Epochs: 20, BatchSize: 32, Seed: 2,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.005),
+		EarlyStopPatience: 4,
+	}); err != nil {
+		return err
+	}
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		return err
+	}
+
+	// 4. Predict with uncertainty in natural units.
+	fmt.Println("\n  true health   predicted")
+	for i := 0; i < 6; i++ {
+		s := ds.Test[i]
+		g, err := est.Predict(s.X)
+		if err != nil {
+			return err
+		}
+		mean, variance := ds.DenormPrediction(g.Mean, g.Var)
+		truth := ds.DenormTarget(s.Y)
+		fmt.Printf("  %10.1f   %6.1f ± %.1f\n", truth[0], mean[0], math.Sqrt(variance[0]))
+	}
+	return nil
+}

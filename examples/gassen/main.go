@@ -1,0 +1,97 @@
+// GasSen example: environment monitoring with uncertainty — the paper's gas
+// sensing task. A dropout network estimates Ethylene and CO concentrations
+// from a drifting 16-element MOX sensor array; ApDeepSense's variance drives
+// an alarm policy: concentrations are only declared safe when the upper
+// confidence bound clears the threshold, so high uncertainty escalates
+// instead of silently passing.
+//
+// Run with:
+//
+//	go run ./examples/gassen
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+// coAlarmPPM is the CO level above which the monitor must alert.
+const coAlarmPPM = 300
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("generating synthetic 16-sensor gas-mixture dataset...")
+	ds, err := apds.GasSen(apds.DatasetSize{Train: 3000, Val: 400, Test: 600, Seed: 21})
+	if err != nil {
+		return err
+	}
+
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: ds.InputDim, Hidden: []int{64, 64, 64}, OutputDim: ds.OutputDim,
+		Activation:       apds.ActTanh,
+		OutputActivation: apds.ActIdentity,
+		KeepProb:         0.9,
+		Seed:             3,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("training", net.Summary())
+	if _, err := apds.Fit(net, ds.Train, ds.Val, apds.TrainConfig{
+		Epochs: 15, BatchSize: 32, Seed: 4,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.002),
+		EarlyStopPatience: 4,
+	}); err != nil {
+		return err
+	}
+
+	// Tanh networks use the 7-piece PWL approximation, the paper's setting.
+	est, err := apds.New(net, apds.Options{TanhPieces: 7})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nalarm policy: alert when CO upper 95%% bound >= %d ppm\n", coAlarmPPM)
+	fmt.Println("  sample   true CO     estimate        upper bound   action")
+	const z95 = 1.96
+	alerts, misses := 0, 0
+	shown := 0
+	for i, s := range ds.Test {
+		g, err := est.Predict(s.X)
+		if err != nil {
+			return err
+		}
+		mean, variance := ds.DenormPrediction(g.Mean, g.Var)
+		truth := ds.DenormTarget(s.Y)
+
+		co, coStd := mean[1], math.Sqrt(variance[1])
+		upper := co + z95*coStd
+		trueCO := truth[1]
+
+		action := "ok"
+		if upper >= coAlarmPPM {
+			action = "ALERT"
+			alerts++
+		} else if trueCO >= coAlarmPPM {
+			action = "MISSED"
+			misses++
+		}
+		if shown < 10 {
+			fmt.Printf("  %6d   %6.0f ppm  %6.0f ± %4.0f   %6.0f ppm    %s\n",
+				i, trueCO, co, coStd, upper, action)
+			shown++
+		}
+	}
+	fmt.Printf("\nover %d test samples: %d alerts raised, %d dangerous levels missed\n",
+		len(ds.Test), alerts, misses)
+	return nil
+}

@@ -1,0 +1,83 @@
+// NYCommute example: smart-city trip-time estimation — the paper's
+// transportation task. Compares what a dispatcher sees with ApDeepSense
+// versus MCDrop-k on the same dropout network: ETA intervals of similar
+// quality at a fraction of the modeled on-device cost.
+//
+// Run with:
+//
+//	go run ./examples/nycommute
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("generating synthetic NYC taxi dataset...")
+	ds, err := apds.NYCommute(apds.DatasetSize{Train: 4000, Val: 500, Test: 800, Seed: 41})
+	if err != nil {
+		return err
+	}
+
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: ds.InputDim, Hidden: []int{64, 64, 64, 64}, OutputDim: ds.OutputDim,
+		Activation:       apds.ActReLU,
+		OutputActivation: apds.ActIdentity,
+		KeepProb:         0.9,
+		Seed:             17,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("training", net.Summary())
+	if _, err := apds.Fit(net, ds.Train, ds.Val, apds.TrainConfig{
+		Epochs: 20, BatchSize: 32, Seed: 8,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.002),
+		EarlyStopPatience: 5,
+	}); err != nil {
+		return err
+	}
+
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		return err
+	}
+	mc10, err := apds.NewMCDrop(net, 10, 0, 5)
+	if err != nil {
+		return err
+	}
+
+	device := apds.NewEdison()
+	fmt.Printf("\nmodeled Edison cost: ApDeepSense %.2f ms vs MCDrop-10 %.2f ms\n\n",
+		device.TimeMillis(est.Cost()), device.TimeMillis(mc10.Cost()))
+
+	fmt.Println("  trip   actual      ApDeepSense ETA      MCDrop-10 ETA")
+	for i := 0; i < 8; i++ {
+		s := ds.Test[i]
+		g, err := est.Predict(s.X)
+		if err != nil {
+			return err
+		}
+		m, err := mc10.Predict(s.X)
+		if err != nil {
+			return err
+		}
+		gMean, gVar := ds.DenormPrediction(g.Mean, g.Var)
+		mMean, mVar := ds.DenormPrediction(m.Mean, m.Var)
+		truth := ds.DenormTarget(s.Y)
+		fmt.Printf("  %4d   %5.1f min   %5.1f ± %4.1f min     %5.1f ± %4.1f min\n",
+			i, truth[0], gMean[0], math.Sqrt(gVar[0]), mMean[0], math.Sqrt(mVar[0]))
+	}
+	return nil
+}

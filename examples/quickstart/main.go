@@ -1,0 +1,90 @@
+// Quickstart: train a small dropout network on a toy regression task, then
+// compare ApDeepSense's single-pass uncertainty estimates against MCDrop
+// sampling — the core workflow of the library in ~80 lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A toy heteroscedastic task: y = sin(3x) + noise.
+	rng := rand.New(rand.NewSource(1))
+	var trainSet []apds.TrainSample
+	for i := 0; i < 1200; i++ {
+		x := rng.Float64()*4 - 2
+		y := math.Sin(3*x) + 0.1*rng.NormFloat64()
+		trainSet = append(trainSet, apds.TrainSample{
+			X: apds.Vector{x},
+			Y: apds.Vector{y},
+		})
+	}
+
+	// 2. Train a dropout network — exactly the kind of "pre-trained model
+	// with dropout regularization" ApDeepSense targets.
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 1, Hidden: []int{64, 64, 64}, OutputDim: 1,
+		Activation:       apds.ActReLU,
+		OutputActivation: apds.ActIdentity,
+		KeepProb:         0.9,
+		Seed:             7,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("training", net.Summary())
+	if _, err := apds.Fit(net, trainSet, nil, apds.TrainConfig{
+		Epochs: 40, BatchSize: 32, Seed: 3,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.005),
+	}); err != nil {
+		return err
+	}
+
+	// 3. ApDeepSense: ONE deterministic pass yields mean and variance.
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		return err
+	}
+	// 4. The baseline: MCDrop-50 runs the network 50 times.
+	mc, err := apds.NewMCDrop(net, 50, 0, 9)
+	if err != nil {
+		return err
+	}
+
+	device := apds.NewEdison()
+	fmt.Printf("\nmodeled Intel Edison cost per inference:\n")
+	fmt.Printf("  ApDeepSense: %6.2f ms   MCDrop-50: %6.2f ms  (%.1f%% saved)\n\n",
+		device.TimeMillis(est.Cost()), device.TimeMillis(mc.Cost()),
+		100*(1-device.TimeMillis(est.Cost())/device.TimeMillis(mc.Cost())))
+
+	fmt.Println("    x      truth   ApDeepSense        MCDrop-50")
+	for _, x := range []float64{-1.5, -0.5, 0, 0.5, 1.5} {
+		g, err := est.Predict(apds.Vector{x})
+		if err != nil {
+			return err
+		}
+		m, err := mc.Predict(apds.Vector{x})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %5.2f  %7.3f  %7.3f ± %.3f  %7.3f ± %.3f\n",
+			x, math.Sin(3*x), g.Mean[0], g.Std(0), m.Mean[0], m.Std(0))
+	}
+	return nil
+}

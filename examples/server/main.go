@@ -1,0 +1,167 @@
+// Server example: an HTTP inference microservice exposing uncertainty-aware
+// predictions, the shape of an IoT-gateway deployment. It trains a small
+// model at startup (for a self-contained demo; production would load one
+// with -model), then serves:
+//
+//	POST /predict   {"input": [..]}      → {"mean": [...], "std": [...], ...}
+//	GET  /healthz                        → model summary + modeled device cost
+//
+// Run with:
+//
+//	go run ./examples/server            # listens on :8080
+//	curl -s localhost:8080/predict -d '{"input":[0.3]}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"time"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+// service bundles the estimator with the metadata handlers report.
+type service struct {
+	est    apds.Estimator
+	net    *apds.Network
+	device *apds.Device
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "serialized model to serve (trains a demo model if empty)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("apds-server: ")
+
+	svc, err := newService(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", svc.handlePredict)
+	mux.HandleFunc("/healthz", svc.handleHealth)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving %s on %s", svc.net.Summary(), *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+func newService(modelPath string) (*service, error) {
+	var net *apds.Network
+	var err error
+	if modelPath != "" {
+		net, err = apds.LoadModel(modelPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		net, err = trainDemoModel()
+		if err != nil {
+			return nil, err
+		}
+	}
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &service{est: est, net: net, device: apds.NewEdison()}, nil
+}
+
+// trainDemoModel fits y = sin(3x) with a dropout network.
+func trainDemoModel() (*apds.Network, error) {
+	rng := rand.New(rand.NewSource(1))
+	var samples []apds.TrainSample
+	for i := 0; i < 800; i++ {
+		x := rng.Float64()*4 - 2
+		samples = append(samples, apds.TrainSample{
+			X: apds.Vector{x},
+			Y: apds.Vector{math.Sin(3*x) + 0.1*rng.NormFloat64()},
+		})
+	}
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 1, Hidden: []int{48, 48}, OutputDim: 1,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, err = apds.Fit(net, samples, nil, apds.TrainConfig{
+		Epochs: 25, BatchSize: 32, Seed: 1,
+		Loss: apds.MSELoss(), Optimizer: apds.NewAdam(0.005),
+	})
+	return net, err
+}
+
+type predictRequest struct {
+	Input []float64 `json:"input"`
+}
+
+type predictResponse struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	// ModeledEdisonMs is the device model's per-inference latency estimate.
+	ModeledEdisonMs float64 `json:"modeled_edison_ms"`
+	// HostMicros is the actual service-side inference time.
+	HostMicros int64 `json:"host_micros"`
+}
+
+func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Input) != s.net.InputDim() {
+		http.Error(w, fmt.Sprintf("input has %d values, model expects %d",
+			len(req.Input), s.net.InputDim()), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	g, err := s.est.Predict(req.Input)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := predictResponse{
+		Mean:            g.Mean,
+		Std:             make([]float64, g.Dim()),
+		ModeledEdisonMs: s.device.TimeMillis(s.est.Cost()),
+		HostMicros:      time.Since(start).Microseconds(),
+	}
+	for i := range resp.Std {
+		resp.Std[i] = g.Std(i)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func (s *service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	err := json.NewEncoder(w).Encode(map[string]any{
+		"model":             s.net.Summary(),
+		"estimator":         s.est.Name(),
+		"params":            s.net.Params(),
+		"modeled_edison_ms": s.device.TimeMillis(s.est.Cost()),
+	})
+	if err != nil {
+		log.Printf("encode health: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/apdeepsense/apdeepsense
+
+go 1.22

@@ -1,0 +1,111 @@
+package conv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// Net is a hybrid time-series model: a stack of Conv1D layers, global
+// average pooling over time, and a fully-connected head — the standard
+// shape of IoT CNN classifiers/regressors. Uncertainty propagates end to
+// end: channel-dropout conv moments → pooled Gaussian vector → the dense
+// ApDeepSense propagator.
+type Net struct {
+	convs []*Conv1D
+	head  *nn.Network
+
+	// acts caches each conv layer's PWL activation for moment propagation.
+	acts []*piecewise.Func
+	prop *core.Propagator
+}
+
+// NewNet validates layer compatibility and prepares moment propagation.
+// The head's input dimension must equal the last conv layer's OutCh.
+func NewNet(convs []*Conv1D, head *nn.Network) (*Net, error) {
+	if len(convs) == 0 {
+		return nil, fmt.Errorf("no conv layers: %w", ErrConfig)
+	}
+	for i := 1; i < len(convs); i++ {
+		if convs[i].InCh != convs[i-1].OutCh {
+			return nil, fmt.Errorf("conv %d in=%d != conv %d out=%d: %w",
+				i, convs[i].InCh, i-1, convs[i-1].OutCh, ErrConfig)
+		}
+	}
+	if head == nil {
+		return nil, fmt.Errorf("nil head: %w", ErrConfig)
+	}
+	last := convs[len(convs)-1]
+	if head.InputDim() != last.OutCh {
+		return nil, fmt.Errorf("head input %d != pooled channels %d: %w",
+			head.InputDim(), last.OutCh, ErrConfig)
+	}
+	n := &Net{convs: convs, head: head, acts: make([]*piecewise.Func, len(convs))}
+	for i, c := range convs {
+		f, err := activationFunc(c.Act)
+		if err != nil {
+			return nil, fmt.Errorf("conv layer %d: %w", i, err)
+		}
+		n.acts[i] = f
+	}
+	prop, err := core.NewPropagator(head, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("head propagator: %w", err)
+	}
+	n.prop = prop
+	return n, nil
+}
+
+// Head returns the dense head network.
+func (n *Net) Head() *nn.Network { return n.head }
+
+// Convs returns the conv layers (shared, treat as read-only).
+func (n *Net) Convs() []*Conv1D {
+	out := make([]*Conv1D, len(n.convs))
+	copy(out, n.convs)
+	return out
+}
+
+// Forward runs the deterministic (weight-scaled) pass end to end.
+func (n *Net) Forward(x *Seq) (tensor.Vector, error) {
+	cur := x
+	for i, c := range n.convs {
+		var err error
+		cur, err = c.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("conv %d: %w", i, err)
+		}
+	}
+	return n.head.Forward(GlobalAvgPool(cur))
+}
+
+// ForwardSample runs one stochastic pass with fresh channel and unit masks.
+func (n *Net) ForwardSample(x *Seq, rng *rand.Rand) (tensor.Vector, error) {
+	cur := x
+	for i, c := range n.convs {
+		var err error
+		cur, err = c.ForwardSample(cur, rng)
+		if err != nil {
+			return nil, fmt.Errorf("conv %d: %w", i, err)
+		}
+	}
+	return n.head.ForwardSample(GlobalAvgPool(cur), rng)
+}
+
+// PropagateMoments runs the full ApDeepSense pass over the hybrid network:
+// closed-form conv moments per layer, pooled, then the dense propagator.
+func (n *Net) PropagateMoments(x *Seq) (core.GaussianVec, error) {
+	g := DeterministicSeq(x)
+	for i, c := range n.convs {
+		var err error
+		g, err = c.PropagateMoments(g, n.acts[i])
+		if err != nil {
+			return core.GaussianVec{}, fmt.Errorf("conv %d: %w", i, err)
+		}
+	}
+	return n.prop.PropagateFrom(GlobalAvgPoolMoments(g))
+}

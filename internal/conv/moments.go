@@ -1,0 +1,109 @@
+package conv
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+)
+
+// PropagateMoments pushes a Gaussian sequence through the convolution with
+// channel dropout in closed form — the convolutional analogue of the paper's
+// eqs. 9–10, derived channel-wise because the Bernoulli mask is shared
+// across time within a channel:
+//
+//	a[t,c,o]  = Σ_k x[t·s+k, c] W[k,c,o]          (Gaussian partial sum)
+//	μ_a       = Σ_k μ_x W,   σ_a² = Σ_k σ_x² W²
+//	y[t,o]    = b[o] + Σ_c z[c]·a[t,c,o]
+//	E[y]      = b + Σ_c p·μ_a
+//	Var[y]    = Σ_c ((μ_a² + σ_a²)p − μ_a²p²)
+//
+// The activation is then applied element-wise through the PWL moment
+// machinery (eqs. 12–26) with the function given by act.
+func (l *Conv1D) PropagateMoments(g GaussianSeq, act *piecewise.Func) (GaussianSeq, error) {
+	if g.Mean.Channels != l.InCh {
+		return GaussianSeq{}, fmt.Errorf("moments: input has %d channels, want %d: %w", g.Mean.Channels, l.InCh, ErrConfig)
+	}
+	outSteps, err := l.OutSteps(g.Mean.Steps)
+	if err != nil {
+		return GaussianSeq{}, err
+	}
+	p := l.KeepProb
+	out := NewGaussianSeq(outSteps, l.OutCh)
+	for t := 0; t < outSteps; t++ {
+		base := t * l.Stride
+		for o := 0; o < l.OutCh; o++ {
+			mean := l.B[o]
+			variance := 0.0
+			for c := 0; c < l.InCh; c++ {
+				var muA, varA float64
+				for k := 0; k < l.Kernel; k++ {
+					w := l.w(k, c, o)
+					muA += g.Mean.At(base+k, c) * w
+					varA += g.Var.At(base+k, c) * w * w
+				}
+				mean += p * muA
+				variance += (muA*muA+varA)*p - muA*muA*p*p
+			}
+			if variance < 0 {
+				variance = 0
+			}
+			m, v := core.ActivationMoments(mean, variance, act)
+			out.Mean.Set(t, o, m)
+			out.Var.Set(t, o, v)
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPoolMoments reduces a Gaussian sequence over time into a
+// per-channel Gaussian vector: the mean of means, and the variance of the
+// average under the (diagonal) independence approximation, Var/steps².
+// Note the same caveat as everywhere in ApDeepSense: temporal correlations
+// induced by the shared channel masks are dropped.
+func GlobalAvgPoolMoments(g GaussianSeq) core.GaussianVec {
+	out := core.NewGaussianVec(g.Mean.Channels)
+	n := float64(g.Mean.Steps)
+	for c := 0; c < g.Mean.Channels; c++ {
+		var m, v float64
+		for t := 0; t < g.Mean.Steps; t++ {
+			m += g.Mean.At(t, c)
+			v += g.Var.At(t, c)
+		}
+		out.Mean[c] = m / n
+		out.Var[c] = v / (n * n)
+	}
+	return out
+}
+
+// GlobalAvgPool reduces a plain sequence over time.
+func GlobalAvgPool(s *Seq) []float64 {
+	out := make([]float64, s.Channels)
+	n := float64(s.Steps)
+	for c := 0; c < s.Channels; c++ {
+		var m float64
+		for t := 0; t < s.Steps; t++ {
+			m += s.At(t, c)
+		}
+		out[c] = m / n
+	}
+	return out
+}
+
+// activationFunc resolves a layer's activation to its PWL representation,
+// with the paper's default piece counts.
+func activationFunc(act nn.Activation) (*piecewise.Func, error) {
+	switch act {
+	case nn.ActIdentity:
+		return piecewise.Identity(), nil
+	case nn.ActReLU:
+		return piecewise.ReLU(), nil
+	case nn.ActTanh:
+		return piecewise.Tanh(7)
+	case nn.ActSigmoid:
+		return piecewise.Sigmoid(7)
+	default:
+		return nil, fmt.Errorf("activation %v: %w", act, ErrConfig)
+	}
+}

@@ -1,0 +1,327 @@
+package conv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+// Sample is one supervised time-series example.
+type Sample struct {
+	X *Seq
+	Y tensor.Vector
+}
+
+// TrainConfig controls Train.
+type TrainConfig struct {
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Seed         int64
+	Loss         train.Loss
+	// Logf, when non-nil, receives one line per epoch.
+	Logf func(format string, args ...any)
+}
+
+func (c TrainConfig) validate(n int) error {
+	if c.Epochs < 1 || c.BatchSize < 1 || c.BatchSize > n || c.LearningRate <= 0 {
+		return fmt.Errorf("epochs=%d batch=%d lr=%v over %d samples: %w",
+			c.Epochs, c.BatchSize, c.LearningRate, n, ErrConfig)
+	}
+	if c.Loss == nil {
+		return fmt.Errorf("nil loss: %w", ErrConfig)
+	}
+	return nil
+}
+
+// convGrads accumulates one layer's gradients.
+type convGrads struct {
+	w []float64
+	b []float64
+}
+
+// trace records one stochastic forward pass for backprop.
+type trace struct {
+	inputs []*Seq      // per conv layer: the layer's input sequence
+	pres   []*Seq      // per conv layer: pre-activations
+	masks  [][]float64 // per conv layer: channel masks (0/1)
+	pooled tensor.Vector
+	// dense head intermediates
+	headMasked [][]float64
+	headMask   [][]bool
+	headPre    [][]float64
+	headOut    tensor.Vector
+}
+
+// Train fits the hybrid network in place with plain minibatch SGD, sampling
+// dropout masks per example (both conv channel masks and dense unit masks).
+// It exists to produce dropout-trained convolutional models for the
+// future-work moment propagation; heavy-duty optimization stays in
+// internal/train.
+func Train(n *Net, data []Sample, cfg TrainConfig) error {
+	if err := cfg.validate(len(data)); err != nil {
+		return err
+	}
+	for i, s := range data {
+		if s.X == nil || s.X.Channels != n.convs[0].InCh {
+			return fmt.Errorf("sample %d: bad input: %w", i, ErrConfig)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(len(data))
+
+	headLayers := n.head.Layers()
+	cg := make([]convGrads, len(n.convs))
+	for i, c := range n.convs {
+		cg[i] = convGrads{w: make([]float64, len(c.W)), b: make([]float64, len(c.B))}
+	}
+	hgW := make([]*tensor.Matrix, len(headLayers))
+	hgB := make([]tensor.Vector, len(headLayers))
+	for i, l := range headLayers {
+		hgW[i] = tensor.NewMatrix(l.W.Rows, l.W.Cols)
+		hgB[i] = tensor.NewVector(len(l.B))
+	}
+	lossGrad := tensor.NewVector(n.head.OutputDim())
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			for i := range cg {
+				zero(cg[i].w)
+				zero(cg[i].b)
+			}
+			for i := range hgW {
+				hgW[i].Fill(0)
+				hgB[i].Fill(0)
+			}
+			for _, idx := range perm[start:end] {
+				lv, err := n.forwardBackward(data[idx], cfg.Loss, lossGrad, cg, hgW, hgB, rng)
+				if err != nil {
+					return fmt.Errorf("conv: sample %d: %w", idx, err)
+				}
+				epochLoss += lv
+			}
+			scale := cfg.LearningRate / float64(end-start)
+			for i, c := range n.convs {
+				for j := range c.W {
+					c.W[j] -= scale * cg[i].w[j]
+				}
+				for j := range c.B {
+					c.B[j] -= scale * cg[i].b[j]
+				}
+			}
+			for i, l := range headLayers {
+				for j := range l.W.Data {
+					l.W.Data[j] -= scale * hgW[i].Data[j]
+				}
+				for j := range l.B {
+					l.B[j] -= scale * hgB[i][j]
+				}
+			}
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("conv epoch %d: train %.5f", epoch, epochLoss/float64(len(perm)))
+		}
+	}
+	return nil
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// forwardBackward accumulates one example's gradients.
+func (n *Net) forwardBackward(s Sample, loss train.Loss, lossGrad tensor.Vector,
+	cg []convGrads, hgW []*tensor.Matrix, hgB []tensor.Vector, rng *rand.Rand) (float64, error) {
+
+	tr := trace{}
+
+	// ----- Forward: conv stack with sampled channel masks.
+	cur := s.X
+	for _, c := range n.convs {
+		outSteps, err := c.OutSteps(cur.Steps)
+		if err != nil {
+			return 0, err
+		}
+		mask := make([]float64, c.InCh)
+		for ch := range mask {
+			if c.KeepProb >= 1 || rng.Float64() < c.KeepProb {
+				mask[ch] = 1
+			}
+		}
+		pre := NewSeq(outSteps, c.OutCh)
+		out := NewSeq(outSteps, c.OutCh)
+		for t := 0; t < outSteps; t++ {
+			base := t * c.Stride
+			for o := 0; o < c.OutCh; o++ {
+				sum := c.B[o]
+				for ch := 0; ch < c.InCh; ch++ {
+					if mask[ch] == 0 {
+						continue
+					}
+					for k := 0; k < c.Kernel; k++ {
+						sum += cur.At(base+k, ch) * c.w(k, ch, o)
+					}
+				}
+				pre.Set(t, o, sum)
+				out.Set(t, o, c.Act.Apply(sum))
+			}
+		}
+		tr.inputs = append(tr.inputs, cur)
+		tr.pres = append(tr.pres, pre)
+		tr.masks = append(tr.masks, mask)
+		cur = out
+	}
+	tr.pooled = GlobalAvgPool(cur)
+
+	// ----- Forward: dense head with sampled unit masks.
+	headLayers := n.head.Layers()
+	inVec := []float64(tr.pooled)
+	for _, l := range headLayers {
+		masked := make([]float64, len(inVec))
+		keepMask := make([]bool, len(inVec))
+		copy(masked, inVec)
+		for i := range keepMask {
+			keepMask[i] = true
+		}
+		if l.KeepProb < 1 {
+			for i := range masked {
+				if rng.Float64() >= l.KeepProb {
+					masked[i] = 0
+					keepMask[i] = false
+				}
+			}
+		}
+		pre := make([]float64, l.OutDim())
+		l.W.MulVecInto(masked, pre)
+		out := make([]float64, l.OutDim())
+		for j := range pre {
+			pre[j] += l.B[j]
+			out[j] = l.Act.Apply(pre[j])
+		}
+		tr.headMasked = append(tr.headMasked, masked)
+		tr.headMask = append(tr.headMask, keepMask)
+		tr.headPre = append(tr.headPre, pre)
+		inVec = out
+	}
+	tr.headOut = inVec
+
+	lv, err := loss.Eval(tr.headOut, s.Y, lossGrad)
+	if err != nil {
+		return 0, err
+	}
+
+	// ----- Backward: dense head.
+	grad := []float64(lossGrad)
+	for li := len(headLayers) - 1; li >= 0; li-- {
+		l := headLayers[li]
+		delta := make([]float64, l.OutDim())
+		for j := range delta {
+			delta[j] = grad[j] * l.Act.Derivative(tr.headPre[li][j])
+		}
+		gw := hgW[li]
+		for i, xi := range tr.headMasked[li] {
+			if xi == 0 {
+				continue
+			}
+			row := gw.Data[i*gw.Cols : (i+1)*gw.Cols]
+			for j, dj := range delta {
+				row[j] += xi * dj
+			}
+		}
+		for j, dj := range delta {
+			hgB[li][j] += dj
+		}
+		next := make([]float64, l.InDim())
+		for i := range next {
+			if !tr.headMask[li][i] {
+				continue
+			}
+			row := l.W.Data[i*l.W.Cols : (i+1)*l.W.Cols]
+			var sum float64
+			for j, dj := range delta {
+				sum += row[j] * dj
+			}
+			next[i] = sum
+		}
+		grad = next
+	}
+
+	// ----- Backward: global average pooling.
+	lastOutSteps := tr.pres[len(tr.pres)-1].Steps
+	lastOutCh := tr.pres[len(tr.pres)-1].Channels
+	seqGrad := NewSeq(lastOutSteps, lastOutCh)
+	inv := 1.0 / float64(lastOutSteps)
+	for t := 0; t < lastOutSteps; t++ {
+		for c := 0; c < lastOutCh; c++ {
+			seqGrad.Set(t, c, grad[c]*inv)
+		}
+	}
+
+	// ----- Backward: conv stack.
+	for li := len(n.convs) - 1; li >= 0; li-- {
+		c := n.convs[li]
+		pre := tr.pres[li]
+		in := tr.inputs[li]
+		mask := tr.masks[li]
+
+		// delta = dL/dPre.
+		delta := NewSeq(pre.Steps, pre.Channels)
+		for t := 0; t < pre.Steps; t++ {
+			for o := 0; o < c.OutCh; o++ {
+				delta.Set(t, o, seqGrad.At(t, o)*c.Act.Derivative(pre.At(t, o)))
+			}
+		}
+		// Parameter gradients.
+		for t := 0; t < pre.Steps; t++ {
+			base := t * c.Stride
+			for o := 0; o < c.OutCh; o++ {
+				d := delta.At(t, o)
+				if d == 0 {
+					continue
+				}
+				cg[li].b[o] += d
+				for ch := 0; ch < c.InCh; ch++ {
+					if mask[ch] == 0 {
+						continue
+					}
+					for k := 0; k < c.Kernel; k++ {
+						cg[li].w[(k*c.InCh+ch)*c.OutCh+o] += in.At(base+k, ch) * d
+					}
+				}
+			}
+		}
+		// Input gradients for the next layer down.
+		if li > 0 {
+			ig := NewSeq(in.Steps, in.Channels)
+			for t := 0; t < pre.Steps; t++ {
+				base := t * c.Stride
+				for o := 0; o < c.OutCh; o++ {
+					d := delta.At(t, o)
+					if d == 0 {
+						continue
+					}
+					for ch := 0; ch < c.InCh; ch++ {
+						if mask[ch] == 0 {
+							continue
+						}
+						for k := 0; k < c.Kernel; k++ {
+							ig.Data[(base+k)*in.Channels+ch] += c.w(k, ch, o) * d
+						}
+					}
+				}
+			}
+			seqGrad = ig
+		}
+	}
+	return lv, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// PredictBatch runs est.Predict over a batch of inputs, fanning the work out
+// across up to workers goroutines (<= 0 selects GOMAXPROCS). Results are
+// returned in input order; the first error cancels the batch.
+//
+// Estimator implementations in this repository are safe for concurrent
+// Predict calls (the ApDeepSense propagator is read-only after construction;
+// MCDrop serializes its RNG internally), so gateway-style deployments can
+// use this to saturate multicore hosts.
+func PredictBatch(est Estimator, inputs []tensor.Vector, workers int) ([]GaussianVec, error) {
+	out := make([]GaussianVec, len(inputs))
+	err := forEachInput(len(inputs), workers, func(i int) error {
+		g, err := est.Predict(inputs[i])
+		if err != nil {
+			return fmt.Errorf("core: batch input %d: %w", i, err)
+		}
+		out[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictProbsBatch is PredictBatch for classification probabilities.
+func PredictProbsBatch(est Estimator, inputs []tensor.Vector, workers int) ([]tensor.Vector, error) {
+	out := make([]tensor.Vector, len(inputs))
+	err := forEachInput(len(inputs), workers, func(i int) error {
+		p, err := est.PredictProbs(inputs[i])
+		if err != nil {
+			return fmt.Errorf("core: batch input %d: %w", i, err)
+		}
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEachInput distributes indices [0, n) over a worker pool and collects
+// the first error.
+func forEachInput(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					// Drain remaining work quickly; producers stop via the
+					// shared error check below.
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

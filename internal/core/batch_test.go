@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	net := buildTestNet(t, nn.ActTanh, 0.85, 5)
+	est, err := NewApDeepSense(net, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]tensor.Vector, 40)
+	for i := range inputs {
+		inputs[i] = tensor.Vector{float64(i), 1, -1, 0.5, 0.1}
+	}
+	want := make([]GaussianVec, len(inputs))
+	for i, x := range inputs {
+		g, err := est.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = g
+	}
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		got, err := PredictBatch(est, inputs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range got {
+			if !got[i].Mean.Equal(want[i].Mean, 0) || !got[i].Var.Equal(want[i].Var, 0) {
+				t.Errorf("workers=%d input %d: mismatch", workers, i)
+			}
+		}
+	}
+}
+
+func TestPredictBatchEmpty(t *testing.T) {
+	net := buildTestNet(t, nn.ActReLU, 1, 1)
+	est, err := NewApDeepSense(net, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PredictBatch(est, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d results for empty batch", len(got))
+	}
+}
+
+func TestPredictBatchPropagatesError(t *testing.T) {
+	net := buildTestNet(t, nn.ActReLU, 1, 1)
+	est, err := NewApDeepSense(net, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []tensor.Vector{
+		{1, 2, 3, 4, 5},
+		{1}, // wrong dimension
+		{1, 2, 3, 4, 5},
+	}
+	if _, err := PredictBatch(est, inputs, 2); !errors.Is(err, ErrInput) {
+		t.Errorf("err = %v, want ErrInput", err)
+	}
+}
+
+func TestPredictProbsBatch(t *testing.T) {
+	net := buildTestNet(t, nn.ActReLU, 0.9, 2)
+	est, err := NewApDeepSense(net, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []tensor.Vector{
+		{1, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0},
+	}
+	probs, err := PredictProbsBatch(est, inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probs {
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("input %d: probs sum %v", i, sum)
+		}
+	}
+	if _, err := PredictProbsBatch(est, []tensor.Vector{{1}}, 1); !errors.Is(err, ErrInput) {
+		t.Errorf("err = %v, want ErrInput", err)
+	}
+}

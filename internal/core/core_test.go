@@ -1,0 +1,486 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+func TestGaussianVecBasics(t *testing.T) {
+	g := Deterministic(tensor.Vector{1, 2})
+	if g.Dim() != 2 {
+		t.Fatalf("Dim = %d", g.Dim())
+	}
+	if g.Var[0] != 0 || g.Var[1] != 0 {
+		t.Error("Deterministic should have zero variance")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	g.Var[1] = 4
+	if s := g.Std(1); s != 2 {
+		t.Errorf("Std = %v, want 2", s)
+	}
+	cl := g.Clone()
+	cl.Mean[0] = 99
+	if g.Mean[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestGaussianVecValidate(t *testing.T) {
+	bad := []GaussianVec{
+		{Mean: tensor.Vector{1}, Var: tensor.Vector{1, 2}},
+		{Mean: tensor.Vector{math.NaN()}, Var: tensor.Vector{1}},
+		{Mean: tensor.Vector{math.Inf(1)}, Var: tensor.Vector{1}},
+		{Mean: tensor.Vector{0}, Var: tensor.Vector{-1}},
+		{Mean: tensor.Vector{0}, Var: tensor.Vector{math.NaN()}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); !errors.Is(err, ErrInput) {
+			t.Errorf("case %d: err = %v, want ErrInput", i, err)
+		}
+	}
+}
+
+// TestDenseMomentsVsMonteCarlo is the load-bearing correctness test for
+// eq. 9/10: the closed-form mean and variance of y = (x ⊙ z) W + b must match
+// Monte Carlo estimates over both the dropout masks and the Gaussian input.
+func TestDenseMomentsVsMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in, out := 6, 4
+	w := tensor.NewMatrix(in, out)
+	w.RandomNormal(rng, 0, 1)
+	b := make(tensor.Vector, out)
+	for j := range b {
+		b[j] = rng.NormFloat64()
+	}
+	layer := &nn.Layer{W: w, B: b, Act: nn.ActIdentity, KeepProb: 0.7}
+
+	g := NewGaussianVec(in)
+	for i := 0; i < in; i++ {
+		g.Mean[i] = rng.NormFloat64() * 2
+		g.Var[i] = rng.Float64() * 1.5
+	}
+
+	got, err := DenseMoments(g, layer, w.Square())
+	if err != nil {
+		t.Fatalf("DenseMoments: %v", err)
+	}
+
+	const samples = 400000
+	sumY := make(tensor.Vector, out)
+	sumY2 := make(tensor.Vector, out)
+	x := make(tensor.Vector, in)
+	y := make(tensor.Vector, out)
+	for s := 0; s < samples; s++ {
+		for i := 0; i < in; i++ {
+			x[i] = g.Mean[i] + math.Sqrt(g.Var[i])*rng.NormFloat64()
+			if rng.Float64() >= layer.KeepProb {
+				x[i] = 0
+			}
+		}
+		w.MulVecInto(x, y)
+		for j := 0; j < out; j++ {
+			v := y[j] + b[j]
+			sumY[j] += v
+			sumY2[j] += v * v
+		}
+	}
+	for j := 0; j < out; j++ {
+		mcMean := sumY[j] / samples
+		mcVar := sumY2[j]/samples - mcMean*mcMean
+		if math.Abs(got.Mean[j]-mcMean) > 0.03 {
+			t.Errorf("out %d: mean %v vs MC %v", j, got.Mean[j], mcMean)
+		}
+		if math.Abs(got.Var[j]-mcVar)/mcVar > 0.03 {
+			t.Errorf("out %d: var %v vs MC %v", j, got.Var[j], mcVar)
+		}
+	}
+}
+
+func TestDenseMomentsNoDropoutDeterministic(t *testing.T) {
+	// With keep = 1 and a point-mass input, the output is the plain affine
+	// map with zero variance.
+	w, _ := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	layer := &nn.Layer{W: w, B: tensor.Vector{10, 20}, Act: nn.ActIdentity, KeepProb: 1}
+	g := Deterministic(tensor.Vector{1, 1})
+	out, err := DenseMoments(g, layer, w.Square())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Mean.Equal(tensor.Vector{14, 26}, 1e-12) {
+		t.Errorf("mean = %v, want [14 26]", out.Mean)
+	}
+	if !out.Var.Equal(tensor.Vector{0, 0}, 1e-15) {
+		t.Errorf("var = %v, want zeros", out.Var)
+	}
+}
+
+func TestDenseMomentsShapeErrors(t *testing.T) {
+	w := tensor.NewMatrix(2, 2)
+	layer := &nn.Layer{W: w, B: tensor.NewVector(2), Act: nn.ActIdentity, KeepProb: 1}
+	if _, err := DenseMoments(NewGaussianVec(3), layer, w.Square()); !errors.Is(err, ErrInput) {
+		t.Errorf("dim err = %v, want ErrInput", err)
+	}
+	if _, err := DenseMoments(NewGaussianVec(2), layer, tensor.NewMatrix(3, 3)); !errors.Is(err, ErrInput) {
+		t.Errorf("wsq err = %v, want ErrInput", err)
+	}
+}
+
+// TestActivationMomentsReLUExact: the generic PWL moment propagation through
+// the 2-piece ReLU must match the closed-form rectified-Gaussian moments.
+func TestActivationMomentsReLUExact(t *testing.T) {
+	relu := piecewise.ReLU()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		mu := rng.NormFloat64() * 3
+		v := rng.Float64() * 4
+		gm, gv := ActivationMoments(mu, v, relu)
+		em, ev := ReLUMoments(mu, v)
+		if math.Abs(gm-em) > 1e-9 {
+			t.Fatalf("mu=%v v=%v: mean %v vs exact %v", mu, v, gm, em)
+		}
+		if math.Abs(gv-ev) > 1e-9 {
+			t.Fatalf("mu=%v v=%v: var %v vs exact %v", mu, v, gv, ev)
+		}
+	}
+}
+
+// TestActivationMomentsVsMonteCarlo validates the PWL moment propagation
+// against sampling for tanh and sigmoid approximations.
+func TestActivationMomentsVsMonteCarlo(t *testing.T) {
+	tanh7, err := piecewise.Tanh(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig7, err := piecewise.Sigmoid(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range []*piecewise.Func{tanh7, sig7, piecewise.ReLU(), piecewise.Identity()} {
+		for trial := 0; trial < 20; trial++ {
+			mu := rng.NormFloat64() * 2
+			v := 0.05 + rng.Float64()*3
+			gm, gv := ActivationMoments(mu, v, f)
+
+			const samples = 300000
+			var sum, sum2 float64
+			sd := math.Sqrt(v)
+			for s := 0; s < samples; s++ {
+				y := f.Eval(mu + sd*rng.NormFloat64())
+				sum += y
+				sum2 += y * y
+			}
+			mcMean := sum / samples
+			mcVar := sum2/samples - mcMean*mcMean
+			if math.Abs(gm-mcMean) > 0.01+0.01*math.Abs(mcMean) {
+				t.Errorf("%s mu=%.3f v=%.3f: mean %v vs MC %v", f.Name(), mu, v, gm, mcMean)
+			}
+			tol := 0.02*mcVar + 1e-4
+			if math.Abs(gv-mcVar) > tol {
+				t.Errorf("%s mu=%.3f v=%.3f: var %v vs MC %v", f.Name(), mu, v, gv, mcVar)
+			}
+		}
+	}
+}
+
+func TestActivationMomentsPointMass(t *testing.T) {
+	tanh7, _ := piecewise.Tanh(7)
+	m, v := ActivationMoments(0.8, 0, tanh7)
+	if v != 0 {
+		t.Errorf("point-mass variance = %v, want 0", v)
+	}
+	if math.Abs(m-tanh7.Eval(0.8)) > 1e-12 {
+		t.Errorf("point-mass mean = %v, want f(0.8) = %v", m, tanh7.Eval(0.8))
+	}
+}
+
+func TestActivationMomentsIdentityPassThrough(t *testing.T) {
+	id := piecewise.Identity()
+	m, v := ActivationMoments(1.5, 2.5, id)
+	if math.Abs(m-1.5) > 1e-9 || math.Abs(v-2.5) > 1e-9 {
+		t.Errorf("identity moments = (%v, %v), want (1.5, 2.5)", m, v)
+	}
+}
+
+// Property: variance out of a PWL activation is bounded by k_max² times the
+// input variance (a 1-Lipschitz-per-piece contraction argument), and is
+// never negative.
+func TestPropertyActivationVarianceBounds(t *testing.T) {
+	tanh7, _ := piecewise.Tanh(7)
+	var kmax float64
+	for _, p := range tanh7.Pieces() {
+		if k := math.Abs(p.K); k > kmax {
+			kmax = k
+		}
+	}
+	f := func(mu, rawVar float64) bool {
+		if math.IsNaN(mu) || math.IsInf(mu, 0) || math.IsNaN(rawVar) || math.IsInf(rawVar, 0) {
+			return true
+		}
+		v := math.Abs(rawVar)
+		if v > 1e6 {
+			v = math.Mod(v, 1e6)
+		}
+		if math.Abs(mu) > 1e6 {
+			mu = math.Mod(mu, 1e6)
+		}
+		_, gv := ActivationMoments(mu, v, tanh7)
+		return gv >= 0 && gv <= kmax*kmax*v*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReLUMomentsEdgeCases(t *testing.T) {
+	// Negative point mass rectifies to zero.
+	m, v := ReLUMoments(-3, 0)
+	if m != 0 || v != 0 {
+		t.Errorf("ReLU(-3 pm) = (%v, %v), want (0, 0)", m, v)
+	}
+	// Positive point mass passes through.
+	m, v = ReLUMoments(3, 0)
+	if m != 3 || v != 0 {
+		t.Errorf("ReLU(3 pm) = (%v, %v), want (3, 0)", m, v)
+	}
+	// Deep negative mean: mean ≈ 0 and tiny variance.
+	m, v = ReLUMoments(-40, 1)
+	if m > 1e-6 || v > 1e-6 || m < 0 || v < 0 {
+		t.Errorf("ReLU(-40, 1) = (%v, %v), want ≈ (0, 0)", m, v)
+	}
+}
+
+func buildTestNet(t *testing.T, act nn.Activation, keep float64, seed int64) *nn.Network {
+	t.Helper()
+	net, err := nn.New(nn.Config{
+		InputDim: 5, Hidden: []int{16, 16}, OutputDim: 3,
+		Activation: act, OutputActivation: nn.ActIdentity,
+		KeepProb: keep, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("nn.New: %v", err)
+	}
+	return net
+}
+
+// TestPropagatorVsMCDropLargeSample is the end-to-end validation of the
+// whole algorithm: ApDeepSense's closed-form output Gaussian must agree with
+// a very large MCDrop sample (the unbiased estimator) on a real multi-layer
+// dropout network, for both ReLU and Tanh.
+func TestPropagatorVsMCDropLargeSample(t *testing.T) {
+	for _, act := range []nn.Activation{nn.ActReLU, nn.ActTanh} {
+		net := buildTestNet(t, act, 0.8, 7)
+		prop, err := NewPropagator(net, Options{})
+		if err != nil {
+			t.Fatalf("NewPropagator: %v", err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		x := tensor.Vector{0.5, -1.2, 2.0, 0.0, 0.7}
+		got, err := prop.Propagate(x)
+		if err != nil {
+			t.Fatalf("Propagate: %v", err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("output invalid: %v", err)
+		}
+
+		const samples = 200000
+		sum := make(tensor.Vector, 3)
+		sum2 := make(tensor.Vector, 3)
+		for s := 0; s < samples; s++ {
+			y, err := net.ForwardSample(x, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range y {
+				sum[j] += y[j]
+				sum2[j] += y[j] * y[j]
+			}
+		}
+		for j := 0; j < 3; j++ {
+			mcMean := sum[j] / samples
+			mcVar := sum2[j]/samples - mcMean*mcMean
+			// The layer-wise approximation ignores cross-unit covariance, so
+			// agreement is approximate: 10% of the MC std on the mean and
+			// 35% relative on the variance is the expected regime (the paper
+			// reports the same bias-variance tradeoff in §IV-D).
+			if math.Abs(got.Mean[j]-mcMean) > 0.1*math.Sqrt(mcVar)+0.02 {
+				t.Errorf("%v out %d: mean %v vs MC %v (mcStd %v)", act, j, got.Mean[j], mcMean, math.Sqrt(mcVar))
+			}
+			if relErr := math.Abs(got.Var[j]-mcVar) / mcVar; relErr > 0.35 {
+				t.Errorf("%v out %d: var %v vs MC %v (rel %v)", act, j, got.Var[j], mcVar, relErr)
+			}
+		}
+	}
+}
+
+func TestPropagatorNoDropoutIsExactForward(t *testing.T) {
+	// With keep = 1 everywhere and ReLU (exactly PWL), ApDeepSense reduces
+	// to the plain forward pass with zero variance.
+	net := buildTestNet(t, nn.ActReLU, 1, 11)
+	prop, err := NewPropagator(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{1, -0.5, 0.3, 2, -1}
+	g, err := prop.Propagate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Mean.Equal(fwd, 1e-9) {
+		t.Errorf("mean %v vs forward %v", g.Mean, fwd)
+	}
+	for j, v := range g.Var {
+		if v > 1e-12 {
+			t.Errorf("var[%d] = %v, want 0", j, v)
+		}
+	}
+}
+
+func TestPropagatorInputValidation(t *testing.T) {
+	net := buildTestNet(t, nn.ActReLU, 0.9, 1)
+	prop, err := NewPropagator(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prop.Propagate(tensor.Vector{1, 2}); !errors.Is(err, ErrInput) {
+		t.Errorf("err = %v, want ErrInput", err)
+	}
+}
+
+func TestPropagatorOptions(t *testing.T) {
+	net := buildTestNet(t, nn.ActTanh, 0.9, 1)
+	p3, err := NewPropagator(net, Options{TanhPieces: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ActivationPieces(0) != 3 {
+		t.Errorf("pieces = %d, want 3", p3.ActivationPieces(0))
+	}
+	// Default is the paper's 7.
+	p7, err := NewPropagator(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p7.ActivationPieces(0) != 7 {
+		t.Errorf("default pieces = %d, want 7", p7.ActivationPieces(0))
+	}
+	// Invalid piece counts surface the piecewise error.
+	if _, err := NewPropagator(net, Options{TanhPieces: 4}); err == nil {
+		t.Error("expected error for even piece count")
+	}
+}
+
+func TestPropagatorCostScalesWithPieces(t *testing.T) {
+	net := buildTestNet(t, nn.ActTanh, 0.9, 1)
+	p3, _ := NewPropagator(net, Options{TanhPieces: 3})
+	p7, _ := NewPropagator(net, Options{TanhPieces: 7})
+	if p7.Cost().ElementOps <= p3.Cost().ElementOps {
+		t.Error("7-piece propagation should cost more element ops than 3-piece")
+	}
+	if p7.Cost().DenseFLOPs != p3.Cost().DenseFLOPs {
+		t.Error("dense FLOPs should not depend on piece count")
+	}
+	// ApDeepSense dense cost is exactly 2x a forward pass (mean + variance).
+	fwd := ForwardPassCost(net)
+	if p7.Cost().DenseFLOPs != 2*fwd.DenseFLOPs {
+		t.Errorf("dense cost %d, want 2x forward %d", p7.Cost().DenseFLOPs, fwd.DenseFLOPs)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax(tensor.Vector{1, 1, 1})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Errorf("uniform softmax = %v", p)
+		}
+	}
+	// Stability under large logits.
+	p = Softmax(tensor.Vector{1000, 1000, -1000})
+	if math.IsNaN(p[0]) || math.Abs(p[0]-0.5) > 1e-9 || p[2] > 1e-12 {
+		t.Errorf("large-logit softmax = %v", p)
+	}
+	if math.Abs(p.Sum()-1) > 1e-12 {
+		t.Errorf("softmax sums to %v", p.Sum())
+	}
+}
+
+func TestMeanFieldSoftmaxModeratesConfidence(t *testing.T) {
+	mean := tensor.Vector{2, 0, -1}
+	sharp := MeanFieldSoftmax(GaussianVec{Mean: mean, Var: tensor.Vector{0, 0, 0}})
+	fuzzy := MeanFieldSoftmax(GaussianVec{Mean: mean, Var: tensor.Vector{50, 50, 50}})
+	if math.Abs(sharp.Sum()-1) > 1e-12 || math.Abs(fuzzy.Sum()-1) > 1e-12 {
+		t.Fatal("probabilities must sum to 1")
+	}
+	// Zero variance reproduces the plain softmax.
+	plain := Softmax(mean)
+	if !sharp.Equal(plain, 1e-12) {
+		t.Errorf("zero-variance mean-field %v != softmax %v", sharp, plain)
+	}
+	// High variance moderates toward uniform: top-class probability drops.
+	if fuzzy[0] >= sharp[0] {
+		t.Errorf("high variance should lower top prob: %v vs %v", fuzzy[0], sharp[0])
+	}
+}
+
+func TestMeanFieldSoftmaxVsSampled(t *testing.T) {
+	g := GaussianVec{Mean: tensor.Vector{1.0, -0.5, 0.2}, Var: tensor.Vector{0.5, 1.5, 0.1}}
+	rng := rand.New(rand.NewSource(77))
+	sampled := SampledSoftmax(g, 200000, rng)
+	mf := MeanFieldSoftmax(g)
+	// The moderation approximation treats each logit independently, so a few
+	// percent of per-class bias is expected; it must stay in that regime.
+	for i := range mf {
+		if math.Abs(mf[i]-sampled[i]) > 0.05 {
+			t.Errorf("class %d: mean-field %v vs sampled %v", i, mf[i], sampled[i])
+		}
+	}
+}
+
+func TestPropagatorConcurrentUse(t *testing.T) {
+	net := buildTestNet(t, nn.ActTanh, 0.8, 3)
+	prop, err := NewPropagator(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{1, 2, 3, 4, 5}
+	want, err := prop.Propagate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				g, err := prop.Propagate(x)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !g.Mean.Equal(want.Mean, 0) || !g.Var.Equal(want.Var, 0) {
+					done <- errors.New("concurrent result differs")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// Estimator is the common contract of the paper's uncertainty estimation
+// algorithms (ApDeepSense, MCDrop-k, RDeepSense): given an input, produce a
+// predictive output distribution (regression) or class probabilities
+// (classification), and report the modeled per-inference cost.
+type Estimator interface {
+	// Name labels the estimator in reports, e.g. "ApDeepSense" or
+	// "MCDrop-10".
+	Name() string
+	// Predict returns the Gaussian predictive distribution over the
+	// network's outputs.
+	Predict(x tensor.Vector) (GaussianVec, error)
+	// PredictProbs returns predictive class probabilities for
+	// classification networks.
+	PredictProbs(x tensor.Vector) (tensor.Vector, error)
+	// Cost returns the modeled execution cost of one Predict call.
+	Cost() edison.Cost
+}
+
+// ApDeepSense is the paper's estimator: a Propagator plus the output
+// conventions shared with the baselines (observation-noise floor for
+// regression, mean-field softmax link for classification). It implements
+// Estimator.
+type ApDeepSense struct {
+	prop *Propagator
+	// obsVar is added to every predictive variance, the τ⁻¹ observation
+	// noise of the Gaussian-process view.
+	obsVar float64
+}
+
+var _ Estimator = (*ApDeepSense)(nil)
+
+// NewApDeepSense builds the estimator for a dropout-trained network. obsVar
+// (>= 0) is the observation-noise variance added to predictive variances.
+func NewApDeepSense(net *nn.Network, opts Options, obsVar float64) (*ApDeepSense, error) {
+	if obsVar < 0 {
+		return nil, fmt.Errorf("core: negative obsVar %v: %w", obsVar, ErrInput)
+	}
+	prop, err := NewPropagator(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ApDeepSense{prop: prop, obsVar: obsVar}, nil
+}
+
+// Name implements Estimator.
+func (a *ApDeepSense) Name() string { return "ApDeepSense" }
+
+// Predict implements Estimator: one deterministic moment-propagation pass.
+func (a *ApDeepSense) Predict(x tensor.Vector) (GaussianVec, error) {
+	g, err := a.prop.Propagate(x)
+	if err != nil {
+		return GaussianVec{}, err
+	}
+	for i := range g.Var {
+		g.Var[i] += a.obsVar
+	}
+	return g, nil
+}
+
+// PredictProbs implements Estimator: Gaussian logits through the mean-field
+// softmax link. The observation-noise floor is not applied to logits.
+func (a *ApDeepSense) PredictProbs(x tensor.Vector) (tensor.Vector, error) {
+	g, err := a.prop.Propagate(x)
+	if err != nil {
+		return nil, err
+	}
+	return MeanFieldSoftmax(g), nil
+}
+
+// Cost implements Estimator.
+func (a *ApDeepSense) Cost() edison.Cost { return a.prop.Cost() }
+
+// Propagator exposes the underlying moment propagator (for ablations).
+func (a *ApDeepSense) Propagator() *Propagator { return a.prop }

@@ -1,0 +1,65 @@
+// Package core implements the ApDeepSense algorithm (paper §III): layer-wise
+// closed-form Gaussian approximation of the output distribution of a
+// dropout-trained fully-connected network. It replaces MCDrop's k stochastic
+// forward passes with a single deterministic pass that propagates a diagonal
+// multivariate Gaussian through every matrix multiplication (eqs. 9–10) and
+// every piece-wise-linearized activation (eqs. 12–26).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// ErrInput is returned (wrapped) for invalid inputs to the propagator.
+var ErrInput = errors.New("core: invalid input")
+
+// GaussianVec is a diagonal multivariate Gaussian: element i is distributed
+// N(Mean[i], Var[i]) independently. It is the paper's layer-wise
+// approximation family (§III-A).
+type GaussianVec struct {
+	Mean tensor.Vector
+	Var  tensor.Vector
+}
+
+// NewGaussianVec allocates a zero-mean, zero-variance Gaussian of length n.
+func NewGaussianVec(n int) GaussianVec {
+	return GaussianVec{Mean: tensor.NewVector(n), Var: tensor.NewVector(n)}
+}
+
+// Deterministic wraps a plain input vector as a point-mass Gaussian
+// (variance zero), the entry state of the propagation.
+func Deterministic(x tensor.Vector) GaussianVec {
+	return GaussianVec{Mean: x.Clone(), Var: tensor.NewVector(len(x))}
+}
+
+// Dim returns the vector length.
+func (g GaussianVec) Dim() int { return len(g.Mean) }
+
+// Std returns the standard deviation of element i.
+func (g GaussianVec) Std(i int) float64 { return math.Sqrt(g.Var[i]) }
+
+// Validate checks internal consistency: matching lengths, finite values, and
+// non-negative variances.
+func (g GaussianVec) Validate() error {
+	if len(g.Mean) != len(g.Var) {
+		return fmt.Errorf("mean len %d != var len %d: %w", len(g.Mean), len(g.Var), ErrInput)
+	}
+	for i := range g.Mean {
+		if math.IsNaN(g.Mean[i]) || math.IsInf(g.Mean[i], 0) {
+			return fmt.Errorf("mean[%d] = %v: %w", i, g.Mean[i], ErrInput)
+		}
+		if math.IsNaN(g.Var[i]) || g.Var[i] < 0 {
+			return fmt.Errorf("var[%d] = %v: %w", i, g.Var[i], ErrInput)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (g GaussianVec) Clone() GaussianVec {
+	return GaussianVec{Mean: g.Mean.Clone(), Var: g.Var.Clone()}
+}

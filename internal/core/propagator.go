@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// Element-op counts charged per output element when computing the moments of
+// one PWL piece (evaluating eqs. 23–25 with vectorized tensor operations: two
+// erf, two exp, and the surrounding arithmetic chains, each a separate
+// element-wise pass on a graph executor). Constant pieces (k = 0) need only
+// the interval mass D. See internal/edison for how element-ops convert to
+// time and energy; EXPERIMENTS.md records the calibration.
+const (
+	// OpsPerLinearPiece is the per-element op count of a k ≠ 0 piece.
+	OpsPerLinearPiece = 88
+	// OpsPerConstPiece is the per-element op count of a k = 0 piece.
+	OpsPerConstPiece = 24
+)
+
+// Options configures a Propagator.
+type Options struct {
+	// TanhPieces is the PWL piece count approximating tanh layers.
+	// The paper uses 7 in all experiments. Defaults to 7.
+	TanhPieces int
+	// SigmoidPieces is the PWL piece count approximating sigmoid layers.
+	// Defaults to 7.
+	SigmoidPieces int
+}
+
+func (o *Options) fillDefaults() {
+	if o.TanhPieces == 0 {
+		o.TanhPieces = 7
+	}
+	if o.SigmoidPieces == 0 {
+		o.SigmoidPieces = 7
+	}
+}
+
+// Propagator runs ApDeepSense inference over a fixed network: a single
+// deterministic pass that outputs the full Gaussian approximation of the
+// network's output distribution under dropout. It precomputes the
+// element-wise squared weight matrices (for eq. 10) and the PWL activation
+// approximations, so construction is paid once per model.
+//
+// A Propagator is safe for concurrent use: Propagate only reads the
+// precomputed state.
+type Propagator struct {
+	net  *nn.Network
+	acts []*piecewise.Func
+	wsq  []*tensor.Matrix
+	cost edison.Cost
+}
+
+// NewPropagator prepares ApDeepSense inference for net.
+func NewPropagator(net *nn.Network, opts Options) (*Propagator, error) {
+	opts.fillDefaults()
+	layers := net.Layers()
+	p := &Propagator{
+		net:  net,
+		acts: make([]*piecewise.Func, len(layers)),
+		wsq:  make([]*tensor.Matrix, len(layers)),
+	}
+	for i, l := range layers {
+		var (
+			f   *piecewise.Func
+			err error
+		)
+		switch l.Act {
+		case nn.ActIdentity:
+			f = piecewise.Identity()
+		case nn.ActReLU:
+			f = piecewise.ReLU()
+		case nn.ActTanh:
+			f, err = piecewise.Tanh(opts.TanhPieces)
+		case nn.ActSigmoid:
+			f, err = piecewise.Sigmoid(opts.SigmoidPieces)
+		default:
+			err = fmt.Errorf("layer %d: unsupported activation %v: %w", i, l.Act, ErrInput)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: prepare layer %d: %w", i, err)
+		}
+		p.acts[i] = f
+		p.wsq[i] = l.W.Square()
+	}
+	p.cost = p.computeCost()
+	return p, nil
+}
+
+// Network returns the underlying network.
+func (p *Propagator) Network() *nn.Network { return p.net }
+
+// ActivationPieces returns the PWL piece count used for layer i's
+// activation.
+func (p *Propagator) ActivationPieces(i int) int { return p.acts[i].NumPieces() }
+
+// Propagate runs the full ApDeepSense pass: the input point mass is pushed
+// through every layer's dropout-aware affine map (eqs. 9–10) and PWL
+// activation (eqs. 12–26), yielding the Gaussian approximation of the output
+// distribution. Narrow outputs mean low uncertainty; wide outputs mean high
+// uncertainty (paper §III-D summary).
+func (p *Propagator) Propagate(x tensor.Vector) (GaussianVec, error) {
+	if len(x) != p.net.InputDim() {
+		return GaussianVec{}, fmt.Errorf("propagate: input dim %d, want %d: %w", len(x), p.net.InputDim(), ErrInput)
+	}
+	return p.PropagateFrom(Deterministic(x))
+}
+
+// PropagateFrom runs the moment propagation starting from an already
+// Gaussian input — the entry point for hybrid models (e.g. convolutional
+// front-ends, internal/conv) whose earlier stages produced a distribution.
+func (p *Propagator) PropagateFrom(g GaussianVec) (GaussianVec, error) {
+	if g.Dim() != p.net.InputDim() {
+		return GaussianVec{}, fmt.Errorf("propagate-from: input dim %d, want %d: %w", g.Dim(), p.net.InputDim(), ErrInput)
+	}
+	g = g.Clone()
+	for i, l := range p.net.Layers() {
+		var err error
+		g, err = DenseMoments(g, l, p.wsq[i])
+		if err != nil {
+			return GaussianVec{}, fmt.Errorf("propagate layer %d: %w", i, err)
+		}
+		ActivationMomentsVec(g, p.acts[i])
+	}
+	return g, nil
+}
+
+// PropagateTrace runs the moment propagation and additionally returns the
+// Gaussian state after every layer (post-activation), index 0 being the
+// first layer's output. It powers layer-wise diagnostics such as Figure 1's
+// hidden-unit distribution checks and variance-flow debugging.
+func (p *Propagator) PropagateTrace(x tensor.Vector) (GaussianVec, []GaussianVec, error) {
+	if len(x) != p.net.InputDim() {
+		return GaussianVec{}, nil, fmt.Errorf("propagate-trace: input dim %d, want %d: %w", len(x), p.net.InputDim(), ErrInput)
+	}
+	g := Deterministic(x)
+	layers := p.net.Layers()
+	trace := make([]GaussianVec, 0, len(layers))
+	for i, l := range layers {
+		var err error
+		g, err = DenseMoments(g, l, p.wsq[i])
+		if err != nil {
+			return GaussianVec{}, nil, fmt.Errorf("propagate-trace layer %d: %w", i, err)
+		}
+		ActivationMomentsVec(g, p.acts[i])
+		trace = append(trace, g.Clone())
+	}
+	return g, trace, nil
+}
+
+// Cost returns the modeled per-inference execution cost of the ApDeepSense
+// pass (see internal/edison). It is a static property of the network shape
+// and the PWL piece counts.
+func (p *Propagator) Cost() edison.Cost { return p.cost }
+
+func (p *Propagator) computeCost() edison.Cost {
+	var c edison.Cost
+	for i, l := range p.net.Layers() {
+		in, out := int64(l.InDim()), int64(l.OutDim())
+		// Mean matmul (eq. 9) and variance matmul against W² (eq. 10).
+		c.DenseFLOPs += 2 * 2 * in * out
+		// Element-wise prep: μ⊙p (1 pass) and (μ²+σ²)p − μ²p² (4 passes)
+		// over the inputs, bias add (1 pass) over the outputs.
+		c.ElementOps += 5*in + out
+		// Activation moment propagation, per piece per output element.
+		for _, piece := range p.acts[i].Pieces() {
+			if piece.K == 0 {
+				c.ElementOps += out * OpsPerConstPiece
+			} else {
+				c.ElementOps += out * OpsPerLinearPiece
+			}
+		}
+	}
+	return c
+}
+
+// ForwardPassCost returns the modeled cost of ONE plain stochastic forward
+// pass of net (the MCDrop primitive), for comparing estimator costs on the
+// same scale.
+func ForwardPassCost(net *nn.Network) edison.Cost {
+	var c edison.Cost
+	for _, l := range net.Layers() {
+		in, out := int64(l.InDim()), int64(l.OutDim())
+		c.DenseFLOPs += 2 * in * out
+		c.ElementOps += out // bias add
+		switch l.Act {
+		case nn.ActTanh, nn.ActSigmoid:
+			// Transcendental activations cost several element-op passes
+			// worth of polynomial evaluation on an in-order core.
+			c.ElementOps += 8 * out
+		case nn.ActReLU:
+			c.ElementOps += out
+		}
+		if l.KeepProb < 1 {
+			c.RandomDraws += in
+			c.ElementOps += in // mask multiply
+		}
+	}
+	return c
+}

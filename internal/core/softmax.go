@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// probitLambda is π/8, the scaling constant of the probit approximation to
+// the logistic function used by the mean-field softmax link.
+const probitLambda = math.Pi / 8
+
+// Softmax writes the softmax of z into a new vector, using the max-shift
+// trick for numerical stability.
+func Softmax(z tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(z))
+	maxZ, _ := z.Max()
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(v - maxZ)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// MeanFieldSoftmax approximates the expected class probabilities
+// E[softmax(z)] for Gaussian logits z ~ N(mean, diag(var)) without sampling,
+// using the moderation ("probit") approximation: each logit is scaled by
+// 1/sqrt(1 + (π/8)·var) before a single softmax. High-variance logits are
+// moderated toward uniform, which is how ApDeepSense's output uncertainty
+// reaches classification likelihoods (HHAR task) deterministically.
+func MeanFieldSoftmax(g GaussianVec) tensor.Vector {
+	z := make(tensor.Vector, g.Dim())
+	for i := range z {
+		z[i] = g.Mean[i] / math.Sqrt(1+probitLambda*g.Var[i])
+	}
+	return Softmax(z)
+}
+
+// SampledSoftmax estimates E[softmax(z)] by averaging the softmax of n
+// Gaussian logit samples. It is the sampling alternative to MeanFieldSoftmax
+// used by the ablation benchmarks; n must be positive and rng non-nil.
+func SampledSoftmax(g GaussianVec, n int, rng *rand.Rand) tensor.Vector {
+	out := make(tensor.Vector, g.Dim())
+	z := make(tensor.Vector, g.Dim())
+	for s := 0; s < n; s++ {
+		for i := range z {
+			z[i] = g.Mean[i] + math.Sqrt(g.Var[i])*rng.NormFloat64()
+		}
+		p := Softmax(z)
+		for i := range out {
+			out[i] += p[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(n)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+// WriteCSV writes samples as CSV rows: inDim input columns followed by the
+// target columns, with a generated header (x0..xN, y0..yM). It lets the
+// synthetic datasets be exported for external tooling and real datasets be
+// round-tripped through the same format.
+func WriteCSV(w io.Writer, samples []train.Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("datasets: no samples to write: %w", ErrConfig)
+	}
+	inDim, outDim := len(samples[0].X), len(samples[0].Y)
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, inDim+outDim)
+	for i := 0; i < inDim; i++ {
+		header = append(header, fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < outDim; i++ {
+		header = append(header, fmt.Sprintf("y%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("datasets: write header: %w", err)
+	}
+	row := make([]string, inDim+outDim)
+	for si, s := range samples {
+		if len(s.X) != inDim || len(s.Y) != outDim {
+			return fmt.Errorf("datasets: sample %d has dims %d/%d, want %d/%d: %w",
+				si, len(s.X), len(s.Y), inDim, outDim, ErrConfig)
+		}
+		for i, v := range s.X {
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for i, v := range s.Y {
+			row[inDim+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("datasets: write row %d: %w", si, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("datasets: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV reads samples from CSV: each row must have inDim + outDim numeric
+// columns (inputs first). A non-numeric first row is treated as a header and
+// skipped.
+func ReadCSV(r io.Reader, inDim, outDim int) ([]train.Sample, error) {
+	if inDim < 1 || outDim < 1 {
+		return nil, fmt.Errorf("datasets: dims %d/%d: %w", inDim, outDim, ErrConfig)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = inDim + outDim
+	var samples []train.Sample
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datasets: read csv: %w", err)
+		}
+		vals := make([]float64, len(rec))
+		parseErr := false
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				parseErr = true
+				break
+			}
+			vals[i] = v
+		}
+		if parseErr {
+			if first {
+				first = false
+				continue // header row
+			}
+			return nil, fmt.Errorf("datasets: row %d: non-numeric value: %w", len(samples)+1, ErrConfig)
+		}
+		first = false
+		samples = append(samples, train.Sample{
+			X: vals[:inDim:inDim],
+			Y: vals[inDim:],
+		})
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("datasets: csv contained no data rows: %w", ErrConfig)
+	}
+	return samples, nil
+}
+
+// WriteCSVFile writes samples to a CSV file, creating or truncating it.
+func WriteCSVFile(path string, samples []train.Sample) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("datasets: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("datasets: close %s: %w", path, cerr)
+		}
+	}()
+	return WriteCSV(f, samples)
+}
+
+// ReadCSVFile reads samples from a CSV file.
+func ReadCSVFile(path string, inDim, outDim int) ([]train.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCSV(f, inDim, outDim)
+}
+
+// FromSamples builds a Dataset directly from user-provided samples (e.g.
+// loaded with ReadCSV): it shuffles, splits by the given sizes, and
+// standardizes exactly like the built-in generators, so external data flows
+// through the same pipeline.
+func FromSamples(name string, task Task, samples []train.Sample, sz Size) (*Dataset, error) {
+	if err := sz.validate(); err != nil {
+		return nil, fmt.Errorf("from-samples: %w", err)
+	}
+	if task != TaskRegression && task != TaskClassification {
+		return nil, fmt.Errorf("from-samples: task %d: %w", task, ErrConfig)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("from-samples: no samples: %w", ErrConfig)
+	}
+	inDim, outDim := len(samples[0].X), len(samples[0].Y)
+	for i, s := range samples {
+		if len(s.X) != inDim || len(s.Y) != outDim {
+			return nil, fmt.Errorf("from-samples: sample %d ragged: %w", i, ErrConfig)
+		}
+	}
+	cp := make([]train.Sample, len(samples))
+	for i, s := range samples {
+		cp[i] = train.Sample{
+			X: append([]float64(nil), s.X...),
+			Y: append([]float64(nil), s.Y...),
+		}
+	}
+	rng := newSplitRNG(sz.Seed)
+	trainSet, valSet, testSet, err := shuffleSplit(cp, sz, rng)
+	if err != nil {
+		return nil, fmt.Errorf("from-samples: %w", err)
+	}
+	d := &Dataset{
+		Name: name, Task: task,
+		InputDim: inDim, OutputDim: outDim,
+		Train: trainSet, Val: valSet, Test: testSet,
+	}
+	standardizeAll(d)
+	return d, nil
+}

@@ -1,0 +1,332 @@
+package datasets
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+// smallSize keeps generator tests fast.
+var smallSize = Size{Train: 300, Val: 50, Test: 100, Seed: 1}
+
+func checkStandardized(t *testing.T, d *Dataset) {
+	t.Helper()
+	// Training inputs should be near zero-mean unit-variance per dimension.
+	dim := d.InputDim
+	mean := make([]float64, dim)
+	for _, s := range d.Train {
+		if len(s.X) != dim {
+			t.Fatalf("sample input dim %d, want %d", len(s.X), dim)
+		}
+		for i, v := range s.X {
+			mean[i] += v
+		}
+	}
+	n := float64(len(d.Train))
+	for i := range mean {
+		mean[i] /= n
+		if math.Abs(mean[i]) > 0.05 {
+			t.Errorf("input dim %d mean %v after standardization", i, mean[i])
+		}
+	}
+	variance := make([]float64, dim)
+	for _, s := range d.Train {
+		for i, v := range s.X {
+			dv := v - mean[i]
+			variance[i] += dv * dv
+		}
+	}
+	for i := range variance {
+		variance[i] /= n
+		if variance[i] > 1e-9 && math.Abs(variance[i]-1) > 0.1 {
+			t.Errorf("input dim %d variance %v after standardization", i, variance[i])
+		}
+	}
+}
+
+func checkNoNaN(t *testing.T, d *Dataset) {
+	t.Helper()
+	for _, split := range [][]train.Sample{d.Train, d.Val, d.Test} {
+		for i, s := range split {
+			for _, v := range s.X {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("sample %d input contains %v", i, v)
+				}
+			}
+			for _, v := range s.Y {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("sample %d target contains %v", i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBPEstShape(t *testing.T) {
+	d, err := BPEst(smallSize)
+	if err != nil {
+		t.Fatalf("BPEst: %v", err)
+	}
+	if d.Name != "BPEst" || d.Task != TaskRegression {
+		t.Errorf("metadata: %s %v", d.Name, d.Task)
+	}
+	if d.InputDim != 250 || d.OutputDim != 250 {
+		t.Errorf("dims = (%d, %d), want (250, 250)", d.InputDim, d.OutputDim)
+	}
+	if len(d.Train) != 300 || len(d.Val) != 50 || len(d.Test) != 100 {
+		t.Errorf("split sizes = %d/%d/%d", len(d.Train), len(d.Val), len(d.Test))
+	}
+	if d.Unit != "mmHg" {
+		t.Errorf("unit = %q", d.Unit)
+	}
+	checkStandardized(t, d)
+	checkNoNaN(t, d)
+	// Natural-unit ABP targets must look like blood pressure (40–220 mmHg).
+	for i, s := range d.Test[:10] {
+		y := d.DenormTarget(s.Y)
+		for _, v := range y {
+			if v < 30 || v > 240 {
+				t.Fatalf("test %d: ABP value %v mmHg implausible", i, v)
+			}
+		}
+	}
+}
+
+func TestBPEstDeterministicBySeed(t *testing.T) {
+	a, err := BPEst(smallSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BPEst(smallSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train[:10] {
+		for j := range a.Train[i].X {
+			if a.Train[i].X[j] != b.Train[i].X[j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c, err := BPEst(Size{Train: 300, Val: 50, Test: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a.Train[0].X {
+		if a.Train[0].X[j] != c.Train[0].X[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestNYCommuteShape(t *testing.T) {
+	d, err := NYCommute(smallSize)
+	if err != nil {
+		t.Fatalf("NYCommute: %v", err)
+	}
+	if d.InputDim != 5 || d.OutputDim != 1 {
+		t.Errorf("dims = (%d, %d), want (5, 1)", d.InputDim, d.OutputDim)
+	}
+	checkStandardized(t, d)
+	checkNoNaN(t, d)
+	// Durations in natural units are minutes in [1, 120].
+	for _, s := range d.Train {
+		y := d.DenormTarget(s.Y)
+		if y[0] < 0.5 || y[0] > 121 {
+			t.Fatalf("duration %v min out of range", y[0])
+		}
+	}
+}
+
+func TestNYCommuteRushHourSlower(t *testing.T) {
+	// Directly probe the speed model: rush hour must be slower than night
+	// for the same route.
+	rush := nycSpeedKmh(-73.98, 40.75, -73.95, 40.78, 8)
+	night := nycSpeedKmh(-73.98, 40.75, -73.95, 40.78, 2)
+	if rush >= night {
+		t.Errorf("rush speed %v >= night speed %v", rush, night)
+	}
+	// Manhattan slower than outer boroughs.
+	mh := nycSpeedKmh(-73.98, 40.75, -73.95, 40.78, 12)
+	outer := nycSpeedKmh(-73.80, 40.65, -73.78, 40.68, 12)
+	if mh >= outer {
+		t.Errorf("manhattan speed %v >= outer speed %v", mh, outer)
+	}
+}
+
+func TestGasSenShape(t *testing.T) {
+	d, err := GasSen(smallSize)
+	if err != nil {
+		t.Fatalf("GasSen: %v", err)
+	}
+	if d.InputDim != 16 || d.OutputDim != 2 {
+		t.Errorf("dims = (%d, %d), want (16, 2)", d.InputDim, d.OutputDim)
+	}
+	checkStandardized(t, d)
+	checkNoNaN(t, d)
+	// Concentrations in natural units are within [0, 600] ppm.
+	for _, s := range d.Train {
+		y := d.DenormTarget(s.Y)
+		for _, v := range y {
+			if v < -1 || v > 601 {
+				t.Fatalf("concentration %v ppm out of range", v)
+			}
+		}
+	}
+}
+
+func TestGasSenLearnable(t *testing.T) {
+	// Sensor readings must correlate with the gas concentrations; check a
+	// simple signal: the mean reading should rise with total concentration.
+	d, err := GasSen(Size{Train: 1000, Val: 1, Test: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, den1, den2 float64
+	for _, s := range d.Train {
+		var x float64
+		for _, v := range s.X {
+			x += v
+		}
+		y := s.Y[0] + s.Y[1]
+		num += x * y
+		den1 += x * x
+		den2 += y * y
+	}
+	corr := num / math.Sqrt(den1*den2)
+	if corr < 0.5 {
+		t.Errorf("sensor-concentration correlation %v, want > 0.5", corr)
+	}
+}
+
+func TestHHARShape(t *testing.T) {
+	d, err := HHAR(smallSize)
+	if err != nil {
+		t.Fatalf("HHAR: %v", err)
+	}
+	if d.Task != TaskClassification {
+		t.Errorf("task = %v", d.Task)
+	}
+	if d.InputDim != 6*13 || d.OutputDim != 6 {
+		t.Errorf("dims = (%d, %d), want (78, 6)", d.InputDim, d.OutputDim)
+	}
+	if len(d.ClassNames) != 6 {
+		t.Errorf("classes = %v", d.ClassNames)
+	}
+	checkStandardized(t, d)
+	checkNoNaN(t, d)
+	// Targets are one-hot.
+	for _, s := range d.Train {
+		var sum float64
+		for _, v := range s.Y {
+			if v != 0 && v != 1 {
+				t.Fatalf("target %v not one-hot", s.Y)
+			}
+			sum += v
+		}
+		if sum != 1 {
+			t.Fatalf("target %v not one-hot", s.Y)
+		}
+	}
+	// All six classes appear in training data.
+	seen := make([]bool, 6)
+	for _, s := range d.Train {
+		for c, v := range s.Y {
+			if v == 1 {
+				seen[c] = true
+			}
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Errorf("class %d (%s) missing from training data", c, d.ClassNames[c])
+		}
+	}
+}
+
+func TestHHARClassesSeparable(t *testing.T) {
+	// Static (sitting) and dynamic (walking) activities must differ strongly
+	// in feature space: compare the std feature of the first accel axis.
+	d, err := HHAR(Size{Train: 600, Val: 50, Test: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 1 of axis 0 is the (standardized) std.
+	var sitting, walking []float64
+	for _, s := range d.Train {
+		switch {
+		case s.Y[1] == 1:
+			sitting = append(sitting, s.X[1])
+		case s.Y[3] == 1:
+			walking = append(walking, s.X[1])
+		}
+	}
+	if len(sitting) == 0 || len(walking) == 0 {
+		t.Fatal("classes missing")
+	}
+	mean := func(xs []float64) float64 {
+		var m float64
+		for _, x := range xs {
+			m += x
+		}
+		return m / float64(len(xs))
+	}
+	if mean(walking)-mean(sitting) < 0.5 {
+		t.Errorf("walking std feature %v not well above sitting %v", mean(walking), mean(sitting))
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	for _, gen := range []func(Size) (*Dataset, error){BPEst, NYCommute, GasSen, HHAR} {
+		if _, err := gen(Size{Train: -1, Val: 1, Test: 1}); !errors.Is(err, ErrConfig) {
+			t.Errorf("negative size err = %v, want ErrConfig", err)
+		}
+	}
+}
+
+func TestDenormRoundTrip(t *testing.T) {
+	d, err := NYCommute(smallSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Denormalizing a zero-mean unit-var prediction recovers the target
+	// statistics scale.
+	mean, variance := d.DenormPrediction([]float64{0}, []float64{1})
+	if math.Abs(mean[0]-d.TargetMean[0]) > 1e-12 {
+		t.Errorf("denorm mean = %v, want %v", mean[0], d.TargetMean[0])
+	}
+	want := d.TargetStd[0] * d.TargetStd[0]
+	if math.Abs(variance[0]-want) > 1e-9 {
+		t.Errorf("denorm var = %v, want %v", variance[0], want)
+	}
+	// Target round trip.
+	y := d.DenormTarget(d.Test[0].Y)
+	backStd := (y[0] - d.TargetMean[0]) / d.TargetStd[0]
+	if math.Abs(backStd-d.Test[0].Y[0]) > 1e-9 {
+		t.Errorf("denorm target round trip: %v vs %v", backStd, d.Test[0].Y[0])
+	}
+}
+
+func TestDenormClassificationNoOp(t *testing.T) {
+	d, err := HHAR(smallSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, v := d.DenormPrediction([]float64{1, 2}, []float64{3, 4})
+	if m[0] != 1 || v[1] != 4 {
+		t.Error("classification denorm should be identity")
+	}
+}
+
+func TestShuffleSplitErrors(t *testing.T) {
+	if _, err := BPEst(Size{Train: 10, Val: 5, Test: 5, Seed: 1}); err != nil {
+		t.Errorf("small but valid size: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package edison
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostAddScale(t *testing.T) {
+	a := Cost{DenseFLOPs: 100, ElementOps: 10, RandomDraws: 1}
+	b := Cost{DenseFLOPs: 50, ElementOps: 5, RandomDraws: 2}
+	sum := a.Add(b)
+	if sum.DenseFLOPs != 150 || sum.ElementOps != 15 || sum.RandomDraws != 3 {
+		t.Errorf("Add = %+v", sum)
+	}
+	sc := a.Scale(3)
+	if sc.DenseFLOPs != 300 || sc.ElementOps != 30 || sc.RandomDraws != 3 {
+		t.Errorf("Scale = %+v", sc)
+	}
+	if (Cost{}).Add(Cost{}) != (Cost{}) {
+		t.Error("zero add")
+	}
+}
+
+func TestNewEdisonValid(t *testing.T) {
+	d := NewEdison()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("default device invalid: %v", err)
+	}
+	if d.Name != "intel-edison" {
+		t.Errorf("Name = %q", d.Name)
+	}
+}
+
+func TestValidateRejectsBadDevices(t *testing.T) {
+	bad := []Device{
+		{DenseFLOPS: 0, ActivePowerWatts: 1},
+		{DenseFLOPS: 1e9, ActivePowerWatts: 0},
+		{DenseFLOPS: 1e9, ActivePowerWatts: 1, ElementOpNanos: -1},
+		{DenseFLOPS: 1e9, ActivePowerWatts: 1, RandomNanos: -1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: err = %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestTimeMillis(t *testing.T) {
+	d := &Device{DenseFLOPS: 1e9, ElementOpNanos: 100, RandomNanos: 50, ActivePowerWatts: 2}
+	// 1e6 FLOPs at 1 GFLOP/s = 1 ms; 1000 element-ops at 100 ns = 0.1 ms;
+	// 2000 draws at 50 ns = 0.1 ms.
+	c := Cost{DenseFLOPs: 1_000_000, ElementOps: 1000, RandomDraws: 2000}
+	if got := d.TimeMillis(c); math.Abs(got-1.2) > 1e-9 {
+		t.Errorf("TimeMillis = %v, want 1.2", got)
+	}
+	// Energy = time(s) × power(W) × 1000 = 0.0012 × 2 × 1000 = 2.4 mJ.
+	if got := d.EnergyMillijoules(c); math.Abs(got-2.4) > 1e-9 {
+		t.Errorf("Energy = %v, want 2.4", got)
+	}
+}
+
+func TestZeroCostIsFree(t *testing.T) {
+	d := NewEdison()
+	if d.TimeMillis(Cost{}) != 0 || d.EnergyMillijoules(Cost{}) != 0 {
+		t.Error("zero cost should take zero time/energy")
+	}
+}
+
+func TestEdisonMagnitudesPlausible(t *testing.T) {
+	// The calibration target (EXPERIMENTS.md): one 5-layer 512-wide forward
+	// pass of ~2.9 MFLOPs lands in the 10–20 ms band, so MCDrop-50 lands in
+	// the paper's 500–900 ms band.
+	d := NewEdison()
+	pass := Cost{DenseFLOPs: 2_900_000, ElementOps: 6 * 512, RandomDraws: 4 * 512}
+	ms := d.TimeMillis(pass)
+	if ms < 8 || ms > 25 {
+		t.Errorf("single pass modeled at %v ms, want 8-25", ms)
+	}
+	mc50 := d.TimeMillis(pass.Scale(50))
+	if mc50 < 400 || mc50 > 1250 {
+		t.Errorf("MCDrop-50 modeled at %v ms, want 400-1250 (paper's band)", mc50)
+	}
+}
+
+// Property: time and energy are additive in cost and proportional to each
+// other by the constant power.
+func TestPropertyLinearity(t *testing.T) {
+	d := NewEdison()
+	f := func(a, b uint32) bool {
+		ca := Cost{DenseFLOPs: int64(a), ElementOps: int64(a / 2), RandomDraws: int64(a / 4)}
+		cb := Cost{DenseFLOPs: int64(b), ElementOps: int64(b / 3), RandomDraws: int64(b / 5)}
+		sum := d.TimeMillis(ca.Add(cb))
+		parts := d.TimeMillis(ca) + d.TimeMillis(cb)
+		if math.Abs(sum-parts) > 1e-9*(1+parts) {
+			return false
+		}
+		e := d.EnergyMillijoules(ca)
+		tm := d.TimeMillis(ca)
+		return math.Abs(e-tm*d.ActivePowerWatts) < 1e-9*(1+e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationPieces(t *testing.T) {
+	r := quickRunner(t)
+	tbl, err := r.AblationPieces("NYCommute", []int{3, 7})
+	if err != nil {
+		t.Fatalf("AblationPieces: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	// Sup error decreases with more pieces; cost increases.
+	sup3, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	sup7, _ := strconv.ParseFloat(tbl.Rows[1][1], 64)
+	if sup7 >= sup3 {
+		t.Errorf("sup error should drop: 3 pieces %v vs 7 pieces %v", sup3, sup7)
+	}
+	cost3, _ := strconv.ParseFloat(tbl.Rows[0][5], 64)
+	cost7, _ := strconv.ParseFloat(tbl.Rows[1][5], 64)
+	if cost7 <= cost3 {
+		t.Errorf("cost should grow: 3 pieces %v vs 7 pieces %v", cost3, cost7)
+	}
+	// Classification task is rejected.
+	if _, err := r.AblationPieces("HHAR", nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("HHAR err = %v, want ErrConfig", err)
+	}
+}
+
+func TestAblationSoftmaxLink(t *testing.T) {
+	r := quickRunner(t)
+	tbl, err := r.AblationSoftmaxLink([]int{50})
+	if err != nil {
+		t.Fatalf("AblationSoftmaxLink: %v", err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (mean-field + sampled-50)", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Rows[0][0], "mean-field") {
+		t.Errorf("first row = %v", tbl.Rows[0])
+	}
+	// Mean-field and sampled accuracy should be close (within 5 points).
+	accMF := parsePct(t, tbl.Rows[0][1])
+	accS := parsePct(t, tbl.Rows[1][1])
+	if diff := accMF - accS; diff > 5 || diff < -5 {
+		t.Errorf("mean-field acc %v vs sampled acc %v: too far apart", accMF, accS)
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationVarianceBias(t *testing.T) {
+	r := quickRunner(t)
+	tbl, err := r.AblationVarianceBias("NYCommute", 5, 200)
+	if err != nil {
+		t.Fatalf("AblationVarianceBias: %v", err)
+	}
+	if len(tbl.Rows) != 2 { // relu + tanh
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		ratio, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("parse ratio %q: %v", row[1], err)
+		}
+		if ratio <= 0 || ratio > 5 {
+			t.Errorf("%s: variance ratio %v implausible", row[0], ratio)
+		}
+	}
+	if _, err := r.AblationVarianceBias("NYCommute", 0, 200); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad probes err = %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/datasets"
+	"github.com/apdeepsense/apdeepsense/internal/metrics"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// EvalResult is one estimator's measured quality and cost on one task.
+type EvalResult struct {
+	Estimator  string
+	Task       string
+	Activation string
+	// MAE is the mean absolute error in natural units (regression only).
+	MAE float64
+	// ACC is classification accuracy in [0, 1] (classification only).
+	ACC float64
+	// NLL is the negative log-likelihood: Gaussian per-dimension for
+	// regression (natural units), categorical for classification. For
+	// regression the predictive variance includes the τ⁻¹ observation-noise
+	// floor tuned per estimator on the validation split (Gal-style).
+	NLL float64
+	// NLLRaw is the regression NLL with NO observation-noise floor — pure
+	// model (dropout) uncertainty. This is the regime of the paper's
+	// tables, where small-k MCDrop variance collapse blows the NLL up.
+	NLLRaw float64
+	// Coverage90 is the fraction of targets inside the central 90%
+	// predictive interval (regression only).
+	Coverage90 float64
+	// ECE is the expected calibration error (classification only).
+	ECE float64
+	// TunedObsStd is the observation-noise standard deviation (standardized
+	// units) selected on the validation split, following Gal & Ghahramani's
+	// τ⁻¹ grid search (regression only).
+	TunedObsStd float64
+	// HostMicrosPerInference is the measured wall-clock cost per test
+	// inference on the machine running the experiment.
+	HostMicrosPerInference float64
+	// EdisonTimeMillis and EdisonEnergyMillijoules are the modeled Intel
+	// Edison costs of one inference (see internal/edison).
+	EdisonTimeMillis        float64
+	EdisonEnergyMillijoules float64
+}
+
+// Evaluate runs one estimator over a dataset's test split and computes the
+// task-appropriate metrics.
+func (r *Runner) Evaluate(est core.Estimator, d *datasets.Dataset, act string) (*EvalResult, error) {
+	if len(d.Test) == 0 {
+		return nil, fmt.Errorf("evaluate: empty test split: %w", ErrConfig)
+	}
+	res := &EvalResult{Estimator: est.Name(), Task: d.Name, Activation: act}
+
+	cost := est.Cost()
+	res.EdisonTimeMillis = r.device.TimeMillis(cost)
+	res.EdisonEnergyMillijoules = r.device.EnergyMillijoules(cost)
+
+	switch d.Task {
+	case datasets.TaskRegression:
+		return r.evalRegression(est, d, res)
+	case datasets.TaskClassification:
+		return r.evalClassification(est, d, res)
+	default:
+		return nil, fmt.Errorf("evaluate: unknown task type %v: %w", d.Task, ErrConfig)
+	}
+}
+
+// obsStdGrid lists candidate observation-noise standard deviations
+// (standardized target units) for the Gal-style τ⁻¹ validation grid search.
+var obsStdGrid = []float64{0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0, 1.5}
+
+// tuneObsVar selects the observation-noise variance that minimizes the
+// estimator's validation NLL, mirroring how MCDrop's precision τ is
+// grid-searched per model in Gal & Ghahramani's evaluation. Predictions are
+// made once; the grid only re-floors the variances.
+func tuneObsVar(est core.Estimator, d *datasets.Dataset) (float64, error) {
+	if len(d.Val) == 0 {
+		return 0, nil
+	}
+	preds := make([]core.GaussianVec, len(d.Val))
+	targets := make([]tensor.Vector, len(d.Val))
+	for i, s := range d.Val {
+		g, err := est.Predict(s.X)
+		if err != nil {
+			return 0, fmt.Errorf("tune %s on %s val sample %d: %w", est.Name(), d.Name, i, err)
+		}
+		preds[i] = g
+		targets[i] = s.Y
+	}
+	best, bestNLL := 0.0, math.Inf(1)
+	for _, s := range obsStdGrid {
+		nll, err := metrics.GaussianNLL(preds, targets, s*s)
+		if err != nil {
+			return 0, err
+		}
+		if nll < bestNLL {
+			bestNLL, best = nll, s*s
+		}
+	}
+	return best, nil
+}
+
+func (r *Runner) evalRegression(est core.Estimator, d *datasets.Dataset, res *EvalResult) (*EvalResult, error) {
+	obsVar, err := tuneObsVar(est, d)
+	if err != nil {
+		return nil, err
+	}
+	res.TunedObsStd = math.Sqrt(obsVar)
+
+	preds := make([]core.GaussianVec, len(d.Test))
+	rawPreds := make([]core.GaussianVec, len(d.Test))
+	means := make([]tensor.Vector, len(d.Test))
+	targets := make([]tensor.Vector, len(d.Test))
+
+	start := time.Now()
+	for i, s := range d.Test {
+		g, err := est.Predict(s.X)
+		if err != nil {
+			return nil, fmt.Errorf("evaluate %s on %s sample %d: %w", est.Name(), d.Name, i, err)
+		}
+		rm, rv := d.DenormPrediction(g.Mean, g.Var)
+		rawPreds[i] = core.GaussianVec{Mean: rm, Var: rv}
+		for j := range g.Var {
+			g.Var[j] += obsVar
+		}
+		m, v := d.DenormPrediction(g.Mean, g.Var)
+		preds[i] = core.GaussianVec{Mean: m, Var: v}
+		means[i] = m
+		targets[i] = d.DenormTarget(s.Y)
+	}
+	res.HostMicrosPerInference = float64(time.Since(start).Microseconds()) / float64(len(d.Test))
+
+	if res.MAE, err = metrics.MAE(means, targets); err != nil {
+		return nil, err
+	}
+	if res.NLL, err = metrics.GaussianNLL(preds, targets, 0); err != nil {
+		return nil, err
+	}
+	// The raw NLL needs a hair of variance floor purely to avoid division by
+	// an exactly-zero sample variance (RDeepSense never hits it; MCDrop-k
+	// with all-equal samples can).
+	if res.NLLRaw, err = metrics.GaussianNLL(rawPreds, targets, 1e-12); err != nil {
+		return nil, err
+	}
+	if res.Coverage90, err = metrics.Coverage(preds, targets, 0.9); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (r *Runner) evalClassification(est core.Estimator, d *datasets.Dataset, res *EvalResult) (*EvalResult, error) {
+	probs := make([]tensor.Vector, len(d.Test))
+	targets := make([]tensor.Vector, len(d.Test))
+
+	start := time.Now()
+	for i, s := range d.Test {
+		p, err := est.PredictProbs(s.X)
+		if err != nil {
+			return nil, fmt.Errorf("evaluate %s on %s sample %d: %w", est.Name(), d.Name, i, err)
+		}
+		probs[i] = p
+		targets[i] = s.Y
+	}
+	res.HostMicrosPerInference = float64(time.Since(start).Microseconds()) / float64(len(d.Test))
+
+	var err error
+	if res.ACC, err = metrics.Accuracy(probs, targets); err != nil {
+		return nil, err
+	}
+	if res.NLL, err = metrics.CategoricalNLL(probs, targets); err != nil {
+		return nil, err
+	}
+	if res.ECE, err = metrics.ECE(probs, targets, 10); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// EvaluateCell runs the full estimator grid for one (task, activation) cell
+// and returns results in paper row order.
+func (r *Runner) EvaluateCell(task string, act string) ([]*EvalResult, error) {
+	a, err := parseAct(act)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := r.Models(task, a)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.Dataset(task)
+	if err != nil {
+		return nil, err
+	}
+	ests, err := r.Estimators(ms)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*EvalResult, 0, len(ests))
+	for _, est := range ests {
+		r.logf("evaluating %s %s %s", task, act, est.Name())
+		res, err := r.Evaluate(est, d, act)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

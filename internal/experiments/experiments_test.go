@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+func quickRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(QuickScale, WithModelDir(t.TempDir()))
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	return r
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	bad := []Scale{
+		{},
+		{Name: "x", Hidden: nil, Epochs: 1, BatchSize: 1, DataFraction: 1},
+		{Name: "x", Hidden: []int{8}, Epochs: 0, BatchSize: 1, DataFraction: 1},
+		{Name: "x", Hidden: []int{8}, Epochs: 1, BatchSize: 1, DataFraction: 0},
+		{Name: "x", Hidden: []int{8}, Epochs: 1, BatchSize: 1, DataFraction: 1.5},
+	}
+	for i, s := range bad {
+		if _, err := NewRunner(s); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: err = %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestDatasetCachingAndUnknownTask(t *testing.T) {
+	r := quickRunner(t)
+	d1, err := r.Dataset("NYCommute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Dataset("NYCommute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("dataset not cached")
+	}
+	if _, err := r.Dataset("nope"); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown task err = %v", err)
+	}
+}
+
+func TestModelsTrainAndDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	r1, err := NewRunner(QuickScale, WithModelDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := r1.Models("NYCommute", nn.ActReLU)
+	if err != nil {
+		t.Fatalf("Models: %v", err)
+	}
+	if ms.Dropout == nil || ms.RDS == nil {
+		t.Fatal("missing models")
+	}
+	if ms.Dropout.InputDim() != 5 || ms.Dropout.OutputDim() != 1 {
+		t.Errorf("dropout dims %d/%d", ms.Dropout.InputDim(), ms.Dropout.OutputDim())
+	}
+	// RDeepSense regression head has twice the outputs.
+	if ms.RDS.Network().OutputDim() != 2 {
+		t.Errorf("rds output dim %d, want 2", ms.RDS.Network().OutputDim())
+	}
+
+	// A fresh runner sharing the cache dir must load, not retrain: verify by
+	// checking the weights are bit-identical.
+	r2, err := NewRunner(QuickScale, WithModelDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := r2.Models("NYCommute", nn.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := ms.Dropout.Layers()[0].W
+	w2 := ms2.Dropout.Layers()[0].W
+	if !w1.Equal(w2, 0) {
+		t.Error("cached model differs from trained model")
+	}
+}
+
+func TestEstimatorGridOrder(t *testing.T) {
+	r := quickRunner(t)
+	ms, err := r.Models("NYCommute", nn.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := r.Estimators(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ApDeepSense", "MCDrop-3", "MCDrop-5", "MCDrop-10", "MCDrop-30", "MCDrop-50", "RDeepSense"}
+	if len(ests) != len(want) {
+		t.Fatalf("got %d estimators, want %d", len(ests), len(want))
+	}
+	for i, e := range ests {
+		if e.Name() != want[i] {
+			t.Errorf("estimator %d = %s, want %s", i, e.Name(), want[i])
+		}
+	}
+}
+
+func TestTableRegression(t *testing.T) {
+	r := quickRunner(t)
+	tbl, err := r.Table(2) // NYCommute: cheapest regression task
+	if err != nil {
+		t.Fatalf("Table(2): %v", err)
+	}
+	if len(tbl.Rows) != 14 { // 2 activations x 7 estimators
+		t.Fatalf("rows = %d, want 14", len(tbl.Rows))
+	}
+	out, err := tbl.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"DNN-ReLU-ApDeepSense", "DNN-Tanh-MCDrop-50", "DNN-ReLU-RDeepSense"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("table missing row %q", label)
+		}
+	}
+	if _, err := tbl.CSV(); err != nil {
+		t.Errorf("CSV: %v", err)
+	}
+}
+
+func TestTableClassification(t *testing.T) {
+	r := quickRunner(t)
+	tbl, err := r.Table(4) // HHAR
+	if err != nil {
+		t.Fatalf("Table(4): %v", err)
+	}
+	if len(tbl.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Headers[1], "ACC") {
+		t.Errorf("classification table headers = %v", tbl.Headers)
+	}
+}
+
+func TestTableBadNumber(t *testing.T) {
+	r := quickRunner(t)
+	if _, err := r.Table(5); !errors.Is(err, ErrConfig) {
+		t.Errorf("Table(5) err = %v, want ErrConfig", err)
+	}
+	if _, err := r.Table(0); !errors.Is(err, ErrConfig) {
+		t.Errorf("Table(0) err = %v, want ErrConfig", err)
+	}
+}
+
+func TestFigureTimeEnergyShape(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.Figure(3) // NYCommute time/energy: no training needed
+	if err != nil {
+		t.Fatalf("Figure(3): %v", err)
+	}
+	if len(fig.Charts) != 2 {
+		t.Fatalf("charts = %d, want 2 (time + energy)", len(fig.Charts))
+	}
+	if len(fig.Charts[0].Bars) != 12 { // 2 acts x (ApDS + 5 MCDrop)
+		t.Fatalf("bars = %d, want 12", len(fig.Charts[0].Bars))
+	}
+
+	// The headline system claim: ApDeepSense must be far cheaper than
+	// MCDrop-50, with cost ordering ApDS < MCDrop-3 ... < MCDrop-50 for
+	// ReLU, and the Tanh ApDS costlier than ReLU ApDS (7 pieces vs 2).
+	bars := map[string]float64{}
+	for _, b := range fig.Charts[0].Bars {
+		bars[b.Label] = b.Value
+	}
+	apdsReLU := bars["DNN-ReLU-ApDeepSense"]
+	apdsTanh := bars["DNN-Tanh-ApDeepSense"]
+	mc50ReLU := bars["DNN-ReLU-MCDrop-50"]
+	mc50Tanh := bars["DNN-Tanh-MCDrop-50"]
+	if apdsReLU <= 0 || mc50ReLU <= 0 {
+		t.Fatal("missing bars")
+	}
+	if saving := 1 - apdsReLU/mc50ReLU; saving < 0.85 || saving > 0.98 {
+		t.Errorf("ReLU time saving = %.3f, want ≈ 0.94 (paper)", saving)
+	}
+	if saving := 1 - apdsTanh/mc50Tanh; saving < 0.70 || saving > 0.95 {
+		t.Errorf("Tanh time saving = %.3f, want ≈ 0.84 (paper)", saving)
+	}
+	if apdsTanh <= apdsReLU {
+		t.Error("Tanh ApDeepSense should cost more than ReLU (7 vs 2 pieces)")
+	}
+	if bars["DNN-ReLU-MCDrop-3"] >= bars["DNN-ReLU-MCDrop-50"] {
+		t.Error("MCDrop cost should grow with k")
+	}
+	// Energy chart must be proportional to time (single power constant).
+	if fig.Charts[1].Bars[0].Value <= 0 {
+		t.Error("energy bars empty")
+	}
+	if _, err := fig.Charts[0].Render(40); err != nil {
+		t.Errorf("render: %v", err)
+	}
+}
+
+func TestFigureTradeoff(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.Figure(7) // NYCommute tradeoff
+	if err != nil {
+		t.Fatalf("Figure(7): %v", err)
+	}
+	if fig.Scatter == nil {
+		t.Fatal("missing scatter")
+	}
+	if len(fig.Scatter.Series) != 4 { // (MCDrop + ApDS) x 2 activations
+		t.Fatalf("series = %d, want 4", len(fig.Scatter.Series))
+	}
+	for _, s := range fig.Scatter.Series {
+		if strings.Contains(s.Name, "MCDrop") && len(s.X) != 5 {
+			t.Errorf("MCDrop series %q has %d points, want 5", s.Name, len(s.X))
+		}
+		if strings.Contains(s.Name, "ApDeepSense") && len(s.X) != 1 {
+			t.Errorf("ApDS series %q has %d points, want 1", s.Name, len(s.X))
+		}
+	}
+	if _, err := fig.Scatter.Render(60, 14); err != nil {
+		t.Errorf("render: %v", err)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 1 trains a 20-layer network")
+	}
+	r := quickRunner(t)
+	fig, err := r.Figure(1)
+	if err != nil {
+		t.Fatalf("Figure(1): %v", err)
+	}
+	if !strings.Contains(fig.Text, "layer 12") || !strings.Contains(fig.Text, "layer 18") {
+		t.Error("figure 1 should show layers 12 and 18")
+	}
+	if fig.Data == nil || len(fig.Data.Rows) != 2 {
+		t.Fatal("figure 1 data table should have 2 rows")
+	}
+	// The Gaussian fit must be decent (TV distance < 0.25) — the empirical
+	// claim of §III-A.
+	for _, row := range fig.Data.Rows {
+		tv := row[len(row)-1]
+		if !(strings.HasPrefix(tv, "0.0") || strings.HasPrefix(tv, "0.1") || strings.HasPrefix(tv, "0.2")) {
+			t.Errorf("hidden-unit distribution far from Gaussian: TV = %s", tv)
+		}
+	}
+}
+
+func TestFigureBadNumber(t *testing.T) {
+	r := quickRunner(t)
+	for _, n := range []int{0, 10, -1} {
+		if _, err := r.Figure(n); !errors.Is(err, ErrConfig) {
+			t.Errorf("Figure(%d) err = %v, want ErrConfig", n, err)
+		}
+	}
+}
+
+func TestEvaluateCellShapes(t *testing.T) {
+	r := quickRunner(t)
+	results, err := r.EvaluateCell("NYCommute", "relu")
+	if err != nil {
+		t.Fatalf("EvaluateCell: %v", err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("results = %d, want 7", len(results))
+	}
+	for _, res := range results {
+		if res.MAE <= 0 {
+			t.Errorf("%s: MAE = %v, want > 0", res.Estimator, res.MAE)
+		}
+		if res.EdisonTimeMillis <= 0 || res.EdisonEnergyMillijoules <= 0 {
+			t.Errorf("%s: non-positive modeled cost", res.Estimator)
+		}
+		if res.Coverage90 < 0 || res.Coverage90 > 1 {
+			t.Errorf("%s: coverage %v", res.Estimator, res.Coverage90)
+		}
+	}
+	// ApDeepSense's modeled cost must be below MCDrop-50's.
+	if results[0].EdisonTimeMillis >= results[5].EdisonTimeMillis {
+		t.Errorf("ApDS %v ms >= MCDrop-50 %v ms", results[0].EdisonTimeMillis, results[5].EdisonTimeMillis)
+	}
+}
+
+func TestRunnerAccessorsAndOptions(t *testing.T) {
+	logged := false
+	dev := edison.NewEdison()
+	r, err := NewRunner(QuickScale,
+		WithDevice(dev),
+		WithLogf(func(string, ...any) { logged = true }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scale().Name != "quick" {
+		t.Errorf("Scale = %q", r.Scale().Name)
+	}
+	if r.Device() != dev {
+		t.Error("WithDevice not applied")
+	}
+	if _, err := r.Dataset("NYCommute"); err != nil {
+		t.Fatal(err)
+	}
+	if !logged {
+		t.Error("WithLogf not applied")
+	}
+	// An invalid device surfaces at construction.
+	if _, err := NewRunner(QuickScale, WithDevice(&edison.Device{})); err == nil {
+		t.Error("expected error for invalid device")
+	}
+}
+
+func TestRoman(t *testing.T) {
+	cases := map[int]string{1: "I", 2: "II", 3: "III", 4: "IV", 7: "7"}
+	for n, want := range cases {
+		if got := roman(n); got != want {
+			t.Errorf("roman(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestModelCacheDisabled(t *testing.T) {
+	// Without WithModelDir, cachePath is empty and training is in-memory
+	// only — still functional.
+	r, err := NewRunner(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := r.Models("NYCommute", nn.ActReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Dropout == nil {
+		t.Error("no model without cache dir")
+	}
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/apdeepsense/apdeepsense/internal/datasets"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/mcdrop"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/rdeepsense"
+	"github.com/apdeepsense/apdeepsense/internal/train"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+)
+
+// Default hyper-parameters shared across tasks.
+const (
+	// defaultKeepProb is the dropout keep probability of the pre-trained
+	// networks.
+	defaultKeepProb = 0.9
+	// zeroObsVar: estimators are constructed without a built-in
+	// observation-noise floor; the evaluation harness tunes the τ⁻¹ floor
+	// per estimator on the validation split (Gal-style grid search).
+	zeroObsVar = 0.0
+	// defaultLR is the Adam learning rate for all training runs.
+	defaultLR = 1e-3
+)
+
+// Runner owns datasets, trained models, and the device model, and produces
+// the paper's tables and figures. Create one with NewRunner; methods are
+// safe for sequential use (the internal caches are guarded for concurrent
+// reads but training is serialized).
+type Runner struct {
+	scale  Scale
+	dir    string // model cache directory; empty disables caching
+	device *edison.Device
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	data   map[string]*datasets.Dataset
+	models map[string]*ModelSet
+}
+
+// ModelSet bundles the two models evaluated per (task, activation) cell:
+// the pre-trained dropout network shared by ApDeepSense and MCDrop, and the
+// retrained RDeepSense estimator.
+type ModelSet struct {
+	Task       string
+	Activation nn.Activation
+	// Dropout is the pre-trained dropout network.
+	Dropout *nn.Network
+	// RDS is the retrained RDeepSense baseline.
+	RDS *rdeepsense.Estimator
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithModelDir enables on-disk model caching in dir.
+func WithModelDir(dir string) Option {
+	return func(r *Runner) { r.dir = dir }
+}
+
+// WithDevice overrides the default Intel Edison device model.
+func WithDevice(d *edison.Device) Option {
+	return func(r *Runner) { r.device = d }
+}
+
+// WithLogf sets a progress logger.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(r *Runner) { r.logf = logf }
+}
+
+// NewRunner builds a Runner at the given scale.
+func NewRunner(scale Scale, opts ...Option) (*Runner, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		scale:  scale,
+		device: edison.NewEdison(),
+		logf:   func(string, ...any) {},
+		data:   make(map[string]*datasets.Dataset),
+		models: make(map[string]*ModelSet),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if err := r.device.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Scale returns the runner's scale.
+func (r *Runner) Scale() Scale { return r.scale }
+
+// Device returns the device cost model in use.
+func (r *Runner) Device() *edison.Device { return r.device }
+
+// Dataset generates (or returns the cached) dataset for a task.
+func (r *Runner) Dataset(task string) (*datasets.Dataset, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.data[task]; ok {
+		return d, nil
+	}
+	spec, ok := taskSpecs[task]
+	if !ok {
+		return nil, fmt.Errorf("unknown task %q: %w", task, ErrConfig)
+	}
+	r.logf("generating %s dataset", task)
+	d, err := spec.generate(r.scale.sizeFor(spec))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s: %w", task, err)
+	}
+	r.data[task] = d
+	return d, nil
+}
+
+// Models trains (or loads from cache) the model set for one (task,
+// activation) cell.
+func (r *Runner) Models(task string, act nn.Activation) (*ModelSet, error) {
+	key := fmt.Sprintf("%s-%s", task, act)
+	r.mu.Lock()
+	if m, ok := r.models[key]; ok {
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+
+	d, err := r.Dataset(task)
+	if err != nil {
+		return nil, err
+	}
+
+	ms := &ModelSet{Task: task, Activation: act}
+	if err := r.loadOrTrainDropout(ms, d); err != nil {
+		return nil, err
+	}
+	if err := r.loadOrTrainRDS(ms, d); err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	r.models[key] = ms
+	r.mu.Unlock()
+	return ms, nil
+}
+
+func (r *Runner) cachePath(task string, act nn.Activation, variant string) string {
+	if r.dir == "" {
+		return ""
+	}
+	return filepath.Join(r.dir, fmt.Sprintf("%s-%s-%s-%s.gob", task, act, variant, r.scale.Name))
+}
+
+func (r *Runner) loadOrTrainDropout(ms *ModelSet, d *datasets.Dataset) error {
+	path := r.cachePath(ms.Task, ms.Activation, "dropout")
+	if path != "" {
+		if net, err := nn.LoadFile(path); err == nil {
+			r.logf("loaded cached %s", path)
+			ms.Dropout = net
+			return nil
+		}
+	}
+	net, err := nn.New(nn.Config{
+		InputDim: d.InputDim, Hidden: r.scale.Hidden, OutputDim: d.OutputDim,
+		Activation: ms.Activation, OutputActivation: nn.ActIdentity,
+		KeepProb: defaultKeepProb, Seed: seedFor(ms.Task, ms.Activation, 1),
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: build dropout net: %w", err)
+	}
+	var loss train.Loss = train.MSE{}
+	if d.Task == datasets.TaskClassification {
+		loss = train.SoftmaxCrossEntropy{}
+	}
+	r.logf("training %s %s dropout net (%s)", ms.Task, ms.Activation, net.Summary())
+	_, err = train.Fit(net, d.Train, d.Val, train.Config{
+		Epochs: r.scale.Epochs, BatchSize: r.scale.BatchSize,
+		Seed: seedFor(ms.Task, ms.Activation, 2),
+		Loss: loss, Optimizer: train.NewAdam(defaultLR),
+		WeightDecay: 1e-5, ClipNorm: 5,
+		EarlyStopPatience: earlyStop(d),
+		Logf:              r.logf,
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: train dropout net: %w", err)
+	}
+	ms.Dropout = net
+	return r.maybeSave(net, path)
+}
+
+func (r *Runner) loadOrTrainRDS(ms *ModelSet, d *datasets.Dataset) error {
+	path := r.cachePath(ms.Task, ms.Activation, "rds")
+	task := rdeepsense.TaskRegression
+	if d.Task == datasets.TaskClassification {
+		task = rdeepsense.TaskClassification
+	}
+	if path != "" {
+		if net, err := nn.LoadFile(path); err == nil {
+			est, err := rdeepsense.FromNetwork(net, task, d.OutputDim)
+			if err == nil {
+				r.logf("loaded cached %s", path)
+				ms.RDS = est
+				return nil
+			}
+		}
+	}
+	cfg := rdeepsense.TrainConfig{
+		Hidden: r.scale.Hidden, Activation: ms.Activation,
+		KeepProb: defaultKeepProb,
+		Epochs:   r.scale.Epochs, BatchSize: r.scale.BatchSize,
+		LearningRate: defaultLR, Seed: seedFor(ms.Task, ms.Activation, 3),
+	}
+	r.logf("training %s %s RDeepSense net", ms.Task, ms.Activation)
+	var (
+		est *rdeepsense.Estimator
+		err error
+	)
+	if task == rdeepsense.TaskRegression {
+		est, err = rdeepsense.TrainRegression(d.Train, d.Val, d.InputDim, d.OutputDim, cfg)
+	} else {
+		est, err = rdeepsense.TrainClassification(d.Train, d.Val, d.InputDim, d.OutputDim, cfg)
+	}
+	if err != nil {
+		return fmt.Errorf("experiments: train rdeepsense: %w", err)
+	}
+	ms.RDS = est
+	return r.maybeSave(est.Network(), path)
+}
+
+func (r *Runner) maybeSave(net *nn.Network, path string) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("experiments: cache dir: %w", err)
+	}
+	if err := net.SaveFile(path); err != nil {
+		return fmt.Errorf("experiments: cache model: %w", err)
+	}
+	r.logf("cached %s", path)
+	return nil
+}
+
+// Estimators builds the full estimator grid of §IV-C for one model set:
+// ApDeepSense, MCDrop-k for each k, and RDeepSense, in paper row order.
+func (r *Runner) Estimators(ms *ModelSet) ([]core.Estimator, error) {
+	out := make([]core.Estimator, 0, len(MCDropKs)+2)
+	apds, err := core.NewApDeepSense(ms.Dropout, core.Options{}, zeroObsVar)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: apdeepsense: %w", err)
+	}
+	out = append(out, apds)
+	for _, k := range MCDropKs {
+		mc, err := mcdrop.New(ms.Dropout, k, zeroObsVar, seedFor(ms.Task, ms.Activation, int64(10+k)))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mcdrop-%d: %w", k, err)
+		}
+		out = append(out, mc)
+	}
+	out = append(out, ms.RDS)
+	return out, nil
+}
+
+// seedFor derives a stable seed from task, activation, and stream id.
+func seedFor(task string, act nn.Activation, stream int64) int64 {
+	var h int64 = 146959810
+	for _, c := range task {
+		h = h*31 + int64(c)
+	}
+	return h*1000 + int64(act)*100 + stream
+}
+
+func earlyStop(d *datasets.Dataset) int {
+	if len(d.Val) == 0 {
+		return 0
+	}
+	return 5
+}

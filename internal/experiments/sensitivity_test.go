@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationDeviceSensitivity(t *testing.T) {
+	r := quickRunner(t)
+	tbl, err := r.AblationDeviceSensitivity("NYCommute", []float64{0.5, 2})
+	if err != nil {
+		t.Fatalf("AblationDeviceSensitivity: %v", err)
+	}
+	if len(tbl.Rows) != 4 { // 2x2 factor grid
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// The savings must stay large under every calibration: > 80% for ReLU.
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		if v < 80 || v > 99 {
+			t.Errorf("ReLU saving %v%% at factors (%s, %s) outside robust band", v, row[0], row[1])
+		}
+	}
+	if _, err := r.AblationDeviceSensitivity("NYCommute", []float64{0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad factor err = %v", err)
+	}
+	if _, err := r.AblationDeviceSensitivity("nope", nil); err == nil {
+		t.Error("expected error for unknown task")
+	}
+}

@@ -1,0 +1,120 @@
+// Package experiments assembles the full reproduction of the paper's
+// evaluation (§IV): it trains (or loads) the pre-trained dropout networks
+// and the RDeepSense baselines for the four IoT tasks, runs every
+// uncertainty estimator on the test splits, and regenerates each of the
+// paper's tables (I–IV) and figures (1–9) as report artifacts.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/datasets"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+// ErrConfig is returned (wrapped) for invalid experiment configurations.
+var ErrConfig = errors.New("experiments: invalid configuration")
+
+// MCDropKs lists the sampling budgets the paper sweeps ("we choose
+// k = [3, 5, 10, 30, 50]"; the table rows label them 3/5/10/30/50).
+var MCDropKs = []int{3, 5, 10, 30, 50}
+
+// Activations lists the two pre-trained network families of §IV-C.
+var Activations = []nn.Activation{nn.ActReLU, nn.ActTanh}
+
+// TaskNames lists the four tasks in paper order (Tables I–IV).
+var TaskNames = []string{"BPEst", "NYCommute", "GasSen", "HHAR"}
+
+// Scale bundles the knobs that trade fidelity for runtime. PaperScale
+// matches §IV-C exactly (5-layer, 512-wide networks); DefaultScale keeps the
+// same depth at width 128 so the full suite trains in minutes on one core;
+// QuickScale exists for tests.
+type Scale struct {
+	// Name tags cached models on disk.
+	Name string
+	// Hidden lists hidden-layer widths.
+	Hidden []int
+	// Epochs and BatchSize drive training.
+	Epochs    int
+	BatchSize int
+	// DataFraction scales each task's default split sizes.
+	DataFraction float64
+}
+
+// Predefined scales.
+var (
+	// QuickScale is for unit tests: tiny nets, tiny data.
+	QuickScale = Scale{Name: "quick", Hidden: []int{32, 32}, Epochs: 4, BatchSize: 32, DataFraction: 0.08}
+	// DefaultScale is the recorded-results configuration (EXPERIMENTS.md).
+	DefaultScale = Scale{Name: "default", Hidden: []int{128, 128, 128, 128}, Epochs: 20, BatchSize: 64, DataFraction: 1}
+	// PaperScale matches the paper's 5-layer 512-wide networks.
+	PaperScale = Scale{Name: "paper", Hidden: []int{512, 512, 512, 512}, Epochs: 30, BatchSize: 64, DataFraction: 1}
+)
+
+func (s Scale) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scale needs a name: %w", ErrConfig)
+	}
+	if len(s.Hidden) == 0 {
+		return fmt.Errorf("scale %q has no hidden layers: %w", s.Name, ErrConfig)
+	}
+	if s.Epochs < 1 || s.BatchSize < 1 {
+		return fmt.Errorf("scale %q: epochs=%d batch=%d: %w", s.Name, s.Epochs, s.BatchSize, ErrConfig)
+	}
+	if s.DataFraction <= 0 || s.DataFraction > 1 {
+		return fmt.Errorf("scale %q: data fraction %v: %w", s.Name, s.DataFraction, ErrConfig)
+	}
+	return nil
+}
+
+// taskSpec couples a task name with its generator and default sizes.
+type taskSpec struct {
+	name     string
+	task     datasets.Task
+	generate func(datasets.Size) (*datasets.Dataset, error)
+	size     datasets.Size
+}
+
+var taskSpecs = map[string]taskSpec{
+	"BPEst": {
+		name: "BPEst", task: datasets.TaskRegression,
+		generate: datasets.BPEst,
+		size:     datasets.Size{Train: 4000, Val: 500, Test: 1000, Seed: 101},
+	},
+	"NYCommute": {
+		name: "NYCommute", task: datasets.TaskRegression,
+		generate: datasets.NYCommute,
+		size:     datasets.Size{Train: 6000, Val: 800, Test: 1500, Seed: 102},
+	},
+	"GasSen": {
+		name: "GasSen", task: datasets.TaskRegression,
+		generate: datasets.GasSen,
+		size:     datasets.Size{Train: 6000, Val: 800, Test: 1500, Seed: 103},
+	},
+	"HHAR": {
+		name: "HHAR", task: datasets.TaskClassification,
+		generate: datasets.HHAR,
+		size:     datasets.Size{Train: 5600, Val: 700, Test: 900, Seed: 104},
+	},
+}
+
+// sizeFor scales a task's default split sizes by the scale's data fraction.
+func (s Scale) sizeFor(spec taskSpec) datasets.Size {
+	scale := func(n int) int {
+		v := int(float64(n) * s.DataFraction)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	return datasets.Size{
+		Train: scale(spec.size.Train),
+		Val:   scale(spec.size.Val),
+		Test:  scale(spec.size.Test),
+		Seed:  spec.size.Seed,
+	}
+}
+
+// tableNumber maps task names to the paper's table numbering.
+var tableNumber = map[string]int{"BPEst": 1, "NYCommute": 2, "GasSen": 3, "HHAR": 4}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/datasets"
+	"github.com/apdeepsense/apdeepsense/internal/report"
+)
+
+// ShapeCheck is one qualitative claim from the paper's evaluation, tested
+// against this reproduction's measured results.
+type ShapeCheck struct {
+	// Claim states the paper's qualitative finding.
+	Claim string
+	// Pass reports whether the measurement satisfies it.
+	Pass bool
+	// Detail carries the numbers behind the verdict.
+	Detail string
+}
+
+// VerifyShapes evaluates the full estimator grid on one task and checks the
+// paper's qualitative claims — the definition of a successful reproduction
+// when absolute numbers cannot match (different data, different hardware).
+// The checks are the "shape criteria" of DESIGN.md §4.
+func (r *Runner) VerifyShapes(task string) ([]ShapeCheck, error) {
+	d, err := r.Dataset(task)
+	if err != nil {
+		return nil, err
+	}
+	var checks []ShapeCheck
+	for _, act := range []string{"relu", "tanh"} {
+		results, err := r.EvaluateCell(task, act)
+		if err != nil {
+			return nil, err
+		}
+		byName := make(map[string]*EvalResult, len(results))
+		for _, res := range results {
+			byName[res.Estimator] = res
+		}
+		apds := byName["ApDeepSense"]
+		mc3 := byName["MCDrop-3"]
+		mc50 := byName["MCDrop-50"]
+		rds := byName["RDeepSense"]
+		if apds == nil || mc3 == nil || mc50 == nil || rds == nil {
+			return nil, fmt.Errorf("verify: missing estimators for %s/%s: %w", task, act, ErrConfig)
+		}
+		prefix := fmt.Sprintf("[%s/%s] ", task, act)
+
+		// System claim: ApDeepSense costs a small fraction of MCDrop-50.
+		// The paper's ratio is an architecture property, so it is checked at
+		// the paper's 5-layer 512-wide shape regardless of the runner's
+		// training scale (same convention as Figures 2–5).
+		budget := 0.10
+		if act == "tanh" {
+			budget = 0.25
+		}
+		a, err := parseAct(act)
+		if err != nil {
+			return nil, err
+		}
+		costEsts, err := paperScaleEstimators(task, a)
+		if err != nil {
+			return nil, err
+		}
+		var apdsMs, mc50Ms float64
+		for _, est := range costEsts {
+			switch est.Name() {
+			case "ApDeepSense":
+				apdsMs = r.device.TimeMillis(est.Cost())
+			case "MCDrop-50":
+				mc50Ms = r.device.TimeMillis(est.Cost())
+			}
+		}
+		ratio := apdsMs / mc50Ms
+		checks = append(checks, ShapeCheck{
+			Claim:  prefix + fmt.Sprintf("ApDeepSense costs <= %.0f%% of MCDrop-50 (paper-scale arch)", budget*100),
+			Pass:   ratio <= budget,
+			Detail: fmt.Sprintf("time ratio %.3f (%.1f vs %.1f ms)", ratio, apdsMs, mc50Ms),
+		})
+
+		if d.Task == datasets.TaskRegression {
+			// Accuracy claim: ApDeepSense MAE within a hair of MCDrop-50 —
+			// except GasSen/Tanh, where the paper's own Table III shows a
+			// 24% ApDeepSense degradation (39.20 vs 31.57); reproducing the
+			// paper there means reproducing that gap.
+			maeBudget := 0.05
+			maeClaim := "ApDeepSense MAE within 5% of MCDrop-50"
+			if task == "GasSen" && act == "tanh" {
+				maeBudget = 0.35
+				maeClaim = "ApDeepSense MAE gap matches the paper's own Tanh degradation (<= 35%)"
+			}
+			maeGap := (apds.MAE - mc50.MAE) / mc50.MAE
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + maeClaim,
+				Pass:   maeGap <= maeBudget,
+				Detail: fmt.Sprintf("MAE %.2f vs %.2f (gap %.1f%%)", apds.MAE, mc50.MAE, 100*maeGap),
+			})
+			// Sampling-noise claim: MCDrop-3's raw NLL is catastrophic.
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + "MCDrop-3 raw NLL >= 2x MCDrop-50 raw NLL",
+				Pass:   mc3.NLLRaw >= 2*mc50.NLLRaw,
+				Detail: fmt.Sprintf("raw NLL %.1f vs %.1f", mc3.NLLRaw, mc50.NLLRaw),
+			})
+			// ApDeepSense beats the small-k sampling regime.
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + "ApDeepSense raw NLL < MCDrop-3 raw NLL",
+				Pass:   apds.NLLRaw < mc3.NLLRaw,
+				Detail: fmt.Sprintf("raw NLL %.1f vs %.1f", apds.NLLRaw, mc3.NLLRaw),
+			})
+			// Monotone improvement of MCDrop with k (raw NLL, 10% slack).
+			mono := true
+			var prev float64
+			first := true
+			for _, k := range MCDropKs {
+				res := byName[fmt.Sprintf("MCDrop-%d", k)]
+				if res == nil {
+					continue
+				}
+				if !first && res.NLLRaw > prev*1.1 {
+					mono = false
+				}
+				prev = res.NLLRaw
+				first = false
+			}
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + "MCDrop raw NLL improves with k",
+				Pass:   mono,
+				Detail: fmt.Sprintf("k=3..50 raw NLLs: %.1f -> %.1f", mc3.NLLRaw, mc50.NLLRaw),
+			})
+			// Retraining upper bound: RDeepSense has the best raw NLL.
+			best := true
+			for _, res := range results {
+				if res != rds && res.NLLRaw < rds.NLLRaw {
+					best = false
+				}
+			}
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + "RDeepSense raw NLL is the best (retraining upper bound)",
+				Pass:   best,
+				Detail: fmt.Sprintf("RDeepSense raw NLL %.1f", rds.NLLRaw),
+			})
+			// Calibrated comparison: τ-tuned NLL of ApDeepSense within 2% of
+			// MCDrop-50's.
+			nllGap := (apds.NLL - mc50.NLL) / mc50.NLL
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + "tuned NLL within 2% of MCDrop-50",
+				Pass:   nllGap <= 0.02,
+				Detail: fmt.Sprintf("NLL %.3f vs %.3f", apds.NLL, mc50.NLL),
+			})
+		} else {
+			// Classification claims.
+			accGap := mc50.ACC - apds.ACC
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + "ApDeepSense ACC within 5 points of MCDrop-50",
+				Pass:   accGap <= 0.05,
+				Detail: fmt.Sprintf("ACC %.1f%% vs %.1f%%", 100*apds.ACC, 100*mc50.ACC),
+			})
+			checks = append(checks, ShapeCheck{
+				Claim:  prefix + "ApDeepSense NLL <= MCDrop-3 NLL",
+				Pass:   apds.NLL <= mc3.NLL,
+				Detail: fmt.Sprintf("NLL %.3f vs %.3f", apds.NLL, mc3.NLL),
+			})
+		}
+	}
+	return checks, nil
+}
+
+// ShapeReport renders shape checks as a table.
+func ShapeReport(checks []ShapeCheck) (*report.Table, error) {
+	if len(checks) == 0 {
+		return nil, fmt.Errorf("no checks: %w", ErrConfig)
+	}
+	tbl := &report.Table{
+		Title:   "Reproduction shape checks (paper's qualitative claims vs measured results)",
+		Headers: []string{"verdict", "claim", "measured"},
+	}
+	for _, c := range checks {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "DEVIATION"
+		}
+		tbl.AddRow(verdict, c.Claim, c.Detail)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestVerifyShapesRegression(t *testing.T) {
+	r := quickRunner(t)
+	checks, err := r.VerifyShapes("NYCommute")
+	if err != nil {
+		t.Fatalf("VerifyShapes: %v", err)
+	}
+	// 7 checks per activation for regression.
+	if len(checks) != 14 {
+		t.Fatalf("checks = %d, want 14", len(checks))
+	}
+	// The cost claim is structural and must always pass, even at quick
+	// scale.
+	for _, c := range checks {
+		if strings.Contains(c.Claim, "costs <=") && !c.Pass {
+			t.Errorf("cost check failed: %s (%s)", c.Claim, c.Detail)
+		}
+		if c.Detail == "" {
+			t.Errorf("check %q missing detail", c.Claim)
+		}
+	}
+	tbl, err := ShapeReport(checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tbl.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Error("report contains no PASS verdicts")
+	}
+}
+
+func TestVerifyShapesClassification(t *testing.T) {
+	r := quickRunner(t)
+	checks, err := r.VerifyShapes("HHAR")
+	if err != nil {
+		t.Fatalf("VerifyShapes: %v", err)
+	}
+	// 3 checks per activation for classification.
+	if len(checks) != 6 {
+		t.Fatalf("checks = %d, want 6", len(checks))
+	}
+}
+
+func TestVerifyShapesUnknownTask(t *testing.T) {
+	r := quickRunner(t)
+	if _, err := r.VerifyShapes("nope"); !errors.Is(err, ErrConfig) {
+		t.Errorf("err = %v, want ErrConfig", err)
+	}
+}
+
+func TestShapeReportEmpty(t *testing.T) {
+	if _, err := ShapeReport(nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("err = %v, want ErrConfig", err)
+	}
+}

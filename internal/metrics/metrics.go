@@ -1,0 +1,274 @@
+// Package metrics implements the evaluation measures of the paper's §IV:
+// mean absolute error and negative log-likelihood for regression tasks,
+// accuracy and negative log-likelihood for classification tasks, plus the
+// calibration diagnostics (interval coverage, expected calibration error)
+// this reproduction adds beyond the paper.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// ErrInput is returned (wrapped) for invalid metric inputs.
+var ErrInput = errors.New("metrics: invalid input")
+
+// probFloor clamps predicted probabilities away from zero in log-likelihoods
+// (float64's smallest positive normal is ~2.2e-308).
+const probFloor = 1e-300
+
+// MAE returns the mean absolute error between prediction and target vectors,
+// averaged over all dimensions of all samples.
+func MAE(preds, targets []tensor.Vector) (float64, error) {
+	if len(preds) != len(targets) || len(preds) == 0 {
+		return 0, fmt.Errorf("mae: %d preds vs %d targets: %w", len(preds), len(targets), ErrInput)
+	}
+	var sum float64
+	var n int
+	for i := range preds {
+		if len(preds[i]) != len(targets[i]) {
+			return 0, fmt.Errorf("mae: sample %d dims %d vs %d: %w", i, len(preds[i]), len(targets[i]), ErrInput)
+		}
+		for j := range preds[i] {
+			sum += math.Abs(preds[i][j] - targets[i][j])
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// RMSE returns the root mean squared error over all dimensions of all
+// samples.
+func RMSE(preds, targets []tensor.Vector) (float64, error) {
+	if len(preds) != len(targets) || len(preds) == 0 {
+		return 0, fmt.Errorf("rmse: %d preds vs %d targets: %w", len(preds), len(targets), ErrInput)
+	}
+	var sum float64
+	var n int
+	for i := range preds {
+		if len(preds[i]) != len(targets[i]) {
+			return 0, fmt.Errorf("rmse: sample %d dims %d vs %d: %w", i, len(preds[i]), len(targets[i]), ErrInput)
+		}
+		for j := range preds[i] {
+			d := preds[i][j] - targets[i][j]
+			sum += d * d
+			n++
+		}
+	}
+	return math.Sqrt(sum / float64(n)), nil
+}
+
+// Accuracy returns the fraction of samples whose arg-max predicted
+// probability matches the arg-max of the one-hot target.
+func Accuracy(probs []tensor.Vector, targets []tensor.Vector) (float64, error) {
+	if len(probs) != len(targets) || len(probs) == 0 {
+		return 0, fmt.Errorf("accuracy: %d probs vs %d targets: %w", len(probs), len(targets), ErrInput)
+	}
+	correct := 0
+	for i := range probs {
+		_, p := probs[i].Max()
+		_, t := targets[i].Max()
+		if p == t {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(probs)), nil
+}
+
+// GaussianNLL returns the mean per-dimension negative log-likelihood of the
+// targets under the per-sample Gaussian predictive distributions (the
+// regression NLL of Tables I–III). varFloor is added to every predictive
+// variance, playing the role of the observation-noise term τ⁻¹; pass a small
+// value (or zero) to reproduce the paper's regime where collapsed sampling
+// variances blow the NLL up.
+func GaussianNLL(preds []core.GaussianVec, targets []tensor.Vector, varFloor float64) (float64, error) {
+	if len(preds) != len(targets) || len(preds) == 0 {
+		return 0, fmt.Errorf("gaussian-nll: %d preds vs %d targets: %w", len(preds), len(targets), ErrInput)
+	}
+	if varFloor < 0 {
+		return 0, fmt.Errorf("gaussian-nll: negative varFloor: %w", ErrInput)
+	}
+	var sum float64
+	var n int
+	for i := range preds {
+		if preds[i].Dim() != len(targets[i]) {
+			return 0, fmt.Errorf("gaussian-nll: sample %d dims %d vs %d: %w", i, preds[i].Dim(), len(targets[i]), ErrInput)
+		}
+		for j := 0; j < preds[i].Dim(); j++ {
+			v := preds[i].Var[j] + varFloor
+			if v <= 0 {
+				v = probFloor
+			}
+			sum += stats.GaussianNLL(targets[i][j], preds[i].Mean[j], v)
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// CategoricalNLL returns the mean negative log predicted probability of the
+// true class (the classification NLL of Table IV). Probabilities are clamped
+// at 1e-300 before the log.
+func CategoricalNLL(probs []tensor.Vector, targets []tensor.Vector) (float64, error) {
+	if len(probs) != len(targets) || len(probs) == 0 {
+		return 0, fmt.Errorf("categorical-nll: %d probs vs %d targets: %w", len(probs), len(targets), ErrInput)
+	}
+	var sum float64
+	for i := range probs {
+		if len(probs[i]) != len(targets[i]) {
+			return 0, fmt.Errorf("categorical-nll: sample %d dims %d vs %d: %w", i, len(probs[i]), len(targets[i]), ErrInput)
+		}
+		_, t := targets[i].Max()
+		sum -= math.Log(math.Max(probs[i][t], probFloor))
+	}
+	return sum / float64(len(probs)), nil
+}
+
+// Coverage returns the fraction of target values that fall inside the
+// central interval of the given probability mass (e.g. 0.9) of the Gaussian
+// predictive distribution. A well-calibrated estimator's coverage matches
+// the nominal level.
+func Coverage(preds []core.GaussianVec, targets []tensor.Vector, level float64) (float64, error) {
+	if len(preds) != len(targets) || len(preds) == 0 {
+		return 0, fmt.Errorf("coverage: %d preds vs %d targets: %w", len(preds), len(targets), ErrInput)
+	}
+	if level <= 0 || level >= 1 {
+		return 0, fmt.Errorf("coverage: level %v outside (0,1): %w", level, ErrInput)
+	}
+	z := stats.NormQuantile(0.5+level/2, 0, 1)
+	var in, n int
+	for i := range preds {
+		if preds[i].Dim() != len(targets[i]) {
+			return 0, fmt.Errorf("coverage: sample %d dims %d vs %d: %w", i, preds[i].Dim(), len(targets[i]), ErrInput)
+		}
+		for j := 0; j < preds[i].Dim(); j++ {
+			half := z * math.Sqrt(preds[i].Var[j])
+			if math.Abs(targets[i][j]-preds[i].Mean[j]) <= half {
+				in++
+			}
+			n++
+		}
+	}
+	return float64(in) / float64(n), nil
+}
+
+// ECE returns the expected calibration error of a classifier over the given
+// number of confidence bins: the weighted mean |accuracy − confidence| of
+// arg-max predictions.
+func ECE(probs []tensor.Vector, targets []tensor.Vector, bins int) (float64, error) {
+	if len(probs) != len(targets) || len(probs) == 0 {
+		return 0, fmt.Errorf("ece: %d probs vs %d targets: %w", len(probs), len(targets), ErrInput)
+	}
+	if bins < 1 {
+		return 0, fmt.Errorf("ece: %d bins: %w", bins, ErrInput)
+	}
+	binConf := make([]float64, bins)
+	binAcc := make([]float64, bins)
+	binN := make([]int, bins)
+	for i := range probs {
+		conf, p := probs[i].Max()
+		_, t := targets[i].Max()
+		b := int(conf * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		binConf[b] += conf
+		if p == t {
+			binAcc[b]++
+		}
+		binN[b]++
+	}
+	var ece float64
+	total := float64(len(probs))
+	for b := 0; b < bins; b++ {
+		if binN[b] == 0 {
+			continue
+		}
+		n := float64(binN[b])
+		ece += n / total * math.Abs(binAcc[b]/n-binConf[b]/n)
+	}
+	return ece, nil
+}
+
+// Quantile returns the q-th empirical quantile (linear interpolation) of xs.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("quantile: empty input: %w", ErrInput)
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("quantile: q=%v: %w", q, ErrInput)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// ReliabilityBin is one bin of a classifier reliability diagram.
+type ReliabilityBin struct {
+	// Lo and Hi bound the confidence interval of the bin.
+	Lo, Hi float64
+	// Count is the number of predictions whose top-class confidence fell in
+	// the bin.
+	Count int
+	// Confidence is the mean top-class confidence of those predictions.
+	Confidence float64
+	// Accuracy is their empirical accuracy.
+	Accuracy float64
+}
+
+// ReliabilityDiagram bins arg-max predictions by confidence and reports the
+// per-bin mean confidence and accuracy — the data behind a calibration plot
+// (and the terms summed by ECE).
+func ReliabilityDiagram(probs []tensor.Vector, targets []tensor.Vector, bins int) ([]ReliabilityBin, error) {
+	if len(probs) != len(targets) || len(probs) == 0 {
+		return nil, fmt.Errorf("reliability: %d probs vs %d targets: %w", len(probs), len(targets), ErrInput)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("reliability: %d bins: %w", bins, ErrInput)
+	}
+	out := make([]ReliabilityBin, bins)
+	for b := range out {
+		out[b].Lo = float64(b) / float64(bins)
+		out[b].Hi = float64(b+1) / float64(bins)
+	}
+	for i := range probs {
+		conf, p := probs[i].Max()
+		_, t := targets[i].Max()
+		b := int(conf * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[b].Count++
+		out[b].Confidence += conf
+		if p == t {
+			out[b].Accuracy++
+		}
+	}
+	for b := range out {
+		if out[b].Count > 0 {
+			n := float64(out[b].Count)
+			out[b].Confidence /= n
+			out[b].Accuracy /= n
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+func vecs(rows ...[]float64) []tensor.Vector {
+	out := make([]tensor.Vector, len(rows))
+	for i, r := range rows {
+		out[i] = tensor.Vector(r)
+	}
+	return out
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE(vecs([]float64{1, 2}, []float64{3}), vecs([]float64{0, 4}, []float64{3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 { // (1+2+0)/3
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := MAE(vecs([]float64{1}), vecs([]float64{1, 2})); !errors.Is(err, ErrInput) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE(vecs([]float64{3, 0}), vecs([]float64{0, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE(vecs([]float64{1}), vecs([]float64{1, 2})); !errors.Is(err, ErrInput) {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	probs := vecs([]float64{0.9, 0.1}, []float64{0.2, 0.8}, []float64{0.6, 0.4})
+	targets := vecs([]float64{1, 0}, []float64{0, 1}, []float64{0, 1})
+	got, err := Accuracy(probs, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", got)
+	}
+	if _, err := Accuracy(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestGaussianNLL(t *testing.T) {
+	preds := []core.GaussianVec{
+		{Mean: tensor.Vector{0}, Var: tensor.Vector{1}},
+	}
+	targets := vecs([]float64{0})
+	got, err := GaussianNLL(preds, targets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * math.Log(2*math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NLL = %v, want %v", got, want)
+	}
+	// varFloor shifts the variance.
+	got2, err := GaussianNLL(preds, targets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := stats.GaussianNLL(0, 0, 4)
+	if math.Abs(got2-want2) > 1e-12 {
+		t.Errorf("floored NLL = %v, want %v", got2, want2)
+	}
+	// Collapsed variance with a miss explodes (the MCDrop-3 pathology).
+	collapsed := []core.GaussianVec{{Mean: tensor.Vector{0}, Var: tensor.Vector{1e-8}}}
+	big, err := GaussianNLL(collapsed, vecs([]float64{5}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big < 1e6 {
+		t.Errorf("collapsed-variance NLL = %v, want huge", big)
+	}
+	if _, err := GaussianNLL(preds, targets, -1); !errors.Is(err, ErrInput) {
+		t.Errorf("neg floor err = %v", err)
+	}
+	if _, err := GaussianNLL(preds, vecs([]float64{1, 2}), 0); !errors.Is(err, ErrInput) {
+		t.Errorf("dim err = %v", err)
+	}
+}
+
+func TestCategoricalNLL(t *testing.T) {
+	probs := vecs([]float64{0.5, 0.5}, []float64{0.9, 0.1})
+	targets := vecs([]float64{1, 0}, []float64{1, 0})
+	got, err := CategoricalNLL(probs, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (-math.Log(0.5) - math.Log(0.9)) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NLL = %v, want %v", got, want)
+	}
+	// Zero probability clamps instead of producing +Inf.
+	zero := vecs([]float64{0, 1})
+	got2, err := CategoricalNLL(zero, vecs([]float64{1, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(got2, 0) || math.IsNaN(got2) {
+		t.Errorf("zero-prob NLL = %v, want finite", got2)
+	}
+	if _, err := CategoricalNLL(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestCoverageCalibrated(t *testing.T) {
+	// Predictive N(0,1), targets sampled from N(0,1): 90% interval covers
+	// ~90%.
+	rng := rand.New(rand.NewSource(42))
+	var preds []core.GaussianVec
+	var targets []tensor.Vector
+	for i := 0; i < 20000; i++ {
+		preds = append(preds, core.GaussianVec{Mean: tensor.Vector{0}, Var: tensor.Vector{1}})
+		targets = append(targets, tensor.Vector{rng.NormFloat64()})
+	}
+	got, err := Coverage(preds, targets, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 0.01 {
+		t.Errorf("coverage = %v, want ≈ 0.9", got)
+	}
+	// Overconfident predictions undercover.
+	for i := range preds {
+		preds[i].Var[0] = 0.25
+	}
+	low, err := Coverage(preds, targets, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= got {
+		t.Errorf("overconfident coverage %v should be below %v", low, got)
+	}
+	if _, err := Coverage(preds, targets, 1.5); !errors.Is(err, ErrInput) {
+		t.Errorf("bad level err = %v", err)
+	}
+}
+
+func TestECE(t *testing.T) {
+	// Perfectly calibrated coin: confidence 0.5 bins with 50% accuracy.
+	var probs, targets []tensor.Vector
+	for i := 0; i < 100; i++ {
+		probs = append(probs, tensor.Vector{0.5 + 1e-9, 0.5 - 1e-9})
+		cls := i % 2
+		y := tensor.Vector{0, 0}
+		y[cls] = 1
+		targets = append(targets, y)
+	}
+	got, err := ECE(probs, targets, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.01 {
+		t.Errorf("calibrated ECE = %v, want ≈ 0", got)
+	}
+	// Overconfident always-class-0 on a balanced set: ECE ≈ 0.49.
+	var probs2 []tensor.Vector
+	for range targets {
+		probs2 = append(probs2, tensor.Vector{0.99, 0.01})
+	}
+	got2, err := ECE(probs2, targets, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got2-0.49) > 0.02 {
+		t.Errorf("overconfident ECE = %v, want ≈ 0.49", got2)
+	}
+	if _, err := ECE(probs, targets, 0); !errors.Is(err, ErrInput) {
+		t.Errorf("bad bins err = %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrInput) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Quantile(xs, 2); !errors.Is(err, ErrInput) {
+		t.Errorf("bad q err = %v", err)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestReliabilityDiagram(t *testing.T) {
+	var probs, targets []tensor.Vector
+	// 50 confident-correct, 50 confident-wrong at conf 0.95; 100 coin flips
+	// at conf 0.55 with 50% accuracy.
+	for i := 0; i < 100; i++ {
+		probs = append(probs, tensor.Vector{0.95, 0.05})
+		y := tensor.Vector{0, 0}
+		if i < 50 {
+			y[0] = 1
+		} else {
+			y[1] = 1
+		}
+		targets = append(targets, y)
+	}
+	for i := 0; i < 100; i++ {
+		probs = append(probs, tensor.Vector{0.55, 0.45})
+		y := tensor.Vector{0, 0}
+		y[i%2] = 1
+		targets = append(targets, y)
+	}
+	binsOut, err := ReliabilityDiagram(probs, targets, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binsOut) != 10 {
+		t.Fatalf("bins = %d", len(binsOut))
+	}
+	// Bin [0.9, 1.0): conf 0.95, acc 0.5.
+	hi := binsOut[9]
+	if hi.Count != 100 || math.Abs(hi.Confidence-0.95) > 1e-9 || math.Abs(hi.Accuracy-0.5) > 1e-9 {
+		t.Errorf("high bin = %+v", hi)
+	}
+	// Bin [0.5, 0.6): conf 0.55, acc 0.5.
+	mid := binsOut[5]
+	if mid.Count != 100 || math.Abs(mid.Confidence-0.55) > 1e-9 || math.Abs(mid.Accuracy-0.5) > 1e-9 {
+		t.Errorf("mid bin = %+v", mid)
+	}
+	// ECE consistency: weighted |acc−conf| from the diagram equals ECE.
+	var fromDiagram float64
+	for _, b := range binsOut {
+		if b.Count > 0 {
+			fromDiagram += float64(b.Count) / 200 * math.Abs(b.Accuracy-b.Confidence)
+		}
+	}
+	ece, err := ECE(probs, targets, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fromDiagram-ece) > 1e-12 {
+		t.Errorf("diagram-derived ECE %v != ECE %v", fromDiagram, ece)
+	}
+	// Errors.
+	if _, err := ReliabilityDiagram(nil, nil, 10); !errors.Is(err, ErrInput) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := ReliabilityDiagram(probs, targets, 0); !errors.Is(err, ErrInput) {
+		t.Errorf("bins err = %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package nn implements fully-connected neural networks with dropout — the
+// model family ApDeepSense targets (paper §II-A, eqs. 1–2). It provides
+// deterministic inference with weight scaling, stochastic dropout-mask
+// inference (the primitive under MCDrop), FLOP accounting for the device
+// cost model, and model (de)serialization.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation identifies a layer's non-linearity.
+type Activation int
+
+// Supported activation functions.
+const (
+	// ActIdentity is the linear/no-op activation used on output layers.
+	ActIdentity Activation = iota + 1
+	// ActReLU is max(0, x).
+	ActReLU
+	// ActTanh is the hyperbolic tangent.
+	ActTanh
+	// ActSigmoid is the logistic function 1/(1+e^{−x}).
+	ActSigmoid
+)
+
+// String returns the canonical lower-case name of the activation.
+func (a Activation) String() string {
+	switch a {
+	case ActIdentity:
+		return "identity"
+	case ActReLU:
+		return "relu"
+	case ActTanh:
+		return "tanh"
+	case ActSigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// Valid reports whether a names a supported activation.
+func (a Activation) Valid() bool {
+	return a >= ActIdentity && a <= ActSigmoid
+}
+
+// ParseActivation converts a canonical name into an Activation.
+func ParseActivation(s string) (Activation, error) {
+	switch s {
+	case "identity", "linear", "":
+		return ActIdentity, nil
+	case "relu":
+		return ActReLU, nil
+	case "tanh":
+		return ActTanh, nil
+	case "sigmoid":
+		return ActSigmoid, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown activation %q", s)
+	}
+}
+
+// Apply evaluates the activation at x.
+func (a Activation) Apply(x float64) float64 {
+	switch a {
+	case ActReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case ActTanh:
+		return math.Tanh(x)
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// Derivative evaluates d a(x) / dx at pre-activation x.
+func (a Activation) Derivative(x float64) float64 {
+	switch a {
+	case ActReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case ActTanh:
+		t := math.Tanh(x)
+		return 1 - t*t
+	case ActSigmoid:
+		s := 1 / (1 + math.Exp(-x))
+		return s * (1 - s)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,67 @@
+package nn
+
+// Floating-point operation costs for the device cost model (internal/edison).
+// A multiply-add counts as 2 FLOPs; transcendental functions are charged a
+// fixed equivalent cost reflecting their polynomial-approximation expense on
+// an in-order Atom-class core.
+const (
+	// FlopsTranscendental is the charged FLOP-equivalent cost of one
+	// exp/tanh/erf evaluation.
+	FlopsTranscendental = 20
+	// FlopsRandom is the charged cost of drawing one Bernoulli mask element
+	// (PRNG step + compare).
+	FlopsRandom = 4
+)
+
+// activationFlops returns the per-element FLOP cost of applying a.
+func activationFlops(a Activation) int64 {
+	switch a {
+	case ActTanh, ActSigmoid:
+		return FlopsTranscendental
+	case ActReLU:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ForwardFLOPs returns the FLOP count of one deterministic forward pass:
+// matmuls, bias adds, keep-probability scaling, and activations.
+func (n *Network) ForwardFLOPs() int64 {
+	var total int64
+	for _, l := range n.layers {
+		in, out := int64(l.InDim()), int64(l.OutDim())
+		total += 2 * in * out // multiply-add
+		total += out          // bias
+		if l.KeepProb < 1 {
+			total += in // input scaling
+		}
+		total += out * activationFlops(l.Act)
+	}
+	return total
+}
+
+// SampleFLOPs returns the FLOP count of one stochastic dropout pass:
+// the deterministic cost plus mask sampling.
+func (n *Network) SampleFLOPs() int64 {
+	var total int64
+	for _, l := range n.layers {
+		in, out := int64(l.InDim()), int64(l.OutDim())
+		total += 2 * in * out
+		total += out
+		if l.KeepProb < 1 {
+			total += in * FlopsRandom
+		}
+		total += out * activationFlops(l.Act)
+	}
+	return total
+}
+
+// Params returns the number of trainable parameters.
+func (n *Network) Params() int64 {
+	var total int64
+	for _, l := range n.layers {
+		total += int64(l.W.Rows*l.W.Cols) + int64(len(l.B))
+	}
+	return total
+}

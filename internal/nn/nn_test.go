@@ -1,0 +1,392 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+func TestActivationApply(t *testing.T) {
+	cases := []struct {
+		a       Activation
+		x, want float64
+	}{
+		{ActIdentity, 3.5, 3.5},
+		{ActReLU, -2, 0},
+		{ActReLU, 2, 2},
+		{ActTanh, 0, 0},
+		{ActTanh, 100, math.Tanh(100)},
+		{ActSigmoid, 0, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.a.Apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.Apply(%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestActivationDerivativeNumeric(t *testing.T) {
+	const h = 1e-6
+	for _, a := range []Activation{ActIdentity, ActReLU, ActTanh, ActSigmoid} {
+		for _, x := range []float64{-2.3, -0.7, 0.4, 1.9} {
+			num := (a.Apply(x+h) - a.Apply(x-h)) / (2 * h)
+			if got := a.Derivative(x); math.Abs(got-num) > 1e-5 {
+				t.Errorf("%v.Derivative(%v) = %v, numeric %v", a, x, got, num)
+			}
+		}
+	}
+}
+
+func TestActivationStringParseRoundTrip(t *testing.T) {
+	for _, a := range []Activation{ActIdentity, ActReLU, ActTanh, ActSigmoid} {
+		back, err := ParseActivation(a.String())
+		if err != nil {
+			t.Fatalf("ParseActivation(%q): %v", a.String(), err)
+		}
+		if back != a {
+			t.Errorf("round trip %v -> %q -> %v", a, a.String(), back)
+		}
+	}
+	if _, err := ParseActivation("swish"); err == nil {
+		t.Error("expected error for unknown activation")
+	}
+	if !Activation(0).Valid() == false {
+		t.Error("Activation(0) should be invalid")
+	}
+	if Activation(99).String() == "" {
+		t.Error("unknown activation should still String()")
+	}
+}
+
+func defaultCfg() Config {
+	return Config{
+		InputDim:         4,
+		Hidden:           []int{8, 8},
+		OutputDim:        3,
+		Activation:       ActReLU,
+		OutputActivation: ActIdentity,
+		KeepProb:         0.9,
+		Seed:             1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.InputDim = 0 },
+		func(c *Config) { c.OutputDim = 0 },
+		func(c *Config) { c.KeepProb = 0 },
+		func(c *Config) { c.KeepProb = 1.5 },
+		func(c *Config) { c.Activation = 0 },
+		func(c *Config) { c.OutputActivation = 99 },
+		func(c *Config) { c.Hidden = []int{8, 0} },
+	}
+	for i, mutate := range bad {
+		cfg := defaultCfg()
+		mutate(&cfg)
+		if _, err := New(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: err = %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestNewShapes(t *testing.T) {
+	net, err := New(defaultCfg())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if net.NumLayers() != 3 {
+		t.Fatalf("NumLayers = %d, want 3", net.NumLayers())
+	}
+	if net.InputDim() != 4 || net.OutputDim() != 3 {
+		t.Errorf("dims = (%d, %d), want (4, 3)", net.InputDim(), net.OutputDim())
+	}
+	// First layer keeps input undropped by default.
+	if net.Layers()[0].KeepProb != 1 {
+		t.Errorf("layer 0 keep = %v, want 1", net.Layers()[0].KeepProb)
+	}
+	if net.Layers()[1].KeepProb != 0.9 {
+		t.Errorf("layer 1 keep = %v, want 0.9", net.Layers()[1].KeepProb)
+	}
+	// Output layer uses the output activation.
+	if net.Layers()[2].Act != ActIdentity {
+		t.Errorf("output act = %v, want identity", net.Layers()[2].Act)
+	}
+	if net.Params() != int64(4*8+8+8*8+8+8*3+3) {
+		t.Errorf("Params = %d", net.Params())
+	}
+}
+
+func TestDropInput(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.DropInput = true
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if net.Layers()[0].KeepProb != 0.9 {
+		t.Errorf("layer 0 keep = %v, want 0.9", net.Layers()[0].KeepProb)
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	// Hand-built 2->2->1 network with known weights, no dropout.
+	w1, _ := tensor.FromRows([][]float64{{1, -1}, {2, 0}})
+	w2, _ := tensor.FromRows([][]float64{{1}, {1}})
+	net, err := FromLayers([]*Layer{
+		{W: w1, B: tensor.Vector{0.5, 0}, Act: ActReLU, KeepProb: 1},
+		{W: w2, B: tensor.Vector{-1}, Act: ActIdentity, KeepProb: 1},
+	})
+	if err != nil {
+		t.Fatalf("FromLayers: %v", err)
+	}
+	// x = [1, 1]: pre1 = [1+2+0.5, -1] = [3.5, -1] -> relu [3.5, 0]
+	// out = 3.5 + 0 - 1 = 2.5.
+	out, err := net.Forward(tensor.Vector{1, 1})
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if math.Abs(out[0]-2.5) > 1e-12 {
+		t.Errorf("Forward = %v, want 2.5", out[0])
+	}
+	// Same input twice gives the same result.
+	out2, _ := net.Forward(tensor.Vector{1, 1})
+	if out[0] != out2[0] {
+		t.Error("deterministic forward is not deterministic")
+	}
+	if _, err := net.Forward(tensor.Vector{1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("wrong input dim err = %v, want ErrConfig", err)
+	}
+}
+
+func TestForwardWeightScaling(t *testing.T) {
+	// With keep prob p on a layer input, the deterministic pass scales by p.
+	w, _ := tensor.FromRows([][]float64{{2}})
+	net, err := FromLayers([]*Layer{
+		{W: w, B: tensor.Vector{0}, Act: ActIdentity, KeepProb: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("FromLayers: %v", err)
+	}
+	out, err := net.Forward(tensor.Vector{3})
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if math.Abs(out[0]-3) > 1e-12 { // 3 * 0.5 * 2
+		t.Errorf("weight-scaled forward = %v, want 3", out[0])
+	}
+}
+
+func TestForwardSampleMatchesExpectation(t *testing.T) {
+	// The mean of many stochastic passes approaches the weight-scaled
+	// deterministic pass for a LINEAR network (exact in expectation).
+	w, _ := tensor.FromRows([][]float64{{1, 2}, {3, 4}, {-1, 1}})
+	net, err := FromLayers([]*Layer{
+		{W: w, B: tensor.Vector{0.1, -0.2}, Act: ActIdentity, KeepProb: 0.7},
+	})
+	if err != nil {
+		t.Fatalf("FromLayers: %v", err)
+	}
+	x := tensor.Vector{1, -2, 0.5}
+	det, _ := net.Forward(x)
+
+	rng := rand.New(rand.NewSource(99))
+	mean := make(tensor.Vector, 2)
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		s, err := net.ForwardSample(x, rng)
+		if err != nil {
+			t.Fatalf("ForwardSample: %v", err)
+		}
+		mean[0] += s[0]
+		mean[1] += s[1]
+	}
+	mean[0] /= samples
+	mean[1] /= samples
+	for j := range det {
+		if math.Abs(mean[j]-det[j]) > 0.02 {
+			t.Errorf("dim %d: sample mean %v vs deterministic %v", j, mean[j], det[j])
+		}
+	}
+	if _, err := net.ForwardSample(tensor.Vector{1}, rng); !errors.Is(err, ErrConfig) {
+		t.Errorf("wrong input dim err = %v, want ErrConfig", err)
+	}
+}
+
+func TestForwardSampleStochastic(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.KeepProb = 0.5
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Vector{1, 2, 3, 4}
+	a, _ := net.ForwardSample(x, rng)
+	var differs bool
+	for i := 0; i < 20 && !differs; i++ {
+		b, _ := net.ForwardSample(x, rng)
+		if !a.Equal(b, 1e-15) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("20 stochastic passes all identical; dropout masks not sampled")
+	}
+}
+
+func TestFromLayersValidation(t *testing.T) {
+	w1 := tensor.NewMatrix(2, 3)
+	w2 := tensor.NewMatrix(4, 1) // mismatched: 3 != 4
+	_, err := FromLayers([]*Layer{
+		{W: w1, B: tensor.NewVector(3), Act: ActReLU, KeepProb: 1},
+		{W: w2, B: tensor.NewVector(1), Act: ActIdentity, KeepProb: 1},
+	})
+	if !errors.Is(err, ErrConfig) {
+		t.Errorf("dim mismatch err = %v, want ErrConfig", err)
+	}
+	if _, err := FromLayers(nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty err = %v, want ErrConfig", err)
+	}
+	if _, err := FromLayers([]*Layer{{W: w1, B: tensor.NewVector(2), Act: ActReLU, KeepProb: 1}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad bias err = %v, want ErrConfig", err)
+	}
+	if _, err := FromLayers([]*Layer{{W: w1, B: tensor.NewVector(3), Act: ActReLU, KeepProb: 0}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad keep err = %v, want ErrConfig", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	net, err := New(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := net.Clone()
+	cl.Layers()[0].W.Set(0, 0, 12345)
+	if net.Layers()[0].W.At(0, 0) == 12345 {
+		t.Error("Clone shares weight storage")
+	}
+	x := tensor.Vector{1, 2, 3, 4}
+	a, _ := net.Forward(x)
+	net2 := net.Clone()
+	b, _ := net2.Forward(x)
+	if !a.Equal(b, 0) {
+		t.Error("Clone changes outputs")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.Activation = ActTanh
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	x := tensor.Vector{0.1, -0.4, 2, 0}
+	a, _ := net.Forward(x)
+	b, _ := back.Forward(x)
+	if !a.Equal(b, 0) {
+		t.Error("round-tripped network differs")
+	}
+	if back.Summary() != net.Summary() {
+		t.Errorf("summary mismatch: %s vs %s", back.Summary(), net.Summary())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	net, err := New(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if back.Params() != net.Params() {
+		t.Error("param count mismatch after file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a model")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestFLOPCounts(t *testing.T) {
+	net, err := New(Config{
+		InputDim: 10, Hidden: []int{20}, OutputDim: 5,
+		Activation: ActReLU, OutputActivation: ActIdentity,
+		KeepProb: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 1: 2*10*20 matmul + 20 bias + 20 relu = 440 (keep=1 on input).
+	// Layer 2: 2*20*5 + 5 bias + 20 scaling = 225.
+	want := int64(440 + 225)
+	if got := net.ForwardFLOPs(); got != want {
+		t.Errorf("ForwardFLOPs = %d, want %d", got, want)
+	}
+	// Sampling replaces the 20-element scaling with 20*FlopsRandom mask draws.
+	wantSample := int64(440 + 200 + 5 + 20*FlopsRandom)
+	if got := net.SampleFLOPs(); got != wantSample {
+		t.Errorf("SampleFLOPs = %d, want %d", got, wantSample)
+	}
+	// Tanh nets must cost more than ReLU nets of the same shape.
+	tanhNet, err := New(Config{
+		InputDim: 10, Hidden: []int{20}, OutputDim: 5,
+		Activation: ActTanh, OutputActivation: ActIdentity,
+		KeepProb: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tanhNet.ForwardFLOPs() <= net.ForwardFLOPs() {
+		t.Error("tanh forward should cost more FLOPs than relu")
+	}
+}
+
+// Property: ForwardSample with keep prob 1 equals the deterministic Forward.
+func TestPropertyNoDropoutSampleEqualsForward(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{
+			InputDim: 3, Hidden: []int{6, 6}, OutputDim: 2,
+			Activation: ActTanh, OutputActivation: ActIdentity,
+			KeepProb: 1, Seed: seed,
+		}
+		net, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.Vector{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		a, err1 := net.Forward(x)
+		b, err2 := net.ForwardSample(x, rng)
+		return err1 == nil && err2 == nil && a.Equal(b, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// modelMagic and modelVersion guard the on-disk format so stale files fail
+// loudly instead of producing silently wrong weights.
+const (
+	modelMagic   = "apds-model"
+	modelVersion = 1
+)
+
+// wireLayer is the serialized form of one layer.
+type wireLayer struct {
+	InDim, OutDim int
+	Weights       []float64
+	Bias          []float64
+	Act           int
+	KeepProb      float64
+}
+
+// wireModel is the serialized form of a network.
+type wireModel struct {
+	Magic   string
+	Version int
+	Layers  []wireLayer
+}
+
+// Save writes the network to w in the versioned gob format.
+func (n *Network) Save(w io.Writer) error {
+	wm := wireModel{Magic: modelMagic, Version: modelVersion}
+	for _, l := range n.layers {
+		wl := wireLayer{
+			InDim:    l.InDim(),
+			OutDim:   l.OutDim(),
+			Weights:  append([]float64(nil), l.W.Data...),
+			Bias:     append([]float64(nil), l.B...),
+			Act:      int(l.Act),
+			KeepProb: l.KeepProb,
+		}
+		wm.Layers = append(wm.Layers, wl)
+	}
+	if err := gob.NewEncoder(w).Encode(wm); err != nil {
+		return fmt.Errorf("nn: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written with Save.
+func Load(r io.Reader) (*Network, error) {
+	var wm wireModel
+	if err := gob.NewDecoder(r).Decode(&wm); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	if wm.Magic != modelMagic {
+		return nil, fmt.Errorf("nn: bad magic %q: %w", wm.Magic, ErrConfig)
+	}
+	if wm.Version != modelVersion {
+		return nil, fmt.Errorf("nn: unsupported model version %d: %w", wm.Version, ErrConfig)
+	}
+	layers := make([]*Layer, 0, len(wm.Layers))
+	for i, wl := range wm.Layers {
+		if wl.InDim < 1 || wl.OutDim < 1 || len(wl.Weights) != wl.InDim*wl.OutDim || len(wl.Bias) != wl.OutDim {
+			return nil, fmt.Errorf("nn: layer %d has inconsistent shapes: %w", i, ErrConfig)
+		}
+		act := Activation(wl.Act)
+		if !act.Valid() {
+			return nil, fmt.Errorf("nn: layer %d has invalid activation %d: %w", i, wl.Act, ErrConfig)
+		}
+		w := tensor.NewMatrix(wl.InDim, wl.OutDim)
+		copy(w.Data, wl.Weights)
+		layers = append(layers, &Layer{
+			W:        w,
+			B:        append(tensor.Vector(nil), wl.Bias...),
+			Act:      act,
+			KeepProb: wl.KeepProb,
+		})
+	}
+	return FromLayers(layers)
+}
+
+// SaveFile writes the network to path, creating or truncating it.
+func (n *Network) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("nn: close %s: %w", path, cerr)
+		}
+	}()
+	return n.Save(f)
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

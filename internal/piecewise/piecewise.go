@@ -1,0 +1,256 @@
+// Package piecewise implements piece-wise linear (PWL) approximations of
+// activation functions, the device ApDeepSense uses (paper §III-D) to push
+// Gaussian distributions through non-linearities in closed form.
+//
+// A PWL function partitions the real line into P intervals (a_p, b_p) with
+// b_p = a_{p+1}, a_1 = −∞, b_P = +∞, and is linear y = k_p·x + c_p on each.
+// ReLU is exactly PWL with two pieces; Tanh and Sigmoid are approximated by
+// interpolating the function at a set of interior knots, with constant
+// saturation tails.
+package piecewise
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInvalid is returned (wrapped) when a PWL specification is malformed.
+var ErrInvalid = errors.New("piecewise: invalid specification")
+
+// Piece is one linear segment y = K·x + C over the half-open interval
+// [A, B). A may be −∞ and B may be +∞ on the boundary pieces.
+type Piece struct {
+	A, B float64 // interval bounds
+	K, C float64 // slope and intercept
+}
+
+// Func is a piece-wise linear function: an ordered, contiguous set of pieces
+// covering (−∞, +∞).
+type Func struct {
+	pieces []Piece
+	name   string
+}
+
+// New validates and builds a PWL function from contiguous pieces. The pieces
+// must be sorted, start at −∞, end at +∞, and abut exactly.
+func New(name string, pieces []Piece) (*Func, error) {
+	if len(pieces) == 0 {
+		return nil, fmt.Errorf("no pieces: %w", ErrInvalid)
+	}
+	if !math.IsInf(pieces[0].A, -1) {
+		return nil, fmt.Errorf("first piece starts at %v, want -Inf: %w", pieces[0].A, ErrInvalid)
+	}
+	if !math.IsInf(pieces[len(pieces)-1].B, 1) {
+		return nil, fmt.Errorf("last piece ends at %v, want +Inf: %w", pieces[len(pieces)-1].B, ErrInvalid)
+	}
+	for i := 0; i < len(pieces); i++ {
+		if i > 0 && pieces[i].A != pieces[i-1].B {
+			return nil, fmt.Errorf("piece %d starts at %v but previous ends at %v: %w",
+				i, pieces[i].A, pieces[i-1].B, ErrInvalid)
+		}
+		if !(pieces[i].A < pieces[i].B) {
+			return nil, fmt.Errorf("piece %d has empty interval [%v, %v): %w",
+				i, pieces[i].A, pieces[i].B, ErrInvalid)
+		}
+	}
+	cp := make([]Piece, len(pieces))
+	copy(cp, pieces)
+	return &Func{pieces: cp, name: name}, nil
+}
+
+// Name returns the human-readable name of the function.
+func (f *Func) Name() string { return f.name }
+
+// NumPieces returns P, the number of linear segments. The paper's cost model
+// for the activation step is proportional to P.
+func (f *Func) NumPieces() int { return len(f.pieces) }
+
+// Pieces returns a copy of the segments.
+func (f *Func) Pieces() []Piece {
+	out := make([]Piece, len(f.pieces))
+	copy(out, f.pieces)
+	return out
+}
+
+// Piece returns segment i by value without allocating (hot path for the
+// per-element moment propagation). i must be in [0, NumPieces()).
+func (f *Func) Piece(i int) Piece { return f.pieces[i] }
+
+// Eval evaluates the PWL function at x using binary search over the
+// breakpoints.
+func (f *Func) Eval(x float64) float64 {
+	i := sort.Search(len(f.pieces), func(i int) bool { return x < f.pieces[i].B })
+	if i == len(f.pieces) {
+		i--
+	}
+	p := f.pieces[i]
+	return p.K*x + p.C
+}
+
+// SupError estimates the supremum of |f − target| over [lo, hi] by dense
+// sampling (samples points). It quantifies approximation quality, e.g. for
+// choosing the knot layout of the 7-piece Tanh approximation.
+func (f *Func) SupError(target func(float64) float64, lo, hi float64, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	var worst float64
+	step := (hi - lo) / float64(samples-1)
+	for i := 0; i < samples; i++ {
+		x := lo + float64(i)*step
+		if d := math.Abs(f.Eval(x) - target(x)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// ReLU returns the exact two-piece representation of max(0, x). Because ReLU
+// is already piece-wise linear, the Gaussian moment propagation through it is
+// exact (paper §IV-C: "no activation function approximation is needed").
+func ReLU() *Func {
+	f, err := New("relu", []Piece{
+		{A: math.Inf(-1), B: 0, K: 0, C: 0},
+		{A: 0, B: math.Inf(1), K: 1, C: 0},
+	})
+	if err != nil {
+		// Static construction; unreachable by design.
+		panic(err)
+	}
+	return f
+}
+
+// Identity returns the single-piece identity function, used for output layers
+// with no activation.
+func Identity() *Func {
+	f, err := New("identity", []Piece{{A: math.Inf(-1), B: math.Inf(1), K: 1, C: 0}})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Interpolate builds a PWL approximation of target by connecting the points
+// (knots[i], target(knots[i])) with line segments, and extending constant
+// saturation tails at target(knots[0]) and target(knots[last]) so the result
+// is continuous everywhere. Knots must be strictly increasing and non-empty.
+//
+// This matches the construction referenced by the paper ([29]: Amin et al.,
+// piecewise linear approximation for neural-network activations): a P-piece
+// function uses P−2 interior interpolation segments plus two saturation
+// tails. For saturating activations (tanh, sigmoid) the outermost knots are
+// placed deep enough into the saturation region that the constant tails sit
+// within a fraction of a percent of the true asymptote.
+func Interpolate(name string, target func(float64) float64, knots []float64) (*Func, error) {
+	if len(knots) == 0 {
+		return nil, fmt.Errorf("interpolate %q: no knots: %w", name, ErrInvalid)
+	}
+	for i := 1; i < len(knots); i++ {
+		if !(knots[i] > knots[i-1]) {
+			return nil, fmt.Errorf("interpolate %q: knots not strictly increasing at %d: %w", name, i, ErrInvalid)
+		}
+	}
+	pieces := make([]Piece, 0, len(knots)+1)
+	// Left saturation tail, constant at the boundary knot value (continuity).
+	pieces = append(pieces, Piece{A: math.Inf(-1), B: knots[0], K: 0, C: target(knots[0])})
+	for i := 0; i+1 < len(knots); i++ {
+		x0, x1 := knots[i], knots[i+1]
+		y0, y1 := target(x0), target(x1)
+		k := (y1 - y0) / (x1 - x0)
+		c := y0 - k*x0
+		pieces = append(pieces, Piece{A: x0, B: x1, K: k, C: c})
+	}
+	// Right saturation tail.
+	pieces = append(pieces, Piece{A: knots[len(knots)-1], B: math.Inf(1), K: 0, C: target(knots[len(knots)-1])})
+	return New(name, pieces)
+}
+
+// Tanh returns a PWL approximation of tanh with the given number of pieces.
+// pieces must be odd and >= 3 so the function stays odd-symmetric: two
+// saturation tails plus pieces−2 interpolation segments over a symmetric knot
+// range. The paper uses 7 pieces in all experiments.
+func Tanh(pieces int) (*Func, error) {
+	knots, err := curvatureKnots(pieces, 3, math.Tanh)
+	if err != nil {
+		return nil, fmt.Errorf("tanh: %w", err)
+	}
+	return Interpolate(fmt.Sprintf("tanh-pwl%d", pieces), math.Tanh, knots)
+}
+
+// Sigmoid returns a PWL approximation of the logistic function
+// 1/(1+e^{−x}) with the given (odd, >= 3) number of pieces.
+func Sigmoid(pieces int) (*Func, error) {
+	sig := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	knots, err := curvatureKnots(pieces, 6, sig)
+	if err != nil {
+		return nil, fmt.Errorf("sigmoid: %w", err)
+	}
+	return Interpolate(fmt.Sprintf("sigmoid-pwl%d", pieces), sig, knots)
+}
+
+// curvatureKnots places pieces−1 knots symmetrically over [−span, span] with
+// density proportional to sqrt(|f″|), the asymptotically optimal layout for
+// piece-wise linear interpolation error. Knots are computed on the positive
+// half-axis and mirrored, so the knot set is exactly symmetric and odd/even
+// symmetry of the target survives interpolation. The target must have a
+// symmetric curvature profile about 0, which holds for tanh and the logistic
+// function.
+func curvatureKnots(pieces int, span float64, f func(float64) float64) ([]float64, error) {
+	if pieces < 3 || pieces%2 == 0 {
+		return nil, fmt.Errorf("need an odd piece count >= 3, got %d: %w", pieces, ErrInvalid)
+	}
+	n := pieces - 1 // even knot count, no knot at 0
+	half := n / 2
+
+	// Cumulative sqrt-curvature mass on [0, span] by trapezoid rule.
+	const grid = 2048
+	const h = 1e-4
+	const densityFloor = 1e-3 // keeps the density positive in flat regions
+	xs := make([]float64, grid+1)
+	cum := make([]float64, grid+1)
+	dens := func(x float64) float64 {
+		d2 := (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+		return math.Sqrt(math.Abs(d2)) + densityFloor
+	}
+	prev := dens(0)
+	for i := 0; i <= grid; i++ {
+		xs[i] = span * float64(i) / grid
+		if i > 0 {
+			cur := dens(xs[i])
+			cum[i] = cum[i-1] + (prev+cur)/2*(xs[i]-xs[i-1])
+			prev = cur
+		}
+	}
+	total := cum[grid]
+
+	// Positive knots at half-axis quantiles (2i+1)/(n−1), i = 0..half−1,
+	// which is the restriction of full-axis quantiles j/(n−1) to j >= n/2.
+	pos := make([]float64, half)
+	for i := 0; i < half; i++ {
+		t := total * float64(2*i+1) / float64(n-1)
+		if t >= total {
+			pos[i] = span
+			continue
+		}
+		k := sort.SearchFloat64s(cum, t)
+		if k <= 0 {
+			pos[i] = 0
+			continue
+		}
+		frac := 0.0
+		if cum[k] > cum[k-1] {
+			frac = (t - cum[k-1]) / (cum[k] - cum[k-1])
+		}
+		pos[i] = xs[k-1] + frac*(xs[k]-xs[k-1])
+	}
+	pos[half-1] = span // pin the boundary exactly
+
+	knots := make([]float64, n)
+	for i, x := range pos {
+		knots[half+i] = x
+		knots[half-1-i] = -x
+	}
+	return knots, nil
+}

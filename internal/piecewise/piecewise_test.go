@@ -1,0 +1,212 @@
+package piecewise
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		pieces []Piece
+	}{
+		{"empty", nil},
+		{"no left tail", []Piece{{A: 0, B: inf}}},
+		{"no right tail", []Piece{{A: -inf, B: 0}}},
+		{"gap", []Piece{{A: -inf, B: 0}, {A: 1, B: inf}}},
+		{"empty interval", []Piece{{A: -inf, B: 0}, {A: 0, B: 0}, {A: 0, B: inf}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.pieces); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+		}
+	}
+}
+
+func TestReLUExact(t *testing.T) {
+	f := ReLU()
+	if f.NumPieces() != 2 {
+		t.Fatalf("ReLU pieces = %d, want 2", f.NumPieces())
+	}
+	for _, x := range []float64{-100, -1, -1e-9, 0, 1e-9, 0.5, 100} {
+		want := math.Max(0, x)
+		if got := f.Eval(x); got != want {
+			t.Errorf("ReLU(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	f := Identity()
+	if f.NumPieces() != 1 {
+		t.Fatalf("Identity pieces = %d, want 1", f.NumPieces())
+	}
+	for _, x := range []float64{-5, 0, 3.7} {
+		if got := f.Eval(x); got != x {
+			t.Errorf("Identity(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestTanhApproximation(t *testing.T) {
+	f, err := Tanh(7)
+	if err != nil {
+		t.Fatalf("Tanh(7): %v", err)
+	}
+	if f.NumPieces() != 7 {
+		t.Fatalf("pieces = %d, want 7", f.NumPieces())
+	}
+	// Saturation tails sit at the boundary-knot value, near ±1.
+	if got := f.Eval(-50); math.Abs(got-math.Tanh(-3)) > 1e-12 {
+		t.Errorf("tanh-pwl(-50) = %v, want tanh(-3)", got)
+	}
+	if got := f.Eval(50); math.Abs(got-math.Tanh(3)) > 1e-12 {
+		t.Errorf("tanh-pwl(50) = %v, want tanh(3)", got)
+	}
+	// Interpolation error should be small everywhere.
+	if sup := f.SupError(math.Tanh, -6, 6, 4001); sup > 0.06 {
+		t.Errorf("7-piece tanh sup error = %v, want < 0.06", sup)
+	}
+	// Odd symmetry (knots are symmetric, tanh is odd).
+	for _, x := range []float64{0.3, 1.1, 2.4, 4} {
+		if d := math.Abs(f.Eval(x) + f.Eval(-x)); d > 1e-12 {
+			t.Errorf("tanh-pwl not odd at %v: %v vs %v", x, f.Eval(x), f.Eval(-x))
+		}
+	}
+}
+
+func TestTanhMorePiecesMoreAccurate(t *testing.T) {
+	var prev float64 = math.Inf(1)
+	for _, p := range []int{3, 5, 7, 9, 15} {
+		f, err := Tanh(p)
+		if err != nil {
+			t.Fatalf("Tanh(%d): %v", p, err)
+		}
+		sup := f.SupError(math.Tanh, -4, 4, 2001)
+		if sup >= prev {
+			t.Errorf("sup error did not decrease: %d pieces -> %v (prev %v)", p, sup, prev)
+		}
+		prev = sup
+	}
+}
+
+func TestSigmoidApproximation(t *testing.T) {
+	f, err := Sigmoid(7)
+	if err != nil {
+		t.Fatalf("Sigmoid(7): %v", err)
+	}
+	sig := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	if got := f.Eval(-100); math.Abs(got-sig(-6)) > 1e-12 {
+		t.Errorf("sigmoid-pwl(-100) = %v, want sigmoid(-6)", got)
+	}
+	if got := f.Eval(100); math.Abs(got-sig(6)) > 1e-12 {
+		t.Errorf("sigmoid-pwl(100) = %v, want sigmoid(6)", got)
+	}
+	if sup := f.SupError(sig, -10, 10, 4001); sup > 0.07 {
+		t.Errorf("7-piece sigmoid sup error = %v, want < 0.07", sup)
+	}
+}
+
+func TestBadPieceCounts(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 4, 6} {
+		if _, err := Tanh(p); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Tanh(%d) err = %v, want ErrInvalid", p, err)
+		}
+		if _, err := Sigmoid(p); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Sigmoid(%d) err = %v, want ErrInvalid", p, err)
+		}
+	}
+}
+
+func TestInterpolateValidation(t *testing.T) {
+	id := func(x float64) float64 { return x }
+	if _, err := Interpolate("x", id, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("no knots err = %v", err)
+	}
+	if _, err := Interpolate("x", id, []float64{1, 1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("non-increasing knots err = %v", err)
+	}
+	// Single knot: two constant tails meeting at the knot value.
+	f, err := Interpolate("const", id, []float64{2})
+	if err != nil {
+		t.Fatalf("single knot: %v", err)
+	}
+	if f.Eval(-5) != 2 || f.Eval(5) != 2 {
+		t.Error("single-knot constant function wrong")
+	}
+}
+
+func TestPiecesReturnsCopy(t *testing.T) {
+	f := ReLU()
+	p := f.Pieces()
+	p[0].C = 999
+	if f.Pieces()[0].C == 999 {
+		t.Error("Pieces exposed internal storage")
+	}
+}
+
+func TestEvalContinuityAtKnots(t *testing.T) {
+	f, err := Tanh(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range f.Pieces()[1:] {
+		x := p.A
+		left := f.Eval(x - 1e-9)
+		right := f.Eval(x)
+		if math.Abs(left-right) > 1e-6 {
+			t.Errorf("discontinuity at knot %v: %v vs %v", x, left, right)
+		}
+	}
+}
+
+// Property: an interpolating PWL built from any monotone set of knots
+// reproduces the target exactly at every interior knot.
+func TestPropertyInterpolationExactAtKnots(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		knots := make([]float64, n)
+		x := -5 + rng.Float64()
+		for i := range knots {
+			x += 0.1 + rng.Float64()*2
+			knots[i] = x
+		}
+		target := math.Sin
+		pw, err := Interpolate("sin", target, knots)
+		if err != nil {
+			return false
+		}
+		for _, k := range knots {
+			if math.Abs(pw.Eval(k)-target(k)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval is monotone for a monotone target interpolation (tanh).
+func TestPropertyTanhPWLMonotone(t *testing.T) {
+	f7, err := Tanh(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return f7.Eval(lo) <= f7.Eval(hi)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package quantize implements post-training int8 weight quantization for
+// the dropout networks — the standard footprint reduction for IoT-class
+// deployment targets (the Edison's 1 GB RAM and 4 GB flash motivate it; the
+// paper's DeepIoT reference [35] addresses the same pressure via structure
+// compression). Weights quantize per-layer with symmetric scaling; biases
+// stay in float64 (they are negligible in size and precision-critical).
+// Inference — including ApDeepSense moment propagation — runs on the
+// dequantized network, so the whole estimator stack composes unchanged.
+package quantize
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// ErrInput is returned (wrapped) for invalid inputs.
+var ErrInput = errors.New("quantize: invalid input")
+
+// qMax is the symmetric int8 quantization ceiling.
+const qMax = 127
+
+// Layer is one quantized layer.
+type Layer struct {
+	InDim, OutDim int
+	// W holds the int8 weight codes, row-major like tensor.Matrix.
+	W []int8
+	// Scales holds one dequantization scale per OUTPUT column
+	// (per-channel symmetric quantization), so wide-ranged columns do not
+	// destroy narrow ones.
+	Scales []float64
+	// B is the float64 bias.
+	B []float64
+	// Act and KeepProb mirror the source layer.
+	Act      nn.Activation
+	KeepProb float64
+}
+
+// Model is a quantized network.
+type Model struct {
+	Layers []Layer
+}
+
+// Quantize converts a trained network into the int8 representation.
+func Quantize(net *nn.Network) (*Model, error) {
+	if net == nil {
+		return nil, fmt.Errorf("nil network: %w", ErrInput)
+	}
+	m := &Model{}
+	for li, l := range net.Layers() {
+		q := Layer{
+			InDim: l.InDim(), OutDim: l.OutDim(),
+			W:      make([]int8, l.InDim()*l.OutDim()),
+			Scales: make([]float64, l.OutDim()),
+			B:      append([]float64(nil), l.B...),
+			Act:    l.Act, KeepProb: l.KeepProb,
+		}
+		// Per-output-column max magnitude.
+		for j := 0; j < q.OutDim; j++ {
+			var peak float64
+			for i := 0; i < q.InDim; i++ {
+				if a := math.Abs(l.W.At(i, j)); a > peak {
+					peak = a
+				}
+			}
+			if peak == 0 {
+				q.Scales[j] = 1
+				continue
+			}
+			q.Scales[j] = peak / qMax
+		}
+		for i := 0; i < q.InDim; i++ {
+			for j := 0; j < q.OutDim; j++ {
+				code := math.Round(l.W.At(i, j) / q.Scales[j])
+				if code > qMax {
+					code = qMax
+				}
+				if code < -qMax {
+					code = -qMax
+				}
+				q.W[i*q.OutDim+j] = int8(code)
+			}
+		}
+		m.Layers = append(m.Layers, q)
+		_ = li
+	}
+	return m, nil
+}
+
+// Dequantize reconstructs a float network from the quantized codes. The
+// result plugs into every estimator (ApDeepSense, MCDrop) unchanged.
+func (m *Model) Dequantize() (*nn.Network, error) {
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("empty model: %w", ErrInput)
+	}
+	layers := make([]*nn.Layer, 0, len(m.Layers))
+	for li, q := range m.Layers {
+		if len(q.W) != q.InDim*q.OutDim || len(q.Scales) != q.OutDim || len(q.B) != q.OutDim {
+			return nil, fmt.Errorf("layer %d inconsistent: %w", li, ErrInput)
+		}
+		w := tensor.NewMatrix(q.InDim, q.OutDim)
+		for i := 0; i < q.InDim; i++ {
+			for j := 0; j < q.OutDim; j++ {
+				w.Set(i, j, float64(q.W[i*q.OutDim+j])*q.Scales[j])
+			}
+		}
+		layers = append(layers, &nn.Layer{
+			W: w, B: append(tensor.Vector(nil), q.B...),
+			Act: q.Act, KeepProb: q.KeepProb,
+		})
+	}
+	return nn.FromLayers(layers)
+}
+
+// SizeBytes returns the serialized weight footprint of the quantized model
+// (1 byte per weight + 8 bytes per scale/bias), for comparing against the
+// float64 original.
+func (m *Model) SizeBytes() int64 {
+	var total int64
+	for _, q := range m.Layers {
+		total += int64(len(q.W)) + 8*int64(len(q.Scales)+len(q.B))
+	}
+	return total
+}
+
+// Float64SizeBytes returns the float64 weight footprint of a network.
+func Float64SizeBytes(net *nn.Network) int64 {
+	return 8 * net.Params()
+}
+
+// MaxWeightError returns the worst-case absolute weight reconstruction
+// error of quantizing net: max over layers of scale/2 bounds the rounding
+// error by construction, and the measured value must respect it.
+func MaxWeightError(net *nn.Network, m *Model) (float64, error) {
+	deq, err := m.Dequantize()
+	if err != nil {
+		return 0, err
+	}
+	orig := net.Layers()
+	back := deq.Layers()
+	if len(orig) != len(back) {
+		return 0, fmt.Errorf("layer count mismatch: %w", ErrInput)
+	}
+	var worst float64
+	for li := range orig {
+		for i, w := range orig[li].W.Data {
+			if d := math.Abs(w - back[li].W.Data[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Save writes the quantized model in gob format.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("quantize: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a quantized model written with Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("quantize: decode: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,224 @@
+package quantize
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+func trainedNet(t *testing.T) *nn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var data []train.Sample
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()*4 - 2
+		data = append(data, train.Sample{
+			X: tensor.Vector{x},
+			Y: tensor.Vector{math.Sin(2 * x)},
+		})
+	}
+	net, err := nn.New(nn.Config{
+		InputDim: 1, Hidden: []int{24, 24}, OutputDim: 1,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Fit(net, data, nil, train.Config{
+		Epochs: 25, BatchSize: 32, Seed: 3,
+		Loss: train.MSE{}, Optimizer: train.NewAdam(0.01),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestQuantizeDequantizeClose(t *testing.T) {
+	net := trainedNet(t)
+	m, err := Quantize(net)
+	if err != nil {
+		t.Fatalf("Quantize: %v", err)
+	}
+	deq, err := m.Dequantize()
+	if err != nil {
+		t.Fatalf("Dequantize: %v", err)
+	}
+	// Outputs of the dequantized network track the original closely.
+	var worst float64
+	for _, x := range []float64{-1.8, -0.9, 0, 0.7, 1.6} {
+		a, err := net.Forward(tensor.Vector{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := deq.Forward(tensor.Vector{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(a[0] - b[0]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("int8 output drift %v, want < 0.05", worst)
+	}
+}
+
+func TestWeightErrorBounded(t *testing.T) {
+	net := trainedNet(t)
+	m, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := MaxWeightError(net, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounding error is bounded by half the largest per-column scale.
+	var maxScale float64
+	for _, q := range m.Layers {
+		for _, s := range q.Scales {
+			if s > maxScale {
+				maxScale = s
+			}
+		}
+	}
+	if worst > maxScale/2+1e-12 {
+		t.Errorf("weight error %v exceeds scale/2 bound %v", worst, maxScale/2)
+	}
+}
+
+func TestSizeReduction(t *testing.T) {
+	net := trainedNet(t)
+	m, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Float64SizeBytes(net)
+	quant := m.SizeBytes()
+	if ratio := float64(quant) / float64(orig); ratio > 0.35 {
+		t.Errorf("quantized size ratio %v, want < 0.35 (int8 + scales)", ratio)
+	}
+}
+
+func TestApDeepSenseOnQuantizedModel(t *testing.T) {
+	net := trainedNet(t)
+	m, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq, err := m.Dequantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origEst, err := core.NewApDeepSense(net, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qEst, err := core.NewApDeepSense(deq, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{0.4}
+	a, err := origEst.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qEst.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Mean[0]-b.Mean[0]) > 0.05 {
+		t.Errorf("quantized mean %v vs original %v", b.Mean[0], a.Mean[0])
+	}
+	if a.Var[0] > 1e-9 {
+		if r := b.Var[0] / a.Var[0]; r < 0.7 || r > 1.4 {
+			t.Errorf("quantized variance ratio %v", r)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net := trainedNet(t)
+	m, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a, err := m.Dequantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Dequantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vector{0.3}
+	ya, _ := a.Forward(x)
+	yb, _ := b.Forward(x)
+	if !ya.Equal(yb, 0) {
+		t.Error("round-tripped quantized model differs")
+	}
+	if _, err := Load(bytes.NewBufferString("junk")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Quantize(nil); !errors.Is(err, ErrInput) {
+		t.Errorf("nil net err = %v", err)
+	}
+	empty := &Model{}
+	if _, err := empty.Dequantize(); !errors.Is(err, ErrInput) {
+		t.Errorf("empty model err = %v", err)
+	}
+	bad := &Model{Layers: []Layer{{InDim: 2, OutDim: 2, W: []int8{1}, Scales: []float64{1, 1}, B: []float64{0, 0}, Act: nn.ActReLU, KeepProb: 1}}}
+	if _, err := bad.Dequantize(); !errors.Is(err, ErrInput) {
+		t.Errorf("inconsistent layer err = %v", err)
+	}
+}
+
+func TestZeroColumn(t *testing.T) {
+	// A layer with an all-zero output column quantizes without NaN.
+	w := tensor.NewMatrix(2, 2)
+	w.Set(0, 0, 1)
+	w.Set(1, 0, -1) // column 1 all zero
+	net, err := nn.FromLayers([]*nn.Layer{{
+		W: w, B: tensor.NewVector(2), Act: nn.ActIdentity, KeepProb: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Quantize(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deq, err := m.Dequantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := deq.Forward(tensor.Vector{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[1] != 0 {
+		t.Errorf("zero column produced %v", y[1])
+	}
+	if math.Abs(y[0]) > 1e-12 { // 1 - 1
+		t.Errorf("y[0] = %v", y[0])
+	}
+}

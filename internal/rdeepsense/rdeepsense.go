@@ -1,0 +1,220 @@
+// Package rdeepsense implements the RDeepSense baseline (the paper's
+// reference [22]): an uncertainty-aware network obtained by *retraining*
+// with a proper scoring rule. For regression the network carries a
+// mean + log-variance head trained with the heteroscedastic Gaussian NLL
+// (blended with MSE by a weight α, RDeepSense's bias-variance knob); for
+// classification it is a dropout softmax classifier whose probabilities are
+// read directly. The paper introduces RDeepSense as the quality upper bound
+// achievable when retraining is allowed — precisely the requirement
+// ApDeepSense removes.
+package rdeepsense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+// ErrConfig is returned (wrapped) for invalid configurations.
+var ErrConfig = errors.New("rdeepsense: invalid configuration")
+
+// Task selects the estimator head.
+type Task int
+
+// Supported tasks.
+const (
+	// TaskRegression uses a mean + log-variance output head.
+	TaskRegression Task = iota + 1
+	// TaskClassification uses a softmax head.
+	TaskClassification
+)
+
+// Estimator is a retrained RDeepSense model. It implements core.Estimator.
+type Estimator struct {
+	net    *nn.Network
+	task   Task
+	outDim int // task output dimension (half the network output for regression)
+}
+
+var _ core.Estimator = (*Estimator)(nil)
+
+// TrainConfig controls RDeepSense retraining.
+type TrainConfig struct {
+	// Hidden lists hidden-layer widths (matching the dropout network being
+	// compared against).
+	Hidden []int
+	// Activation is the hidden activation.
+	Activation nn.Activation
+	// KeepProb is the dropout keep probability used during retraining.
+	KeepProb float64
+	// Alpha blends NLL (1) against MSE (0) for the regression head.
+	// Zero defaults to 0.95.
+	Alpha float64
+	// Epochs, BatchSize, LearningRate, Seed parameterize optimization.
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Seed         int64
+	// Logf, when non-nil, receives training progress lines.
+	Logf func(format string, args ...any)
+}
+
+// TrainRegression retrains an RDeepSense regression model from scratch on
+// the given data. inDim/outDim are the task's dimensions; the network output
+// is 2·outDim (means then log-variances).
+func TrainRegression(trainSet, valSet []train.Sample, inDim, outDim int, cfg TrainConfig) (*Estimator, error) {
+	if err := validate(cfg, inDim, outDim); err != nil {
+		return nil, err
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.95
+	}
+	net, err := nn.New(nn.Config{
+		InputDim: inDim, Hidden: cfg.Hidden, OutputDim: 2 * outDim,
+		Activation: cfg.Activation, OutputActivation: nn.ActIdentity,
+		KeepProb: cfg.KeepProb, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rdeepsense: build net: %w", err)
+	}
+	_, err = train.Fit(net, trainSet, valSet, train.Config{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, Seed: cfg.Seed,
+		Loss:              train.HeteroscedasticNLL{Alpha: alpha},
+		Optimizer:         train.NewAdam(cfg.LearningRate),
+		ClipNorm:          5,
+		EarlyStopPatience: patience(valSet),
+		Logf:              cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rdeepsense: fit regression: %w", err)
+	}
+	return &Estimator{net: net, task: TaskRegression, outDim: outDim}, nil
+}
+
+// TrainClassification retrains an RDeepSense classifier from scratch.
+func TrainClassification(trainSet, valSet []train.Sample, inDim, numClasses int, cfg TrainConfig) (*Estimator, error) {
+	if err := validate(cfg, inDim, numClasses); err != nil {
+		return nil, err
+	}
+	net, err := nn.New(nn.Config{
+		InputDim: inDim, Hidden: cfg.Hidden, OutputDim: numClasses,
+		Activation: cfg.Activation, OutputActivation: nn.ActIdentity,
+		KeepProb: cfg.KeepProb, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rdeepsense: build net: %w", err)
+	}
+	_, err = train.Fit(net, trainSet, valSet, train.Config{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, Seed: cfg.Seed,
+		Loss:              train.SoftmaxCrossEntropy{},
+		Optimizer:         train.NewAdam(cfg.LearningRate),
+		ClipNorm:          5,
+		EarlyStopPatience: patience(valSet),
+		Logf:              cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rdeepsense: fit classification: %w", err)
+	}
+	return &Estimator{net: net, task: TaskClassification, outDim: numClasses}, nil
+}
+
+// FromNetwork wraps an already-trained RDeepSense network (e.g. loaded from
+// disk). For regression, net.OutputDim() must be 2·outDim.
+func FromNetwork(net *nn.Network, task Task, outDim int) (*Estimator, error) {
+	switch task {
+	case TaskRegression:
+		if net.OutputDim() != 2*outDim {
+			return nil, fmt.Errorf("regression head %d, want %d: %w", net.OutputDim(), 2*outDim, ErrConfig)
+		}
+	case TaskClassification:
+		if net.OutputDim() != outDim {
+			return nil, fmt.Errorf("classifier head %d, want %d: %w", net.OutputDim(), outDim, ErrConfig)
+		}
+	default:
+		return nil, fmt.Errorf("unknown task %d: %w", task, ErrConfig)
+	}
+	return &Estimator{net: net, task: task, outDim: outDim}, nil
+}
+
+func validate(cfg TrainConfig, inDim, outDim int) error {
+	if inDim < 1 || outDim < 1 {
+		return fmt.Errorf("dims %dx%d: %w", inDim, outDim, ErrConfig)
+	}
+	if cfg.Epochs < 1 || cfg.BatchSize < 1 || cfg.LearningRate <= 0 {
+		return fmt.Errorf("epochs=%d batch=%d lr=%v: %w", cfg.Epochs, cfg.BatchSize, cfg.LearningRate, ErrConfig)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return fmt.Errorf("alpha %v outside [0,1]: %w", cfg.Alpha, ErrConfig)
+	}
+	return nil
+}
+
+func patience(valSet []train.Sample) int {
+	if len(valSet) == 0 {
+		return 0
+	}
+	return 5
+}
+
+// Network returns the underlying trained network (for serialization).
+func (e *Estimator) Network() *nn.Network { return e.net }
+
+// Task returns the estimator's task type.
+func (e *Estimator) Task() Task { return e.task }
+
+// Name implements core.Estimator.
+func (e *Estimator) Name() string { return "RDeepSense" }
+
+// Predict implements core.Estimator. For regression the network directly
+// emits the predictive mean and log-variance; one deterministic forward pass.
+func (e *Estimator) Predict(x tensor.Vector) (core.GaussianVec, error) {
+	out, err := e.net.Forward(x)
+	if err != nil {
+		return core.GaussianVec{}, fmt.Errorf("rdeepsense: %w", err)
+	}
+	switch e.task {
+	case TaskRegression:
+		g := core.NewGaussianVec(e.outDim)
+		for i := 0; i < e.outDim; i++ {
+			g.Mean[i] = out[i]
+			lv := math.Min(math.Max(out[e.outDim+i], -20), 20)
+			g.Var[i] = math.Exp(lv)
+		}
+		return g, nil
+	default:
+		// Classification: logits as means, zero variance (uncertainty lives
+		// in the softmax probabilities).
+		g := core.GaussianVec{Mean: out.Clone(), Var: tensor.NewVector(len(out))}
+		return g, nil
+	}
+}
+
+// PredictProbs implements core.Estimator: the softmax of one deterministic
+// forward pass.
+func (e *Estimator) PredictProbs(x tensor.Vector) (tensor.Vector, error) {
+	if e.task != TaskClassification {
+		return nil, fmt.Errorf("PredictProbs on regression estimator: %w", ErrConfig)
+	}
+	out, err := e.net.Forward(x)
+	if err != nil {
+		return nil, fmt.Errorf("rdeepsense: %w", err)
+	}
+	return core.Softmax(out), nil
+}
+
+// Cost implements core.Estimator: one deterministic forward pass (plus the
+// exp over the variance head for regression).
+func (e *Estimator) Cost() edison.Cost {
+	c := core.ForwardPassCost(e.net)
+	if e.task == TaskRegression {
+		c.ElementOps += 8 * int64(e.outDim) // exp on the log-variance head
+	}
+	return c
+}

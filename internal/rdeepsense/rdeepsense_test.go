@@ -1,0 +1,201 @@
+package rdeepsense
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+	"github.com/apdeepsense/apdeepsense/internal/train"
+)
+
+func heteroData(n int, seed int64) []train.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]train.Sample, n)
+	for i := range out {
+		x := 0.5 + rng.Float64()*2
+		out[i] = train.Sample{
+			X: tensor.Vector{x},
+			Y: tensor.Vector{2*x + x*rng.NormFloat64()},
+		}
+	}
+	return out
+}
+
+func regCfg() TrainConfig {
+	return TrainConfig{
+		Hidden: []int{24, 24}, Activation: nn.ActTanh, KeepProb: 0.95,
+		Epochs: 40, BatchSize: 32, LearningRate: 0.01, Seed: 3,
+	}
+}
+
+func TestTrainRegression(t *testing.T) {
+	est, err := TrainRegression(heteroData(1200, 1), heteroData(200, 2), 1, 1, regCfg())
+	if err != nil {
+		t.Fatalf("TrainRegression: %v", err)
+	}
+	if est.Name() != "RDeepSense" {
+		t.Errorf("Name = %q", est.Name())
+	}
+	if est.Task() != TaskRegression {
+		t.Errorf("Task = %v", est.Task())
+	}
+	// Mean tracks 2x and std grows with x.
+	g1, err := est.Predict(tensor.Vector{0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := est.Predict(tensor.Vector{2.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g1.Mean[0]-1.6) > 0.5 {
+		t.Errorf("mean(0.8) = %v, want ≈ 1.6", g1.Mean[0])
+	}
+	if math.Abs(g2.Mean[0]-4.4) > 0.7 {
+		t.Errorf("mean(2.2) = %v, want ≈ 4.4", g2.Mean[0])
+	}
+	if g2.Var[0] <= g1.Var[0] {
+		t.Errorf("variance should grow with x: %v vs %v", g1.Var[0], g2.Var[0])
+	}
+	// PredictProbs is an error for regression.
+	if _, err := est.PredictProbs(tensor.Vector{1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("PredictProbs err = %v, want ErrConfig", err)
+	}
+	// Cost is a single pass: far below 2 passes of the same net.
+	if est.Cost().DenseFLOPs != est.Network().ForwardFLOPs()-est.Network().ForwardFLOPs()%1 {
+		// DenseFLOPs counts only matmuls; just check it is positive and
+		// consistent across calls.
+	}
+	if est.Cost().DenseFLOPs <= 0 {
+		t.Error("cost should be positive")
+	}
+}
+
+func TestTrainClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var data []train.Sample
+	for i := 0; i < 500; i++ {
+		cls := i % 3
+		center := float64(cls)*3 - 3
+		x := tensor.Vector{center + rng.NormFloat64()*0.6, rng.NormFloat64()}
+		y := tensor.Vector{0, 0, 0}
+		y[cls] = 1
+		data = append(data, train.Sample{X: x, Y: y})
+	}
+	cfg := TrainConfig{
+		Hidden: []int{16}, Activation: nn.ActReLU, KeepProb: 0.9,
+		Epochs: 30, BatchSize: 16, LearningRate: 0.01, Seed: 5,
+	}
+	est, err := TrainClassification(data, nil, 2, 3, cfg)
+	if err != nil {
+		t.Fatalf("TrainClassification: %v", err)
+	}
+	correct := 0
+	for _, s := range data {
+		p, err := est.PredictProbs(s.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Sum()-1) > 1e-9 {
+			t.Fatalf("probs sum to %v", p.Sum())
+		}
+		_, pi := p.Max()
+		_, ti := s.Y.Max()
+		if pi == ti {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(data)); acc < 0.9 {
+		t.Errorf("accuracy = %v, want >= 0.9", acc)
+	}
+	// Predict on a classifier returns logits with zero variance.
+	g, err := est.Predict(data[0].X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dim() != 3 {
+		t.Errorf("Predict dim = %d", g.Dim())
+	}
+	for _, v := range g.Var {
+		if v != 0 {
+			t.Errorf("classifier Predict variance = %v, want 0", v)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	data := heteroData(10, 1)
+	bad := regCfg()
+	bad.Epochs = 0
+	if _, err := TrainRegression(data, nil, 1, 1, bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("epochs err = %v", err)
+	}
+	bad = regCfg()
+	bad.LearningRate = 0
+	if _, err := TrainRegression(data, nil, 1, 1, bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("lr err = %v", err)
+	}
+	bad = regCfg()
+	bad.Alpha = 2
+	if _, err := TrainRegression(data, nil, 1, 1, bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("alpha err = %v", err)
+	}
+	if _, err := TrainRegression(data, nil, 0, 1, regCfg()); !errors.Is(err, ErrConfig) {
+		t.Errorf("dim err = %v", err)
+	}
+}
+
+func TestFromNetwork(t *testing.T) {
+	net, err := nn.New(nn.Config{
+		InputDim: 2, Hidden: []int{4}, OutputDim: 6,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 outputs = regression with outDim 3 or classification with 6 classes.
+	if _, err := FromNetwork(net, TaskRegression, 3); err != nil {
+		t.Errorf("regression FromNetwork: %v", err)
+	}
+	if _, err := FromNetwork(net, TaskClassification, 6); err != nil {
+		t.Errorf("classification FromNetwork: %v", err)
+	}
+	if _, err := FromNetwork(net, TaskRegression, 2); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad regression head err = %v", err)
+	}
+	if _, err := FromNetwork(net, TaskClassification, 3); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad classifier head err = %v", err)
+	}
+	if _, err := FromNetwork(net, Task(99), 3); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad task err = %v", err)
+	}
+}
+
+func TestPredictLogVarClamp(t *testing.T) {
+	// A network with huge weights produces extreme log-variances; Predict
+	// must clamp them to finite variances.
+	net, err := nn.New(nn.Config{
+		InputDim: 1, Hidden: nil, OutputDim: 2,
+		Activation: nn.ActIdentity, OutputActivation: nn.ActIdentity,
+		KeepProb: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Layers()[0].W.Set(0, 1, 1000) // logvar head = 1000*x
+	est, err := FromNetwork(net, TaskRegression, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := est.Predict(tensor.Vector{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(g.Var[0], 0) || math.IsNaN(g.Var[0]) {
+		t.Errorf("variance = %v, want clamped finite", g.Var[0])
+	}
+}

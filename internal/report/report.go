@@ -1,0 +1,244 @@
+// Package report renders experiment results as aligned ASCII tables, CSV
+// files, and simple text figures (bar charts and scatter plots), which is how
+// this reproduction regenerates the paper's Tables I–IV and Figures 1–9 in a
+// terminal-first workflow.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrEmpty is returned (wrapped) when rendering an empty artifact.
+var ErrEmpty = errors.New("report: empty artifact")
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are free-form lines printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() (string, error) {
+	if len(t.Headers) == 0 {
+		return "", fmt.Errorf("table %q has no headers: %w", t.Title, ErrEmpty)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return "", fmt.Errorf("table %q: row has %d cells, want %d: %w", t.Title, len(row), len(t.Headers), ErrEmpty)
+		}
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String(), nil
+}
+
+// CSV renders the table as comma-separated values with a header line.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() (string, error) {
+	if len(t.Headers) == 0 {
+		return "", fmt.Errorf("table %q has no headers: %w", t.Title, ErrEmpty)
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return "", fmt.Errorf("table %q: ragged row: %w", t.Title, ErrEmpty)
+		}
+		writeRow(row)
+	}
+	return b.String(), nil
+}
+
+// BarChart is a labeled horizontal bar chart (the shape of the paper's
+// Figures 2–5).
+type BarChart struct {
+	Title string
+	Unit  string
+	Bars  []Bar
+}
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// Render draws the chart with bars scaled to width characters.
+func (c *BarChart) Render(width int) (string, error) {
+	if len(c.Bars) == 0 {
+		return "", fmt.Errorf("bar chart %q: %w", c.Title, ErrEmpty)
+	}
+	if width < 10 {
+		width = 50
+	}
+	var maxV float64
+	labelW := 0
+	for _, bar := range c.Bars {
+		if bar.Value > maxV {
+			maxV = bar.Value
+		}
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, bar := range c.Bars {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(float64(width) * bar.Value / maxV))
+		}
+		fmt.Fprintf(&b, "%-*s | %-*s %.2f %s\n", labelW, bar.Label, width, strings.Repeat("#", n), bar.Value, c.Unit)
+	}
+	return b.String(), nil
+}
+
+// Series is one named sequence of (X, Y) points in a scatter plot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Scatter is a text scatter plot (the shape of the paper's Figures 6–9
+// energy-vs-NLL tradeoff plots).
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render draws the scatter plot on a w×h character canvas with axis ranges
+// fitted to the data.
+func (s *Scatter) Render(w, h int) (string, error) {
+	if len(s.Series) == 0 {
+		return "", fmt.Errorf("scatter %q: %w", s.Title, ErrEmpty)
+	}
+	if w < 20 {
+		w = 60
+	}
+	if h < 8 {
+		h = 16
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	anyPoint := false
+	for _, sr := range s.Series {
+		if len(sr.X) != len(sr.Y) {
+			return "", fmt.Errorf("scatter %q: series %q ragged: %w", s.Title, sr.Name, ErrEmpty)
+		}
+		for i := range sr.X {
+			anyPoint = true
+			xMin = math.Min(xMin, sr.X[i])
+			xMax = math.Max(xMax, sr.X[i])
+			yMin = math.Min(yMin, sr.Y[i])
+			yMax = math.Max(yMax, sr.Y[i])
+		}
+	}
+	if !anyPoint {
+		return "", fmt.Errorf("scatter %q has no points: %w", s.Title, ErrEmpty)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, sr := range s.Series {
+		marker := sr.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range sr.X {
+			cx := int(math.Round(float64(w-1) * (sr.X[i] - xMin) / (xMax - xMin)))
+			cy := int(math.Round(float64(h-1) * (sr.Y[i] - yMin) / (yMax - yMin)))
+			row := h - 1 - cy
+			grid[row][cx] = marker
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	fmt.Fprintf(&b, "%s (vertical, %.3g..%.3g) vs %s (horizontal, %.3g..%.3g)\n",
+		s.YLabel, yMin, yMax, s.XLabel, xMin, xMax)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", w))
+	for _, sr := range s.Series {
+		marker := sr.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&b, "  %c = %s\n", marker, sr.Name)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"a", "long-header"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Notes = append(tbl.Notes, "a note")
+	out, err := tbl.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T\n", "long-header", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: each line has the header width.
+	lines := strings.Split(out, "\n")
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator misaligned: %q vs %q", lines[1], lines[2])
+	}
+}
+
+func TestTableRenderErrors(t *testing.T) {
+	empty := &Table{}
+	if _, err := empty.Render(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	ragged := &Table{Headers: []string{"a", "b"}}
+	ragged.AddRow("only-one")
+	if _, err := ragged.Render(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("ragged err = %v", err)
+	}
+	if _, err := ragged.CSV(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("ragged csv err = %v", err)
+	}
+	if _, err := empty.CSV(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty csv err = %v", err)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"name", "value"}}
+	tbl.AddRow(`has,comma`, `has"quote`)
+	out, err := tbl.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\n\"has,comma\",\"has\"\"quote\"\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{Title: "times", Unit: "ms"}
+	c.Add("a", 10)
+	c.Add("bb", 20)
+	out, err := c.Render(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "times") || !strings.Contains(out, "ms") {
+		t.Errorf("chart output:\n%s", out)
+	}
+	// The larger bar has more #.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+	// Tiny width falls back.
+	if _, err := c.Render(1); err != nil {
+		t.Errorf("narrow render: %v", err)
+	}
+	empty := &BarChart{}
+	if _, err := empty.Render(10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := &BarChart{}
+	c.Add("zero", 0)
+	out, err := c.Render(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "#") {
+		t.Error("zero bar should draw no #")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s := &Scatter{
+		Title:  "tradeoff",
+		XLabel: "NLL",
+		YLabel: "mJ",
+		Series: []Series{
+			{Name: "mcdrop", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}, Marker: 'o'},
+			{Name: "apds", X: []float64{0.5}, Y: []float64{5}},
+		},
+	}
+	out, err := s.Render(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o = mcdrop") || !strings.Contains(out, "* = apds") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	empty := &Scatter{}
+	if _, err := empty.Render(40, 10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	ragged := &Scatter{Series: []Series{{Name: "r", X: []float64{1}, Y: nil}}}
+	if _, err := ragged.Render(40, 10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("ragged err = %v", err)
+	}
+	noPoints := &Scatter{Series: []Series{{Name: "n"}}}
+	if _, err := noPoints.Render(40, 10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("no-points err = %v", err)
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	s := &Scatter{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{5}}}}
+	if _, err := s.Render(30, 8); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package rnn implements the second half of the paper's future-work
+// extension (§VI): ApDeepSense-style closed-form uncertainty propagation for
+// recurrent networks with *recurrent dropout* (Gal & Ghahramani's
+// variational RNN, the paper's [37]).
+//
+// Recurrent dropout samples ONE Bernoulli mask per sequence — the same mask
+// multiplies the recurrent state at every timestep. The moment propagation
+// applies the dense dropout moment formulas (paper eqs. 9–10) to the
+// recurrent term at each step and pushes the result through the PWL
+// activation machinery (eqs. 12–26). As everywhere in ApDeepSense the
+// layer-wise (here: step-wise) diagonal Gaussian family drops the
+// correlations the shared mask induces across timesteps; the Monte-Carlo
+// tests quantify that approximation.
+//
+// The package provides a single-layer Elman recurrence with a dense readout,
+// deterministic and stochastic forward passes, truncated-BPTT training, and
+// the closed-form moment pass.
+package rnn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// ErrConfig is returned (wrapped) for invalid configurations.
+var ErrConfig = errors.New("rnn: invalid configuration")
+
+// Cell is an Elman recurrence with recurrent dropout:
+//
+//	h_t = f( x_t Wx + (h_{t−1} ⊙ z) Wh + b ),   z ~ Bernoulli(KeepProb) per sequence
+//
+// followed by a linear readout y = h_T Wo + bo of the final state.
+type Cell struct {
+	// InDim, HiddenDim, OutDim define the geometry.
+	InDim, HiddenDim, OutDim int
+	// Wx is InDim×HiddenDim, Wh is HiddenDim×HiddenDim, Wo is
+	// HiddenDim×OutDim.
+	Wx, Wh, Wo *tensor.Matrix
+	// B and Bo are the recurrence and readout biases.
+	B, Bo tensor.Vector
+	// Act is the recurrence non-linearity (typically tanh).
+	Act nn.Activation
+	// KeepProb is the recurrent-state keep probability.
+	KeepProb float64
+}
+
+// NewCell builds a Glorot-initialized cell.
+func NewCell(inDim, hiddenDim, outDim int, act nn.Activation, keepProb float64, rng *rand.Rand) (*Cell, error) {
+	if inDim < 1 || hiddenDim < 1 || outDim < 1 {
+		return nil, fmt.Errorf("dims %d/%d/%d: %w", inDim, hiddenDim, outDim, ErrConfig)
+	}
+	if keepProb <= 0 || keepProb > 1 {
+		return nil, fmt.Errorf("keep prob %v: %w", keepProb, ErrConfig)
+	}
+	if !act.Valid() {
+		return nil, fmt.Errorf("activation %v: %w", act, ErrConfig)
+	}
+	c := &Cell{
+		InDim: inDim, HiddenDim: hiddenDim, OutDim: outDim,
+		Wx:  tensor.NewMatrix(inDim, hiddenDim),
+		Wh:  tensor.NewMatrix(hiddenDim, hiddenDim),
+		Wo:  tensor.NewMatrix(hiddenDim, outDim),
+		B:   tensor.NewVector(hiddenDim),
+		Bo:  tensor.NewVector(outDim),
+		Act: act, KeepProb: keepProb,
+	}
+	c.Wx.GlorotUniform(rng)
+	c.Wh.GlorotUniform(rng)
+	// Scale the recurrent matrix down for stability of the untrained cell.
+	c.Wh.ScaleInPlace(0.5)
+	c.Wo.GlorotUniform(rng)
+	return c, nil
+}
+
+// stepDet advances the deterministic (weight-scaled) recurrence one step.
+func (c *Cell) stepDet(x, h tensor.Vector, out tensor.Vector) {
+	c.Wx.MulVecInto(x, out)
+	tmp := make(tensor.Vector, c.HiddenDim)
+	scaled := h
+	if c.KeepProb < 1 {
+		scaled = h.Scale(c.KeepProb)
+	}
+	c.Wh.MulVecInto(scaled, tmp)
+	for j := range out {
+		out[j] = c.Act.Apply(out[j] + tmp[j] + c.B[j])
+	}
+}
+
+// Forward runs the weight-scaled deterministic pass over a sequence of
+// input vectors and returns the readout of the final hidden state.
+func (c *Cell) Forward(xs []tensor.Vector) (tensor.Vector, error) {
+	if err := c.checkSeq(xs); err != nil {
+		return nil, err
+	}
+	h := make(tensor.Vector, c.HiddenDim)
+	next := make(tensor.Vector, c.HiddenDim)
+	for _, x := range xs {
+		c.stepDet(x, h, next)
+		h, next = next, h
+	}
+	return c.readout(h), nil
+}
+
+// ForwardSample runs one stochastic pass: a single recurrent mask is drawn
+// and reused at every timestep (variational recurrent dropout).
+func (c *Cell) ForwardSample(xs []tensor.Vector, rng *rand.Rand) (tensor.Vector, error) {
+	if err := c.checkSeq(xs); err != nil {
+		return nil, err
+	}
+	mask := make([]float64, c.HiddenDim)
+	for i := range mask {
+		if c.KeepProb >= 1 || rng.Float64() < c.KeepProb {
+			mask[i] = 1
+		}
+	}
+	h := make(tensor.Vector, c.HiddenDim)
+	masked := make(tensor.Vector, c.HiddenDim)
+	tmp := make(tensor.Vector, c.HiddenDim)
+	next := make(tensor.Vector, c.HiddenDim)
+	for _, x := range xs {
+		for i := range masked {
+			masked[i] = h[i] * mask[i]
+		}
+		c.Wx.MulVecInto(x, next)
+		c.Wh.MulVecInto(masked, tmp)
+		for j := range next {
+			next[j] = c.Act.Apply(next[j] + tmp[j] + c.B[j])
+		}
+		h, next = next, h
+	}
+	return c.readout(h), nil
+}
+
+func (c *Cell) readout(h tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, c.OutDim)
+	c.Wo.MulVecInto(h, out)
+	for j := range out {
+		out[j] += c.Bo[j]
+	}
+	return out
+}
+
+func (c *Cell) checkSeq(xs []tensor.Vector) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("empty sequence: %w", ErrConfig)
+	}
+	for t, x := range xs {
+		if len(x) != c.InDim {
+			return fmt.Errorf("step %d has dim %d, want %d: %w", t, len(x), c.InDim, ErrConfig)
+		}
+	}
+	return nil
+}
+
+// PropagateMoments runs the closed-form moment pass: the hidden state is a
+// diagonal Gaussian updated per step —
+//
+//	pre   = x_t Wx + b + dropout-moments(h_{t−1}) Wh      (eqs. 9–10)
+//	h_t   ~ PWL-activation moments of pre                  (eqs. 12–26)
+//
+// — and the readout maps the final state's moments linearly. The per-step
+// application of the dropout formulas treats the recurrent mask as fresh at
+// each step; the shared-mask temporal correlation is dropped, which the
+// tests show is a variance-underestimating approximation of the same nature
+// as the paper's layer-wise independence.
+func (c *Cell) PropagateMoments(xs []tensor.Vector) (core.GaussianVec, error) {
+	if err := c.checkSeq(xs); err != nil {
+		return core.GaussianVec{}, err
+	}
+	act, err := actFunc(c.Act)
+	if err != nil {
+		return core.GaussianVec{}, err
+	}
+	whSq := c.Wh.Square()
+	woSq := c.Wo.Square()
+	p := c.KeepProb
+
+	h := core.NewGaussianVec(c.HiddenDim)
+	preMean := make(tensor.Vector, c.HiddenDim)
+	preVar := make(tensor.Vector, c.HiddenDim)
+	muIn := make(tensor.Vector, c.HiddenDim)
+	varIn := make(tensor.Vector, c.HiddenDim)
+	xContrib := make(tensor.Vector, c.HiddenDim)
+
+	for _, x := range xs {
+		c.Wx.MulVecInto(x, xContrib)
+		for i := 0; i < c.HiddenDim; i++ {
+			mu, s2 := h.Mean[i], h.Var[i]
+			muIn[i] = mu * p
+			varIn[i] = (mu*mu+s2)*p - mu*mu*p*p
+		}
+		c.Wh.MulVecInto(muIn, preMean)
+		whSq.MulVecInto(varIn, preVar)
+		for j := 0; j < c.HiddenDim; j++ {
+			m := xContrib[j] + preMean[j] + c.B[j]
+			v := preVar[j]
+			if v < 0 {
+				v = 0
+			}
+			h.Mean[j], h.Var[j] = core.ActivationMoments(m, v, act)
+		}
+	}
+
+	out := core.NewGaussianVec(c.OutDim)
+	c.Wo.MulVecInto(h.Mean, out.Mean)
+	woSq.MulVecInto(h.Var, out.Var)
+	for j := range out.Mean {
+		out.Mean[j] += c.Bo[j]
+	}
+	return out, nil
+}
+
+// actFunc resolves the PWL representation with the paper's defaults.
+func actFunc(act nn.Activation) (*piecewise.Func, error) {
+	switch act {
+	case nn.ActIdentity:
+		return piecewise.Identity(), nil
+	case nn.ActReLU:
+		return piecewise.ReLU(), nil
+	case nn.ActTanh:
+		return piecewise.Tanh(7)
+	case nn.ActSigmoid:
+		return piecewise.Sigmoid(7)
+	default:
+		return nil, fmt.Errorf("activation %v: %w", act, ErrConfig)
+	}
+}
+
+// SpectralRadiusBound returns a crude stability bound on the recurrent
+// weights: the Frobenius norm of Wh scaled by the keep probability. Values
+// well above 1 indicate the recurrence may amplify variance unboundedly.
+func (c *Cell) SpectralRadiusBound() float64 {
+	var s float64
+	for _, w := range c.Wh.Data {
+		s += w * w
+	}
+	return c.KeepProb * math.Sqrt(s)
+}

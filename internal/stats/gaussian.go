@@ -1,0 +1,160 @@
+// Package stats provides the probabilistic primitives behind ApDeepSense:
+// univariate Gaussian densities, truncated-Gaussian partial moments
+// (equations 23–25 of the paper), streaming moment accumulators, and
+// histogram utilities used to reproduce Figure 1.
+package stats
+
+import "math"
+
+// invSqrt2Pi is 1/sqrt(2π).
+const invSqrt2Pi = 0.3989422804014327
+
+// sqrt2 is sqrt(2).
+const sqrt2 = 1.4142135623730951
+
+// NormPDF returns the density of N(mu, sigma²) at x. sigma must be positive.
+func NormPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return invSqrt2Pi / sigma * math.Exp(-0.5*z*z)
+}
+
+// NormCDF returns P(X <= x) for X ~ N(mu, sigma²). sigma must be positive.
+func NormCDF(x, mu, sigma float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*sqrt2)))
+}
+
+// NormQuantile returns the q-th quantile of N(mu, sigma²) for q in (0, 1),
+// using the Acklam rational approximation refined by one Halley step. The
+// absolute error is below 1e-9 across (1e-300, 1-1e-16).
+func NormQuantile(q, mu, sigma float64) float64 {
+	return mu + sigma*stdNormQuantile(q)
+}
+
+// stdNormQuantile computes the standard normal inverse CDF.
+func stdNormQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's algorithm.
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+	// One Halley refinement step.
+	e := 0.5*math.Erfc(-x/sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// GaussianNLL returns the negative log-likelihood of observation y under
+// N(mu, variance): 0.5·log(2π·variance) + (y−mu)²/(2·variance).
+// variance must be positive; callers apply their own variance floor.
+func GaussianNLL(y, mu, variance float64) float64 {
+	return 0.5*math.Log(2*math.Pi*variance) + (y-mu)*(y-mu)/(2*variance)
+}
+
+// PartialMoments holds the three truncated-Gaussian quantities the paper
+// names D_p, M_p, and V_p for one piece of a piece-wise linear activation.
+//
+// For Y ~ N(mu, sigma²) restricted to the interval [lo, hi]:
+//
+//	D = ∫ N(y; mu, sigma²) dy                  (probability mass, eq. 23)
+//	M = ∫ (y − mu)   · N(y; mu, sigma²) dy     (first central partial moment, eq. 24)
+//	V = ∫ (y − mu)²  · N(y; mu, sigma²) dy     (second central partial moment, eq. 25)
+type PartialMoments struct {
+	D, M, V float64
+}
+
+// TruncatedMoments computes the partial moments of N(mu, sigma²) over
+// [lo, hi]. Infinite bounds are allowed; the implementation is numerically
+// stable for pieces far in the tails (where every term underflows to zero
+// together). sigma must be positive, and lo <= hi.
+func TruncatedMoments(lo, hi, mu, sigma float64) PartialMoments {
+	// Standardize: a = (lo-mu)/sigma, b = (hi-mu)/sigma.
+	a := (lo - mu) / sigma
+	b := (hi - mu) / sigma
+
+	var pm PartialMoments
+	pm.D = 0.5 * (math.Erf(b/sqrt2) - math.Erf(a/sqrt2))
+
+	// phi(a), phi(b): standard normal density; exp underflows gracefully for
+	// |z| beyond ~38, matching the mass underflow.
+	phiA := stdPhi(a)
+	phiB := stdPhi(b)
+
+	// M = sigma · (phi(a) − phi(b)).
+	pm.M = sigma * (phiA - phiB)
+
+	// V = sigma² · (D + a·phi(a) − b·phi(b)); the a·phi(a) terms vanish for
+	// infinite bounds since phi decays super-polynomially.
+	ta := 0.0
+	if !math.IsInf(a, 0) {
+		ta = a * phiA
+	}
+	tb := 0.0
+	if !math.IsInf(b, 0) {
+		tb = b * phiB
+	}
+	pm.V = sigma * sigma * (pm.D + ta - tb)
+	if pm.V < 0 {
+		// Guard against catastrophic cancellation on very thin slices.
+		pm.V = 0
+	}
+	if pm.D < 0 {
+		pm.D = 0
+	}
+	return pm
+}
+
+// stdPhi is the standard normal density.
+func stdPhi(z float64) float64 {
+	if math.IsInf(z, 0) {
+		return 0
+	}
+	return invSqrt2Pi * math.Exp(-0.5*z*z)
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi). Values outside
+// the range are clamped into the first/last bin so no sample is lost, which
+// is the behaviour wanted when visualizing near-Gaussian hidden-unit
+// distributions (Figure 1 of the paper).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram over [lo, hi) with bins buckets.
+// It panics only on programmer error (bins < 1 or hi <= lo) — these indicate
+// a hard-coded misconfiguration, not runtime data.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	idx := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Density returns the normalized density of bin i (integrates to ~1).
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(h.total) * w)
+}
+
+// Render draws the histogram as ASCII art with the given bar width, one bin
+// per line, suitable for terminal reproduction of the paper's Figure 1.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var maxC int64
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = int(math.Round(float64(width) * float64(c) / float64(maxC)))
+		}
+		fmt.Fprintf(&b, "%9.3f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// GaussianFitError compares the histogram against the Gaussian whose mean and
+// variance match the recorded samples' (given by the caller, typically from a
+// Welford accumulator over the same stream) and returns the total variation
+// distance: 0 means a perfect Gaussian fit, 1 means disjoint. It is used to
+// check empirically, as the paper does in §III-A, that hidden-unit output
+// distributions are bell-shaped.
+func (h *Histogram) GaussianFitError(mu, sigma float64) float64 {
+	if h.total == 0 || sigma <= 0 {
+		return 1
+	}
+	var tv float64
+	nBins := len(h.Counts)
+	w := (h.Hi - h.Lo) / float64(nBins)
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*w
+		hi := lo + w
+		p := NormCDF(hi, mu, sigma) - NormCDF(lo, mu, sigma)
+		q := float64(c) / float64(h.total)
+		tv += math.Abs(p - q)
+	}
+	return tv / 2
+}

@@ -1,0 +1,127 @@
+package stats
+
+import "math"
+
+// Welford is a streaming mean/variance accumulator using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations added so far.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (divides by n). It returns 0
+// before the second observation.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased sample variance (divides by n−1).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds another accumulator into w (parallel variance combination).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// VecWelford tracks streaming per-element mean and variance for fixed-length
+// vectors; it is how MCDrop accumulates its sample moments without storing
+// every sample.
+type VecWelford struct {
+	n    int64
+	mean []float64
+	m2   []float64
+}
+
+// NewVecWelford returns an accumulator for vectors of length dim.
+func NewVecWelford(dim int) *VecWelford {
+	return &VecWelford{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// Dim returns the tracked vector length.
+func (w *VecWelford) Dim() int { return len(w.mean) }
+
+// Count returns the number of vectors added.
+func (w *VecWelford) Count() int64 { return w.n }
+
+// Add folds one vector observation in. x must have length Dim(); extra or
+// missing elements indicate a caller bug and are ignored beyond the shorter
+// length to keep the hot path branch-free — callers validate shapes upstream.
+func (w *VecWelford) Add(x []float64) {
+	w.n++
+	inv := 1.0 / float64(w.n)
+	for i := range w.mean {
+		delta := x[i] - w.mean[i]
+		w.mean[i] += delta * inv
+		w.m2[i] += delta * (x[i] - w.mean[i])
+	}
+}
+
+// Mean returns the running per-element mean. The returned slice is a copy.
+func (w *VecWelford) Mean() []float64 {
+	out := make([]float64, len(w.mean))
+	copy(out, w.mean)
+	return out
+}
+
+// Variance returns the per-element population variance as a copy.
+func (w *VecWelford) Variance() []float64 {
+	out := make([]float64, len(w.m2))
+	if w.n < 2 {
+		return out
+	}
+	inv := 1.0 / float64(w.n)
+	for i, m2 := range w.m2 {
+		out[i] = m2 * inv
+	}
+	return out
+}
+
+// SampleVariance returns the per-element unbiased variance as a copy.
+func (w *VecWelford) SampleVariance() []float64 {
+	out := make([]float64, len(w.m2))
+	if w.n < 2 {
+		return out
+	}
+	inv := 1.0 / float64(w.n-1)
+	for i, m2 := range w.m2 {
+		out[i] = m2 * inv
+	}
+	return out
+}

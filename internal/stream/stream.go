@@ -1,0 +1,234 @@
+// Package stream provides the plumbing between raw IoT sensor streams and
+// the uncertainty estimators: fixed-size sliding windows over multichannel
+// samples, online input standardization, and an uncertainty gate that turns
+// predictive variance into accept/escalate decisions — the deployment
+// pattern the paper motivates (reliable inference on continuously sampled
+// sensors).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// ErrConfig is returned (wrapped) for invalid configurations.
+var ErrConfig = errors.New("stream: invalid configuration")
+
+// Windower slices a continuous multichannel sample stream into overlapping
+// fixed-length windows. Push one sample (one value per channel) at a time;
+// each call returns a flattened window (time-major: sample t's channels are
+// adjacent) every stride samples once the first window has filled.
+type Windower struct {
+	channels int
+	length   int
+	stride   int
+
+	buf   []float64 // ring of length*channels values
+	head  int       // next write position (in samples)
+	count int       // total samples pushed
+}
+
+// NewWindower builds a windower emitting length-sample windows every stride
+// samples.
+func NewWindower(channels, length, stride int) (*Windower, error) {
+	if channels < 1 || length < 1 || stride < 1 {
+		return nil, fmt.Errorf("channels=%d length=%d stride=%d: %w", channels, length, stride, ErrConfig)
+	}
+	return &Windower{
+		channels: channels, length: length, stride: stride,
+		buf: make([]float64, length*channels),
+	}, nil
+}
+
+// Push adds one sample. It returns a freshly allocated flattened window and
+// true when a window completes, or nil and false otherwise.
+func (w *Windower) Push(sample []float64) ([]float64, bool, error) {
+	if len(sample) != w.channels {
+		return nil, false, fmt.Errorf("sample has %d channels, want %d: %w", len(sample), w.channels, ErrConfig)
+	}
+	copy(w.buf[w.head*w.channels:(w.head+1)*w.channels], sample)
+	w.head = (w.head + 1) % w.length
+	w.count++
+	if w.count < w.length || (w.count-w.length)%w.stride != 0 {
+		return nil, false, nil
+	}
+	out := make([]float64, w.length*w.channels)
+	// Oldest sample sits at head (just overwritten position is next write).
+	for i := 0; i < w.length; i++ {
+		src := (w.head + i) % w.length
+		copy(out[i*w.channels:(i+1)*w.channels], w.buf[src*w.channels:(src+1)*w.channels])
+	}
+	return out, true, nil
+}
+
+// Count returns the number of samples pushed.
+func (w *Windower) Count() int { return w.count }
+
+// OnlineStandardizer tracks running per-dimension mean and variance
+// (Welford) and standardizes vectors against them — for deployments where
+// the training-time statistics are unavailable or drifting.
+type OnlineStandardizer struct {
+	acc *stats.VecWelford
+}
+
+// NewOnlineStandardizer tracks dim-dimensional vectors.
+func NewOnlineStandardizer(dim int) (*OnlineStandardizer, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("dim %d: %w", dim, ErrConfig)
+	}
+	return &OnlineStandardizer{acc: stats.NewVecWelford(dim)}, nil
+}
+
+// Observe folds a raw vector into the running statistics.
+func (s *OnlineStandardizer) Observe(x []float64) error {
+	if len(x) != s.acc.Dim() {
+		return fmt.Errorf("dim %d, want %d: %w", len(x), s.acc.Dim(), ErrConfig)
+	}
+	s.acc.Add(x)
+	return nil
+}
+
+// Apply returns the standardized copy of x using the statistics so far.
+// Dimensions with (near-)zero variance are centered but not scaled.
+func (s *OnlineStandardizer) Apply(x []float64) ([]float64, error) {
+	if len(x) != s.acc.Dim() {
+		return nil, fmt.Errorf("dim %d, want %d: %w", len(x), s.acc.Dim(), ErrConfig)
+	}
+	mean := s.acc.Mean()
+	variance := s.acc.Variance()
+	out := make([]float64, len(x))
+	for i := range x {
+		sd := math.Sqrt(variance[i])
+		if sd < 1e-9 {
+			sd = 1
+		}
+		out[i] = (x[i] - mean[i]) / sd
+	}
+	return out, nil
+}
+
+// Count returns the number of observed vectors.
+func (s *OnlineStandardizer) Count() int64 { return s.acc.Count() }
+
+// Decision is the uncertainty gate's verdict for one prediction.
+type Decision int
+
+// Gate decisions.
+const (
+	// Accept means the prediction's uncertainty is within budget.
+	Accept Decision = iota + 1
+	// Escalate means uncertainty exceeds the budget: defer to a fallback
+	// (bigger model, cloud, human).
+	Escalate
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case Accept:
+		return "accept"
+	case Escalate:
+		return "escalate"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Gate turns predictive distributions into accept/escalate decisions and
+// keeps acceptance statistics. It is the smallest useful policy on top of
+// ApDeepSense's variance output: bound the mean predictive standard
+// deviation.
+type Gate struct {
+	maxMeanStd float64
+	accepted   int64
+	escalated  int64
+}
+
+// NewGate accepts predictions whose mean per-dimension standard deviation is
+// at most maxMeanStd.
+func NewGate(maxMeanStd float64) (*Gate, error) {
+	if maxMeanStd <= 0 {
+		return nil, fmt.Errorf("maxMeanStd %v: %w", maxMeanStd, ErrConfig)
+	}
+	return &Gate{maxMeanStd: maxMeanStd}, nil
+}
+
+// Check classifies one predictive distribution.
+func (g *Gate) Check(pred core.GaussianVec) Decision {
+	var s float64
+	for i := range pred.Var {
+		s += math.Sqrt(pred.Var[i])
+	}
+	if s/float64(pred.Dim()) <= g.maxMeanStd {
+		g.accepted++
+		return Accept
+	}
+	g.escalated++
+	return Escalate
+}
+
+// Stats returns the accept and escalate counts so far.
+func (g *Gate) Stats() (accepted, escalated int64) { return g.accepted, g.escalated }
+
+// Pipeline chains a windower, an optional online standardizer, an estimator,
+// and a gate into a push-based streaming predictor.
+type Pipeline struct {
+	win  *Windower
+	std  *OnlineStandardizer
+	est  core.Estimator
+	gate *Gate
+}
+
+// Result is one emitted pipeline prediction.
+type Result struct {
+	Pred     core.GaussianVec
+	Decision Decision
+}
+
+// NewPipeline assembles a streaming predictor. std and gate may be nil to
+// disable standardization or gating (nil gate accepts everything).
+func NewPipeline(win *Windower, std *OnlineStandardizer, est core.Estimator, gate *Gate) (*Pipeline, error) {
+	if win == nil || est == nil {
+		return nil, fmt.Errorf("windower and estimator are required: %w", ErrConfig)
+	}
+	if std != nil && std.acc.Dim() != win.length*win.channels {
+		return nil, fmt.Errorf("standardizer dim %d != window dim %d: %w",
+			std.acc.Dim(), win.length*win.channels, ErrConfig)
+	}
+	return &Pipeline{win: win, std: std, est: est, gate: gate}, nil
+}
+
+// Push feeds one sensor sample; when a window completes it runs the
+// estimator and returns the result.
+func (p *Pipeline) Push(sample []float64) (*Result, error) {
+	window, ready, err := p.win.Push(sample)
+	if err != nil {
+		return nil, err
+	}
+	if !ready {
+		return nil, nil
+	}
+	x := window
+	if p.std != nil {
+		if err := p.std.Observe(window); err != nil {
+			return nil, err
+		}
+		if x, err = p.std.Apply(window); err != nil {
+			return nil, err
+		}
+	}
+	pred, err := p.est.Predict(tensor.Vector(x))
+	if err != nil {
+		return nil, fmt.Errorf("stream: predict: %w", err)
+	}
+	res := &Result{Pred: pred, Decision: Accept}
+	if p.gate != nil {
+		res.Decision = p.gate.Check(pred)
+	}
+	return res, nil
+}

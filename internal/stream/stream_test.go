@@ -1,0 +1,286 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+func TestNewWindowerValidation(t *testing.T) {
+	for _, c := range [][3]int{{0, 2, 1}, {1, 0, 1}, {1, 2, 0}} {
+		if _, err := NewWindower(c[0], c[1], c[2]); !errors.Is(err, ErrConfig) {
+			t.Errorf("%v: err = %v, want ErrConfig", c, err)
+		}
+	}
+}
+
+func TestWindowerEmitsInOrder(t *testing.T) {
+	w, err := NewWindower(1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows [][]float64
+	for i := 1; i <= 6; i++ {
+		win, ready, err := w.Push([]float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ready {
+			windows = append(windows, win)
+		}
+	}
+	want := [][]float64{{1, 2, 3}, {2, 3, 4}, {3, 4, 5}, {4, 5, 6}}
+	if len(windows) != len(want) {
+		t.Fatalf("emitted %d windows, want %d", len(windows), len(want))
+	}
+	for i, win := range windows {
+		for j := range win {
+			if win[j] != want[i][j] {
+				t.Errorf("window %d = %v, want %v", i, win, want[i])
+				break
+			}
+		}
+	}
+}
+
+func TestWindowerStride(t *testing.T) {
+	w, err := NewWindower(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]float64
+	for i := 1; i <= 9; i++ {
+		win, ready, err := w.Push([]float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ready {
+			got = append(got, win)
+		}
+	}
+	// Windows complete at samples 2, 5, 8.
+	want := [][]float64{{1, 2}, {4, 5}, {7, 8}}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Errorf("window %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if w.Count() != 9 {
+		t.Errorf("Count = %d", w.Count())
+	}
+}
+
+func TestWindowerMultiChannel(t *testing.T) {
+	w, err := NewWindower(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Push([]float64{1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad channels err = %v", err)
+	}
+	w.Push([]float64{1, 10})
+	win, ready, err := w.Push([]float64{2, 20})
+	if err != nil || !ready {
+		t.Fatalf("ready=%v err=%v", ready, err)
+	}
+	want := []float64{1, 10, 2, 20} // time-major
+	for i := range want {
+		if win[i] != want[i] {
+			t.Fatalf("window = %v, want %v", win, want)
+		}
+	}
+}
+
+func TestOnlineStandardizer(t *testing.T) {
+	if _, err := NewOnlineStandardizer(0); !errors.Is(err, ErrConfig) {
+		t.Errorf("dim 0 err = %v", err)
+	}
+	s, err := NewOnlineStandardizer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		if err := s.Observe([]float64{5 + 2*rng.NormFloat64(), -3 + 0.5*rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.Apply([]float64{5, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]) > 0.1 || math.Abs(out[1]) > 0.1 {
+		t.Errorf("standardized mean input = %v, want ≈ [0 0]", out)
+	}
+	out, err = s.Apply([]float64{7, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 0.1 {
+		t.Errorf("one-sigma input standardized to %v, want ≈ 1", out[0])
+	}
+	if _, err := s.Apply([]float64{1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad dim err = %v", err)
+	}
+	if err := s.Observe([]float64{1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("observe bad dim err = %v", err)
+	}
+	if s.Count() != 5000 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestOnlineStandardizerConstantDim(t *testing.T) {
+	s, _ := NewOnlineStandardizer(1)
+	for i := 0; i < 10; i++ {
+		s.Observe([]float64{4})
+	}
+	out, err := s.Apply([]float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Errorf("constant dim standardized to %v, want 0 (centered, unscaled)", out[0])
+	}
+}
+
+func TestGate(t *testing.T) {
+	if _, err := NewGate(0); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad threshold err = %v", err)
+	}
+	g, err := NewGate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := core.GaussianVec{Mean: tensor.Vector{1, 2}, Var: tensor.Vector{0.01, 0.04}}
+	if d := g.Check(tight); d != Accept {
+		t.Errorf("tight pred decision = %v, want accept", d)
+	}
+	wide := core.GaussianVec{Mean: tensor.Vector{1, 2}, Var: tensor.Vector{4, 4}}
+	if d := g.Check(wide); d != Escalate {
+		t.Errorf("wide pred decision = %v, want escalate", d)
+	}
+	a, e := g.Stats()
+	if a != 1 || e != 1 {
+		t.Errorf("Stats = (%d, %d), want (1, 1)", a, e)
+	}
+	if Accept.String() != "accept" || Escalate.String() != "escalate" {
+		t.Error("Decision strings wrong")
+	}
+}
+
+func buildEstimator(t *testing.T, inputDim int) core.Estimator {
+	t.Helper()
+	net, err := nn.New(nn.Config{
+		InputDim: inputDim, Hidden: []int{8}, OutputDim: 1,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.NewApDeepSense(net, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	win, err := NewWindower(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := NewOnlineStandardizer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, err := NewGate(1000) // accept everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := buildEstimator(t, 8)
+	p, err := NewPipeline(win, std, est, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	results := 0
+	for i := 0; i < 30; i++ {
+		res, err := p.Push([]float64{rng.NormFloat64(), rng.NormFloat64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			results++
+			if res.Pred.Dim() != 1 {
+				t.Fatalf("pred dim = %d", res.Pred.Dim())
+			}
+			if res.Decision != Accept {
+				t.Errorf("decision = %v", res.Decision)
+			}
+		}
+	}
+	// Windows complete at samples 4, 6, 8, ..., 30 → 14 results.
+	if results != 14 {
+		t.Errorf("results = %d, want 14", results)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	win, _ := NewWindower(1, 4, 1)
+	est := buildEstimator(t, 4)
+	if _, err := NewPipeline(nil, nil, est, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil windower err = %v", err)
+	}
+	if _, err := NewPipeline(win, nil, nil, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil estimator err = %v", err)
+	}
+	badStd, _ := NewOnlineStandardizer(3)
+	if _, err := NewPipeline(win, badStd, est, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("dim mismatch err = %v", err)
+	}
+	// nil gate accepts.
+	p, err := NewPipeline(win, nil, est, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Push([]float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Push([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Decision != Accept {
+		t.Error("nil gate should accept")
+	}
+}
+
+func TestPipelineEstimatorDimMismatch(t *testing.T) {
+	win, _ := NewWindower(1, 4, 1)
+	est := buildEstimator(t, 7) // wrong: window dim is 4
+	p, err := NewPipeline(win, nil, est, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Push([]float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Push([]float64{1}); err == nil {
+		t.Error("expected estimator dim error")
+	}
+}

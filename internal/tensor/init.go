@@ -1,0 +1,37 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomUniform fills m with values drawn uniformly from [lo, hi).
+func (m *Matrix) RandomUniform(rng *rand.Rand, lo, hi float64) {
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + span*rng.Float64()
+	}
+}
+
+// RandomNormal fills m with values drawn from N(mean, std²).
+func (m *Matrix) RandomNormal(rng *rand.Rand, mean, std float64) {
+	for i := range m.Data {
+		m.Data[i] = mean + std*rng.NormFloat64()
+	}
+}
+
+// GlorotUniform fills m with the Glorot/Xavier uniform initialization
+// appropriate for Tanh/Sigmoid networks: U(-l, l) with
+// l = sqrt(6 / (fanIn + fanOut)). The matrix orientation is fanIn×fanOut,
+// matching the paper's x W layer convention.
+func (m *Matrix) GlorotUniform(rng *rand.Rand) {
+	l := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	m.RandomUniform(rng, -l, l)
+}
+
+// HeNormal fills m with the He initialization appropriate for ReLU networks:
+// N(0, 2/fanIn).
+func (m *Matrix) HeNormal(rng *rand.Rand) {
+	std := math.Sqrt(2.0 / float64(m.Rows))
+	m.RandomNormal(rng, 0, std)
+}

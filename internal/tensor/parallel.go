@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MulParallel returns m × n, splitting the output rows across up to
+// runtime.GOMAXPROCS goroutines. It falls back to the serial kernel for
+// small matrices where goroutine overhead dominates.
+func (m *Matrix) MulParallel(n *Matrix) (*Matrix, error) {
+	if m.Cols != n.Rows {
+		return nil, fmt.Errorf("matmul-parallel %dx%d × %dx%d: %w", m.Rows, m.Cols, n.Rows, n.Cols, ErrShape)
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	const parallelThreshold = 1 << 16 // ~64k multiply-adds
+	work := m.Rows * m.Cols * n.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || m.Rows < 2 {
+		mulSerial(m, n, out)
+		return out, nil
+	}
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				outRow := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for k := 0; k < m.Cols; k++ {
+					a := m.Data[i*m.Cols+k]
+					if a == 0 {
+						continue
+					}
+					nRow := n.Data[k*n.Cols : (k+1)*n.Cols]
+					for j, b := range nRow {
+						outRow[j] += a * b
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestMulParallelUsesWorkers forces a multi-worker configuration (logical
+// GOMAXPROCS works on any host) so the goroutine fan-out path is exercised,
+// including uneven row chunking.
+func TestMulParallelUsesWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := rand.New(rand.NewSource(11))
+	for _, rows := range []int{3, 64, 65, 130} {
+		a := NewMatrix(rows, 64)
+		b := NewMatrix(64, 48)
+		a.RandomNormal(rng, 0, 1)
+		b.RandomNormal(rng, 0, 1)
+		want, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.MulParallel(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got, 1e-9) {
+			t.Errorf("rows=%d: parallel result differs from serial", rows)
+		}
+	}
+}
+
+func TestVectorFillScaleApply(t *testing.T) {
+	v := NewVector(3)
+	if len(v) != 3 || v[0] != 0 {
+		t.Fatalf("NewVector = %v", v)
+	}
+	v.Fill(2)
+	if v[2] != 2 {
+		t.Errorf("Fill: %v", v)
+	}
+	s := v.Scale(1.5)
+	if s[0] != 3 || v[0] != 2 {
+		t.Errorf("Scale = %v (orig %v)", s, v)
+	}
+	// Vector Equal rejects length mismatch.
+	if v.Equal(Vector{2, 2}, 0) {
+		t.Error("Equal accepted length mismatch")
+	}
+}
+
+func TestMatrixFillApplyEqual(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Fill(3)
+	if m.At(1, 1) != 3 {
+		t.Errorf("Fill: %v", m.Data)
+	}
+	sq := m.Apply(func(x float64) float64 { return x * x })
+	if sq.At(0, 0) != 9 || m.At(0, 0) != 3 {
+		t.Error("Apply mutated or miscomputed")
+	}
+	if m.Equal(NewMatrix(3, 2), 0) {
+		t.Error("Equal accepted shape mismatch")
+	}
+}
+
+func TestVectorAddInPlace(t *testing.T) {
+	v := Vector{1, 2}
+	if err := v.AddInPlace(Vector{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if v[1] != 22 {
+		t.Errorf("AddInPlace: %v", v)
+	}
+}

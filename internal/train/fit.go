@@ -1,0 +1,352 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// Config controls Fit.
+type Config struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the minibatch size (gradients averaged per batch).
+	BatchSize int
+	// Seed drives shuffling and dropout masks.
+	Seed int64
+	// Loss is the training objective.
+	Loss Loss
+	// Optimizer applies the parameter updates.
+	Optimizer Optimizer
+	// WeightDecay is the L2 regularization coefficient applied to weights
+	// (not biases). With dropout training this corresponds to the Gaussian
+	// prior length-scale of the variational interpretation (Gal &
+	// Ghahramani).
+	WeightDecay float64
+	// ClipNorm clips the global gradient norm per batch; 0 disables.
+	ClipNorm float64
+	// EarlyStopPatience stops after this many epochs without validation
+	// improvement and restores the best weights; 0 disables. Requires a
+	// non-empty validation set.
+	EarlyStopPatience int
+	// Logf, when non-nil, receives one line per epoch.
+	Logf func(format string, args ...any)
+}
+
+// History records per-epoch losses.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	// BestEpoch is the epoch (0-based) whose weights the network holds
+	// after early stopping, or the last epoch otherwise.
+	BestEpoch int
+}
+
+func (c *Config) validate(nTrain int) error {
+	if c.Epochs < 1 {
+		return fmt.Errorf("epochs %d: %w", c.Epochs, ErrConfig)
+	}
+	if c.BatchSize < 1 || c.BatchSize > nTrain {
+		return fmt.Errorf("batch size %d with %d samples: %w", c.BatchSize, nTrain, ErrConfig)
+	}
+	if c.Loss == nil {
+		return fmt.Errorf("nil loss: %w", ErrConfig)
+	}
+	if c.Optimizer == nil {
+		return fmt.Errorf("nil optimizer: %w", ErrConfig)
+	}
+	if c.WeightDecay < 0 || c.ClipNorm < 0 {
+		return fmt.Errorf("negative regularization: %w", ErrConfig)
+	}
+	return nil
+}
+
+// workspace holds per-network scratch buffers reused across samples.
+type workspace struct {
+	masked [][]float64 // per layer: input after dropout mask
+	mask   [][]bool    // per layer: dropout mask (true = kept)
+	pre    [][]float64 // per layer: pre-activation y
+	act    [][]float64 // per layer: post-activation output
+	delta  [][]float64 // per layer: dLoss/dPre
+	gradW  []*tensor.Matrix
+	gradB  []tensor.Vector
+	lossG  tensor.Vector
+}
+
+func newWorkspace(net *nn.Network) *workspace {
+	layers := net.Layers()
+	ws := &workspace{
+		masked: make([][]float64, len(layers)),
+		mask:   make([][]bool, len(layers)),
+		pre:    make([][]float64, len(layers)),
+		act:    make([][]float64, len(layers)),
+		delta:  make([][]float64, len(layers)),
+		gradW:  make([]*tensor.Matrix, len(layers)),
+		gradB:  make([]tensor.Vector, len(layers)),
+		lossG:  tensor.NewVector(net.OutputDim()),
+	}
+	for i, l := range layers {
+		ws.masked[i] = make([]float64, l.InDim())
+		ws.mask[i] = make([]bool, l.InDim())
+		ws.pre[i] = make([]float64, l.OutDim())
+		ws.act[i] = make([]float64, l.OutDim())
+		ws.delta[i] = make([]float64, l.OutDim())
+		ws.gradW[i] = tensor.NewMatrix(l.W.Rows, l.W.Cols)
+		ws.gradB[i] = tensor.NewVector(len(l.B))
+	}
+	return ws
+}
+
+func (ws *workspace) zeroGrads() {
+	for i := range ws.gradW {
+		ws.gradW[i].Fill(0)
+		ws.gradB[i].Fill(0)
+	}
+}
+
+// forwardBackward accumulates one sample's gradients into the workspace and
+// returns the sample loss.
+func forwardBackward(net *nn.Network, s Sample, loss Loss, ws *workspace, rng *rand.Rand) (float64, error) {
+	layers := net.Layers()
+
+	// Forward with sampled dropout masks, recording intermediates.
+	input := []float64(s.X)
+	for li, l := range layers {
+		masked := ws.masked[li]
+		mask := ws.mask[li]
+		copy(masked, input)
+		for i := range mask {
+			mask[i] = true
+		}
+		if l.KeepProb < 1 {
+			for i := range masked {
+				if rng.Float64() >= l.KeepProb {
+					masked[i] = 0
+					mask[i] = false
+				}
+			}
+		}
+		pre := ws.pre[li]
+		l.W.MulVecInto(masked, pre)
+		out := ws.act[li]
+		for j := range pre {
+			pre[j] += l.B[j]
+			out[j] = l.Act.Apply(pre[j])
+		}
+		input = out
+	}
+
+	lv, err := loss.Eval(tensor.Vector(input), s.Y, ws.lossG)
+	if err != nil {
+		return 0, err
+	}
+
+	// Backward.
+	grad := []float64(ws.lossG)
+	for li := len(layers) - 1; li >= 0; li-- {
+		l := layers[li]
+		delta := ws.delta[li]
+		pre := ws.pre[li]
+		for j := range delta {
+			delta[j] = grad[j] * l.Act.Derivative(pre[j])
+		}
+		// Weight and bias gradients.
+		masked := ws.masked[li]
+		gw := ws.gradW[li]
+		for i, xi := range masked {
+			if xi == 0 {
+				continue
+			}
+			row := gw.Data[i*gw.Cols : (i+1)*gw.Cols]
+			for j, dj := range delta {
+				row[j] += xi * dj
+			}
+		}
+		gb := ws.gradB[li]
+		for j, dj := range delta {
+			gb[j] += dj
+		}
+		// Input gradient for the next (lower) layer: (W delta) masked.
+		if li > 0 {
+			next := ws.act[li-1] // reuse as scratch: act[li-1] no longer needed
+			w := l.W
+			mask := ws.mask[li]
+			for i := range next {
+				if !mask[i] {
+					next[i] = 0
+					continue
+				}
+				row := w.Data[i*w.Cols : (i+1)*w.Cols]
+				var sAcc float64
+				for j, dj := range delta {
+					sAcc += row[j] * dj
+				}
+				next[i] = sAcc
+			}
+			grad = next
+		}
+	}
+	return lv, nil
+}
+
+// Fit trains net in place on trainSet, optionally early-stopping on valSet,
+// and returns the loss history. The network's dropout keep probabilities are
+// respected during training (masks sampled per example), exactly the setting
+// ApDeepSense requires of its pre-trained models.
+func Fit(net *nn.Network, trainSet, valSet []Sample, cfg Config) (*History, error) {
+	if err := cfg.validate(len(trainSet)); err != nil {
+		return nil, err
+	}
+	if cfg.EarlyStopPatience > 0 && len(valSet) == 0 {
+		return nil, fmt.Errorf("early stopping needs a validation set: %w", ErrConfig)
+	}
+	for i, s := range trainSet {
+		if len(s.X) != net.InputDim() || len(s.Y) == 0 {
+			return nil, fmt.Errorf("sample %d: dims X=%d Y=%d: %w", i, len(s.X), len(s.Y), ErrConfig)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ws := newWorkspace(net)
+	layers := net.Layers()
+	hist := &History{}
+
+	perm := make([]int, len(trainSet))
+	for i := range perm {
+		perm[i] = i
+	}
+
+	bestVal := math.Inf(1)
+	var bestNet *nn.Network
+	sinceBest := 0
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			ws.zeroGrads()
+			for _, idx := range perm[start:end] {
+				lv, err := forwardBackward(net, trainSet[idx], cfg.Loss, ws, rng)
+				if err != nil {
+					return nil, fmt.Errorf("train: sample %d: %w", idx, err)
+				}
+				epochLoss += lv
+			}
+			scale := 1.0 / float64(end-start)
+			applyUpdate(layers, ws, cfg, scale)
+		}
+		epochLoss /= float64(len(perm))
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+
+		if len(valSet) > 0 {
+			vl, err := EvalLoss(net, valSet, cfg.Loss)
+			if err != nil {
+				return nil, err
+			}
+			hist.ValLoss = append(hist.ValLoss, vl)
+			if cfg.Logf != nil {
+				cfg.Logf("epoch %d: train %.5f val %.5f", epoch, epochLoss, vl)
+			}
+			if vl < bestVal {
+				bestVal = vl
+				hist.BestEpoch = epoch
+				sinceBest = 0
+				if cfg.EarlyStopPatience > 0 {
+					bestNet = net.Clone()
+				}
+			} else if cfg.EarlyStopPatience > 0 {
+				sinceBest++
+				if sinceBest >= cfg.EarlyStopPatience {
+					break
+				}
+			}
+		} else {
+			hist.BestEpoch = epoch
+			if cfg.Logf != nil {
+				cfg.Logf("epoch %d: train %.5f", epoch, epochLoss)
+			}
+		}
+	}
+
+	if bestNet != nil {
+		// Restore best-validation weights in place.
+		cur := net.Layers()
+		for i, l := range bestNet.Layers() {
+			copy(cur[i].W.Data, l.W.Data)
+			copy(cur[i].B, l.B)
+		}
+	}
+	return hist, nil
+}
+
+// applyUpdate folds regularization into the batch gradients and steps the
+// optimizer. scale is 1/batchSize.
+func applyUpdate(layers []*nn.Layer, ws *workspace, cfg Config, scale float64) {
+	// Scale gradients to the batch mean and add weight decay.
+	for li, l := range layers {
+		gw := ws.gradW[li]
+		for i := range gw.Data {
+			gw.Data[i] = gw.Data[i]*scale + cfg.WeightDecay*l.W.Data[i]
+		}
+		gb := ws.gradB[li]
+		for i := range gb {
+			gb[i] *= scale
+		}
+	}
+	if cfg.ClipNorm > 0 {
+		var norm2 float64
+		for li := range layers {
+			for _, g := range ws.gradW[li].Data {
+				norm2 += g * g
+			}
+			for _, g := range ws.gradB[li] {
+				norm2 += g * g
+			}
+		}
+		if norm := math.Sqrt(norm2); norm > cfg.ClipNorm {
+			f := cfg.ClipNorm / norm
+			for li := range layers {
+				for i := range ws.gradW[li].Data {
+					ws.gradW[li].Data[i] *= f
+				}
+				for i := range ws.gradB[li] {
+					ws.gradB[li][i] *= f
+				}
+			}
+		}
+	}
+	cfg.Optimizer.BeginStep()
+	for li, l := range layers {
+		cfg.Optimizer.Update(2*li, l.W.Data, ws.gradW[li].Data)
+		cfg.Optimizer.Update(2*li+1, l.B, ws.gradB[li])
+	}
+}
+
+// EvalLoss computes the mean loss of the deterministic (weight-scaled)
+// network over a dataset.
+func EvalLoss(net *nn.Network, set []Sample, loss Loss) (float64, error) {
+	if len(set) == 0 {
+		return 0, fmt.Errorf("empty evaluation set: %w", ErrConfig)
+	}
+	grad := tensor.NewVector(net.OutputDim())
+	var total float64
+	for i, s := range set {
+		pred, err := net.Forward(s.X)
+		if err != nil {
+			return 0, fmt.Errorf("eval sample %d: %w", i, err)
+		}
+		lv, err := loss.Eval(pred, s.Y, grad)
+		if err != nil {
+			return 0, fmt.Errorf("eval sample %d: %w", i, err)
+		}
+		total += lv
+	}
+	return total / float64(len(set)), nil
+}

@@ -1,0 +1,133 @@
+// Package train implements from-scratch gradient training for the
+// fully-connected dropout networks in internal/nn: hand-derived
+// backpropagation, SGD and Adam optimizers, and the loss functions the paper
+// and its baselines need (mean-squared error and softmax cross-entropy for
+// the dropout networks, heteroscedastic Gaussian NLL for RDeepSense).
+package train
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// ErrConfig is returned (wrapped) for invalid training configurations.
+var ErrConfig = errors.New("train: invalid configuration")
+
+// Sample is one supervised example. For classification, Y is a one-hot
+// vector; for regression, the target vector.
+type Sample struct {
+	X tensor.Vector
+	Y tensor.Vector
+}
+
+// Loss maps a prediction and target to a scalar loss and its gradient with
+// respect to the prediction.
+type Loss interface {
+	// Name identifies the loss in logs.
+	Name() string
+	// Eval returns the loss value and dLoss/dPred. grad must have the
+	// prediction's length.
+	Eval(pred, target tensor.Vector, grad tensor.Vector) (float64, error)
+}
+
+// MSE is the mean squared error over output dimensions, the regression
+// training loss used for the paper's dropout networks (§II-B: dropout nets
+// trained with mean square error are variational deep Gaussian processes).
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Eval implements Loss.
+func (MSE) Eval(pred, target, grad tensor.Vector) (float64, error) {
+	if len(pred) != len(target) || len(grad) != len(pred) {
+		return 0, fmt.Errorf("mse: dims pred=%d target=%d grad=%d: %w", len(pred), len(target), len(grad), ErrConfig)
+	}
+	inv := 1.0 / float64(len(pred))
+	var loss float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d * inv
+		grad[i] = 2 * d * inv
+	}
+	return loss, nil
+}
+
+// SoftmaxCrossEntropy fuses a softmax over the network's identity-activation
+// logits with the cross-entropy against a one-hot target. The fused gradient
+// is softmax(pred) − target.
+type SoftmaxCrossEntropy struct{}
+
+// Name implements Loss.
+func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+
+// Eval implements Loss.
+func (SoftmaxCrossEntropy) Eval(pred, target, grad tensor.Vector) (float64, error) {
+	if len(pred) != len(target) || len(grad) != len(pred) {
+		return 0, fmt.Errorf("xent: dims pred=%d target=%d grad=%d: %w", len(pred), len(target), len(grad), ErrConfig)
+	}
+	p := core.Softmax(pred)
+	var loss float64
+	for i := range p {
+		if target[i] > 0 {
+			loss -= target[i] * math.Log(math.Max(p[i], 1e-300))
+		}
+		grad[i] = p[i] - target[i]
+	}
+	return loss, nil
+}
+
+// HeteroscedasticNLL is the RDeepSense regression head loss: the network
+// outputs 2·D values — D means followed by D log-variances — and the loss is
+// the Gaussian negative log-likelihood, optionally blended with MSE on the
+// mean (weight Alpha toward NLL, 1−Alpha toward MSE), which is the
+// bias-variance tuning knob of the RDeepSense paper.
+type HeteroscedasticNLL struct {
+	// Alpha in [0, 1] weights NLL vs MSE. 1 = pure NLL.
+	Alpha float64
+	// LogVarMin and LogVarMax clamp the predicted log-variance for
+	// stability. Zero values default to [-8, 8].
+	LogVarMin, LogVarMax float64
+}
+
+// Name implements Loss.
+func (h HeteroscedasticNLL) Name() string { return "hetero-nll" }
+
+// Eval implements Loss.
+func (h HeteroscedasticNLL) Eval(pred, target, grad tensor.Vector) (float64, error) {
+	d := len(target)
+	if len(pred) != 2*d || len(grad) != len(pred) {
+		return 0, fmt.Errorf("hetero-nll: pred=%d, want 2*target=%d: %w", len(pred), 2*d, ErrConfig)
+	}
+	lo, hi := h.LogVarMin, h.LogVarMax
+	if lo == 0 && hi == 0 {
+		lo, hi = -8, 8
+	}
+	alpha := h.Alpha
+	inv := 1.0 / float64(d)
+	var loss float64
+	for i := 0; i < d; i++ {
+		mu := pred[i]
+		lv := pred[d+i]
+		clamped := math.Min(math.Max(lv, lo), hi)
+		diff := mu - target[i]
+		prec := math.Exp(-clamped)
+
+		nll := 0.5 * (clamped + diff*diff*prec)
+		mse := diff * diff
+		loss += (alpha*nll + (1-alpha)*mse) * inv
+
+		gradMu := alpha*diff*prec + (1-alpha)*2*diff
+		gradLv := 0.0
+		if lv > lo && lv < hi { // clamp is flat outside
+			gradLv = alpha * 0.5 * (1 - diff*diff*prec)
+		}
+		grad[i] = gradMu * inv
+		grad[d+i] = gradLv * inv
+	}
+	return loss, nil
+}

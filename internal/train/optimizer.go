@@ -1,0 +1,107 @@
+package train
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameter slices from gradient slices. Parameters are
+// addressed by a stable slot index so stateful optimizers (momentum, Adam)
+// can keep per-parameter state.
+type Optimizer interface {
+	// Name identifies the optimizer in logs.
+	Name() string
+	// BeginStep marks the start of one optimization step (one minibatch).
+	BeginStep()
+	// Update applies the gradient to the parameter slice in place. param and
+	// grad must have equal length, constant per slot across calls.
+	Update(slot int, param, grad []float64)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	lr       float64
+	momentum float64
+	vel      map[int][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum
+// coefficient (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, momentum: momentum, vel: make(map[int][]float64)}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return fmt.Sprintf("sgd(lr=%g,m=%g)", s.lr, s.momentum) }
+
+// BeginStep implements Optimizer.
+func (s *SGD) BeginStep() {}
+
+// Update implements Optimizer.
+func (s *SGD) Update(slot int, param, grad []float64) {
+	if s.momentum == 0 {
+		for i := range param {
+			param[i] -= s.lr * grad[i]
+		}
+		return
+	}
+	v, ok := s.vel[slot]
+	if !ok {
+		v = make([]float64, len(param))
+		s.vel[slot] = v
+	}
+	for i := range param {
+		v[i] = s.momentum*v[i] - s.lr*grad[i]
+		param[i] += v[i]
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	t                     int
+	m, v                  map[int][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard hyper-parameters
+// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		m: make(map[int][]float64), v: make(map[int][]float64),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return fmt.Sprintf("adam(lr=%g)", a.lr) }
+
+// BeginStep implements Optimizer.
+func (a *Adam) BeginStep() { a.t++ }
+
+// Update implements Optimizer.
+func (a *Adam) Update(slot int, param, grad []float64) {
+	m, ok := a.m[slot]
+	if !ok {
+		m = make([]float64, len(param))
+		a.m[slot] = m
+	}
+	v, ok := a.v[slot]
+	if !ok {
+		v = make([]float64, len(param))
+		a.v[slot] = v
+	}
+	t := a.t
+	if t < 1 {
+		t = 1
+	}
+	c1 := 1 - math.Pow(a.beta1, float64(t))
+	c2 := 1 - math.Pow(a.beta2, float64(t))
+	for i := range param {
+		g := grad[i]
+		m[i] = a.beta1*m[i] + (1-a.beta1)*g
+		v[i] = a.beta2*v[i] + (1-a.beta2)*g*g
+		mHat := m[i] / c1
+		vHat := v[i] / c2
+		param[i] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
+	}
+}

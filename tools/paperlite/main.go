@@ -1,0 +1,47 @@
+// Command paperlite runs one task's full estimator grid at the paper's
+// 512-wide architecture (with a reduced epoch budget so it completes in
+// minutes on one core), recording how the quality ordering shifts with
+// width. Its output backs the paper-scale remarks in EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/apdeepsense/apdeepsense/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperlite: ")
+	task := "NYCommute"
+	if len(os.Args) > 1 {
+		task = os.Args[1]
+	}
+	scale := experiments.Scale{
+		Name:   "paperlite",
+		Hidden: []int{512, 512, 512, 512},
+		Epochs: 8, BatchSize: 64, DataFraction: 0.6,
+	}
+	runner, err := experiments.NewRunner(scale,
+		experiments.WithModelDir("models"),
+		experiments.WithLogf(func(f string, a ...any) { log.Printf(f, a...) }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := map[string]int{"BPEst": 1, "NYCommute": 2, "GasSen": 3, "HHAR": 4}[task]
+	tbl, err := runner.Table(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := tbl.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(text)
+	if err := os.WriteFile(fmt.Sprintf("results/paperlite-table%d.txt", n), []byte(text), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
