@@ -1,0 +1,17 @@
+# Developer entry points. `make check` is the pre-merge gate: vet + build +
+# race tests over the numeric hot paths + the batched propagation benchmark
+# (results/BENCH_batch.json).
+
+.PHONY: check test bench build
+
+check:
+	./tools/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -run NONE -bench . -benchtime 2s .

@@ -88,12 +88,27 @@ func NewMCDrop(net *Network, k int, obsVar float64, seed int64) (*mcdrop.Estimat
 	return mcdrop.New(net, k, obsVar, seed)
 }
 
-// Parallel batch inference over any estimator (worker-pool fan-out).
+// Batch inference vocabulary: estimators implementing BatchPredictor get the
+// matrix-level fast path (one blocked matrix–matrix pass per layer for the
+// whole batch); everything else falls back to a worker-pool fan-out.
+type (
+	// GaussianBatch is a batch of diagonal Gaussians as B×D moment matrices.
+	GaussianBatch = core.GaussianBatch
+	// BatchPredictor is the batched counterpart of Estimator.Predict.
+	BatchPredictor = core.BatchPredictor
+	// BatchProbsPredictor is the batched counterpart of PredictProbs.
+	BatchProbsPredictor = core.BatchProbsPredictor
+)
+
+// Batch inference over any estimator (fast path or worker-pool fan-out).
 var (
-	// PredictBatch runs Predict over a batch of inputs concurrently.
+	// PredictBatch runs Predict over a batch of inputs, using the
+	// matrix-level fast path when the estimator supports it.
 	PredictBatch = core.PredictBatch
-	// PredictProbsBatch runs PredictProbs over a batch concurrently.
+	// PredictProbsBatch runs PredictProbs over a batch the same way.
 	PredictProbsBatch = core.PredictProbsBatch
+	// NewGaussianBatch allocates a zero batch of b Gaussians of dimension d.
+	NewGaussianBatch = core.NewGaussianBatch
 )
 
 // Convolutional extension re-exports (paper §VI future work, internal/conv).

@@ -220,6 +220,106 @@ func BenchmarkActivationMomentsTanh7(b *testing.B) {
 	_, _ = m, v
 }
 
+// batchNet builds the 2-hidden-layer 256-unit network of the batched-path
+// acceptance benchmark (5 → 256 → 256 → 1).
+func batchNet(b *testing.B, act nn.Activation) *nn.Network {
+	b.Helper()
+	net, err := nn.New(nn.Config{
+		InputDim: 5, Hidden: []int{256, 256}, OutputDim: 1,
+		Activation: act, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func batchBenchInputs(n int) []tensor.Vector {
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([]tensor.Vector, n)
+	for i := range inputs {
+		v := make(tensor.Vector, 5)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		inputs[i] = v
+	}
+	return inputs
+}
+
+// benchmarkPropagateSequential is the per-sample baseline: the batch pushed
+// through Propagate one vector at a time, as PredictBatch did before the
+// matrix-level path existed. One benchmark op = one 64-sample batch.
+func benchmarkPropagateSequential(b *testing.B, act nn.Activation, batch int) {
+	prop, err := core.NewPropagator(batchNet(b, act), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := batchBenchInputs(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range inputs {
+			if _, err := prop.Propagate(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchmarkPropagateBatch is the batched matrix-level path over the same
+// inputs. One benchmark op = one 64-sample batch, so ns/op is directly
+// comparable with the sequential baseline.
+func benchmarkPropagateBatch(b *testing.B, act nn.Activation, batch int) {
+	prop, err := core.NewPropagator(batchNet(b, act), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := batchBenchInputs(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prop.PropagateBatch(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPropagateSequential64ReLU vs BenchmarkPropagateBatch64ReLU is the
+// acceptance pair: the batched path must be >= 2x the sequential loop at
+// batch size 64 on the 2-hidden-layer 256-unit network.
+func BenchmarkPropagateSequential64ReLU(b *testing.B) {
+	benchmarkPropagateSequential(b, nn.ActReLU, 64)
+}
+
+// BenchmarkPropagateBatch64ReLU is the batched counterpart.
+func BenchmarkPropagateBatch64ReLU(b *testing.B) { benchmarkPropagateBatch(b, nn.ActReLU, 64) }
+
+// BenchmarkPropagateSequential64Tanh is the sequential baseline with the
+// 7-piece tanh approximation, where activation moments dominate.
+func BenchmarkPropagateSequential64Tanh(b *testing.B) {
+	benchmarkPropagateSequential(b, nn.ActTanh, 64)
+}
+
+// BenchmarkPropagateBatch64Tanh is the batched counterpart.
+func BenchmarkPropagateBatch64Tanh(b *testing.B) { benchmarkPropagateBatch(b, nn.ActTanh, 64) }
+
+// BenchmarkDenseMatMul64x512 is the blocked matrix–matrix kernel feeding the
+// batched path, directly comparable (per 64 rows) with 64 MulVecInto calls.
+func BenchmarkDenseMatMul64x512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.NewMatrix(512, 512)
+	w.RandomNormal(rng, 0, 1)
+	x := tensor.NewMatrix(64, 512)
+	x.RandomNormal(rng, 0, 1)
+	dst := tensor.NewMatrix(64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.MulInto(w, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDenseMatVec512 is the 512×512 dense kernel underlying every pass.
 func BenchmarkDenseMatVec512(b *testing.B) {
 	w := tensor.NewMatrix(512, 512)

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/report"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// batchSizes is the sweep recorded by -batch.
+var batchSizes = []int{1, 8, 16, 32, 64, 128, 256}
+
+// batchBenchEntry is one row of BENCH_batch.json.
+type batchBenchEntry struct {
+	Activation        string  `json:"activation"`
+	Batch             int     `json:"batch"`
+	SequentialNsPerOp float64 `json:"sequential_ns_per_sample"`
+	BatchNsPerOp      float64 `json:"batch_ns_per_sample"`
+	Speedup           float64 `json:"speedup"`
+	SequentialPerSec  float64 `json:"sequential_samples_per_sec"`
+	BatchPerSec       float64 `json:"batch_samples_per_sec"`
+}
+
+type batchBenchReport struct {
+	Network   string            `json:"network"`
+	KeepProb  float64           `json:"keep_prob"`
+	Timestamp string            `json:"timestamp"`
+	Entries   []batchBenchEntry `json:"entries"`
+}
+
+// emitBatchBench measures per-sample Propagate against the matrix-level
+// PropagateBatch on the 2-hidden-layer 256-unit network across batch sizes,
+// prints the comparison, and records it as BENCH_batch.json under dir.
+func emitBatchBench(dir string) error {
+	rep := batchBenchReport{
+		Network:   "5-256-256-1",
+		KeepProb:  0.9,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	tbl := &report.Table{
+		Title:   "Batched moment propagation vs per-sample loop (5-256-256-1)",
+		Headers: []string{"act", "batch", "seq µs/sample", "batch µs/sample", "speedup", "batch samples/s"},
+	}
+	for _, act := range []nn.Activation{nn.ActReLU, nn.ActTanh} {
+		net, err := nn.New(nn.Config{
+			InputDim: 5, Hidden: []int{256, 256}, OutputDim: 1,
+			Activation: act, OutputActivation: nn.ActIdentity,
+			KeepProb: rep.KeepProb, Seed: 1,
+		})
+		if err != nil {
+			return fmt.Errorf("batch bench: %w", err)
+		}
+		prop, err := core.NewPropagator(net, core.Options{})
+		if err != nil {
+			return fmt.Errorf("batch bench: %w", err)
+		}
+		for _, b := range batchSizes {
+			inputs := benchBatchInputs(b, net.InputDim())
+			seq := timePerBatch(func() error {
+				for _, x := range inputs {
+					if _, err := prop.Propagate(x); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			bat := timePerBatch(func() error {
+				_, err := prop.PropagateBatch(inputs)
+				return err
+			})
+			e := batchBenchEntry{
+				Activation:        act.String(),
+				Batch:             b,
+				SequentialNsPerOp: seq / float64(b),
+				BatchNsPerOp:      bat / float64(b),
+				Speedup:           seq / bat,
+				SequentialPerSec:  float64(b) * 1e9 / seq,
+				BatchPerSec:       float64(b) * 1e9 / bat,
+			}
+			rep.Entries = append(rep.Entries, e)
+			tbl.AddRow(e.Activation, fmt.Sprint(b),
+				fmt.Sprintf("%.1f", e.SequentialNsPerOp/1e3),
+				fmt.Sprintf("%.1f", e.BatchNsPerOp/1e3),
+				fmt.Sprintf("%.2fx", e.Speedup),
+				fmt.Sprintf("%.0f", e.BatchPerSec),
+			)
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"sequential = Propagate per sample; batch = PropagateBatch over the whole batch")
+
+	text, err := tbl.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_batch.json"), append(js, '\n'), 0o644)
+}
+
+func benchBatchInputs(n, dim int) []tensor.Vector {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]tensor.Vector, n)
+	for i := range out {
+		v := make(tensor.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// timePerBatch returns the nanoseconds one call of fn takes, measured over
+// enough repetitions to amortize timer noise (at least 5 calls and 200 ms
+// after a warmup call). fn errors panic: benchmark inputs are well-formed by
+// construction.
+func timePerBatch(fn func() error) float64 {
+	check := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("apds-bench batch: %v", err))
+		}
+	}
+	check(fn()) // warmup
+	const (
+		minReps = 5
+		minTime = 200 * time.Millisecond
+	)
+	var reps int
+	var elapsed time.Duration
+	for start := time.Now(); reps < minReps || elapsed < minTime; elapsed = time.Since(start) {
+		check(fn())
+		reps++
+	}
+	return float64(elapsed.Nanoseconds()) / float64(reps)
+}

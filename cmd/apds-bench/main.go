@@ -9,6 +9,7 @@
 //	apds-bench -table 1                  # one table
 //	apds-bench -fig 2                    # one figure
 //	apds-bench -scale quick -all         # fast smoke run
+//	apds-bench -batch                    # batched-vs-sequential propagation benchmark
 package main
 
 import (
@@ -41,12 +42,13 @@ func run(args []string) error {
 	all := fs.Bool("all", false, "regenerate every table and figure")
 	ablations := fs.Bool("ablations", false, "also run the ablation studies (PWL pieces, softmax link, variance bias)")
 	verify := fs.Bool("verify", false, "check the paper's qualitative claims against measured results")
+	batch := fs.Bool("batch", false, "benchmark batched vs per-sample moment propagation (writes BENCH_batch.json)")
 	verbose := fs.Bool("v", false, "log progress")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, or -verify")
+	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, or -batch")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -105,6 +107,11 @@ func run(args []string) error {
 	}
 	if *verify {
 		if err := emitVerify(runner, *resultDir); err != nil {
+			return err
+		}
+	}
+	if *batch {
+		if err := emitBatchBench(*resultDir); err != nil {
 			return err
 		}
 	}

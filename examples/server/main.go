@@ -3,19 +3,27 @@
 // model at startup (for a self-contained demo; production would load one
 // with -model), then serves:
 //
-//	POST /predict   {"input": [..]}      → {"mean": [...], "std": [...], ...}
-//	GET  /healthz                        → model summary + modeled device cost
+//	POST /predict   {"input": [..]}        → {"mean": [...], "std": [...], ...}
+//	POST /predict   {"inputs": [[..],..]}  → {"results": [{"mean":..}, ...], ...}
+//	GET  /healthz                          → model summary + modeled device cost
+//
+// Batch requests go through the matrix-level PropagateBatch fast path: the
+// whole batch moves through each layer together, so a gateway flushing a
+// window of sensor readings pays far less than per-sample calls.
 //
 // Run with:
 //
 //	go run ./examples/server            # listens on :8080
 //	curl -s localhost:8080/predict -d '{"input":[0.3]}'
+//	curl -s localhost:8080/predict -d '{"inputs":[[0.3],[-1.2]]}'
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
@@ -104,17 +112,57 @@ func trainDemoModel() (*apds.Network, error) {
 	return net, err
 }
 
+// maxRequestBytes bounds /predict request bodies: an unauthenticated gateway
+// endpoint must not buffer arbitrarily large payloads. 1 MiB fits a batch of
+// thousands of typical sensor windows.
+const maxRequestBytes = 1 << 20
+
 type predictRequest struct {
-	Input []float64 `json:"input"`
+	Input  []float64   `json:"input"`
+	Inputs [][]float64 `json:"inputs"`
+}
+
+type sampleResult struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
 }
 
 type predictResponse struct {
-	Mean []float64 `json:"mean"`
-	Std  []float64 `json:"std"`
+	Mean []float64 `json:"mean,omitempty"`
+	Std  []float64 `json:"std,omitempty"`
+	// Results holds per-sample outputs for batch ("inputs") requests.
+	Results []sampleResult `json:"results,omitempty"`
 	// ModeledEdisonMs is the device model's per-inference latency estimate.
 	ModeledEdisonMs float64 `json:"modeled_edison_ms"`
 	// HostMicros is the actual service-side inference time.
 	HostMicros int64 `json:"host_micros"`
+}
+
+// decodePredict parses a /predict body that has already been wrapped with
+// MaxBytesReader. It rejects payloads with trailing garbage after the JSON
+// object, bodies over the size limit, and requests that set both or neither
+// of "input" and "inputs".
+func decodePredict(body io.Reader) (predictRequest, error) {
+	var req predictRequest
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return req, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return req, fmt.Errorf("malformed JSON: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return req, errors.New("trailing data after JSON object")
+	}
+	hasOne, hasBatch := req.Input != nil, req.Inputs != nil
+	switch {
+	case hasOne && hasBatch:
+		return req, errors.New(`set either "input" or "inputs", not both`)
+	case !hasOne && !hasBatch:
+		return req, errors.New(`missing "input" or "inputs"`)
+	}
+	return req, nil
 }
 
 func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -122,35 +170,63 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	req, err := decodePredict(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	if len(req.Input) != s.net.InputDim() {
-		http.Error(w, fmt.Sprintf("input has %d values, model expects %d",
-			len(req.Input), s.net.InputDim()), http.StatusBadRequest)
-		return
-	}
+
+	resp := predictResponse{ModeledEdisonMs: s.device.TimeMillis(s.est.Cost())}
 	start := time.Now()
-	g, err := s.est.Predict(req.Input)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	if req.Input != nil {
+		if len(req.Input) != s.net.InputDim() {
+			http.Error(w, fmt.Sprintf("input has %d values, model expects %d",
+				len(req.Input), s.net.InputDim()), http.StatusBadRequest)
+			return
+		}
+		g, err := s.est.Predict(req.Input)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Mean, resp.Std = g.Mean, stds(g)
+	} else {
+		inputs := make([]apds.Vector, len(req.Inputs))
+		for i, x := range req.Inputs {
+			if len(x) != s.net.InputDim() {
+				http.Error(w, fmt.Sprintf("inputs[%d] has %d values, model expects %d",
+					i, len(x), s.net.InputDim()), http.StatusBadRequest)
+				return
+			}
+			inputs[i] = x
+		}
+		// PredictBatch takes the matrix-level fast path for ApDeepSense
+		// estimators: the whole batch crosses each layer together.
+		gs, err := apds.PredictBatch(s.est, inputs, 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Results = make([]sampleResult, len(gs))
+		for i, g := range gs {
+			resp.Results[i] = sampleResult{Mean: g.Mean, Std: stds(g)}
+		}
 	}
-	resp := predictResponse{
-		Mean:            g.Mean,
-		Std:             make([]float64, g.Dim()),
-		ModeledEdisonMs: s.device.TimeMillis(s.est.Cost()),
-		HostMicros:      time.Since(start).Microseconds(),
-	}
-	for i := range resp.Std {
-		resp.Std[i] = g.Std(i)
-	}
+	resp.HostMicros = time.Since(start).Microseconds()
+
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("encode response: %v", err)
 	}
+}
+
+// stds extracts per-dimension standard deviations.
+func stds(g apds.GaussianVec) []float64 {
+	out := make([]float64, g.Dim())
+	for i := range out {
+		out[i] = g.Std(i)
+	}
+	return out
 }
 
 func (s *service) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+// testService builds a service around a small untrained network so handler
+// tests don't pay the demo-training cost.
+func testService(t *testing.T) *service {
+	t.Helper()
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 2, Hidden: []int{8}, OutputDim: 1,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := apds.New(net, apds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &service{est: est, net: net, device: apds.NewEdison()}
+}
+
+func post(t *testing.T, svc *service, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	svc.handlePredict(rec, req)
+	return rec
+}
+
+func TestHandlePredictSingle(t *testing.T) {
+	rec := post(t, testService(t), `{"input":[0.5,-1]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Mean) != 1 || len(resp.Std) != 1 || resp.Results != nil {
+		t.Errorf("unexpected single response shape: %+v", resp)
+	}
+}
+
+// TestHandlePredictBatch checks the "inputs" form returns one result per
+// sample, matching the single-sample endpoint.
+func TestHandlePredictBatch(t *testing.T) {
+	svc := testService(t)
+	rec := post(t, svc, `{"inputs":[[0.5,-1],[2,0.25],[-3,1]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 || resp.Mean != nil {
+		t.Fatalf("unexpected batch response shape: %+v", resp)
+	}
+	single := post(t, svc, `{"input":[0.5,-1]}`)
+	var want predictResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Mean[0] != want.Mean[0] || resp.Results[0].Std[0] != want.Std[0] {
+		t.Errorf("batch result %v differs from single-sample result %v", resp.Results[0], want)
+	}
+}
+
+// TestHandlePredictRejects pins the 400 paths: malformed JSON, trailing
+// garbage after the object, both/neither input fields, wrong dimensions, and
+// payloads over the MaxBytesReader limit.
+func TestHandlePredictRejects(t *testing.T) {
+	svc := testService(t)
+	cases := map[string]string{
+		"malformed":       `{"input":`,
+		"trailing":        `{"input":[1,2]} extra`,
+		"second object":   `{"input":[1,2]}{"input":[3,4]}`,
+		"both fields":     `{"input":[1,2],"inputs":[[1,2]]}`,
+		"neither field":   `{}`,
+		"wrong dim":       `{"input":[1]}`,
+		"wrong batch dim": `{"inputs":[[1,2],[3]]}`,
+		"oversized":       `{"inputs":[[` + strings.Repeat("1,", maxRequestBytes/2) + `1]]}`,
+	}
+	for name, body := range cases {
+		if rec := post(t, svc, body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, rec.Code, rec.Body)
+		}
+	}
+}
+
+func TestHandlePredictMethod(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/predict", nil)
+	rec := httptest.NewRecorder()
+	testService(t).handlePredict(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", rec.Code)
+	}
+}

@@ -4,19 +4,44 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
 )
 
-// PredictBatch runs est.Predict over a batch of inputs, fanning the work out
-// across up to workers goroutines (<= 0 selects GOMAXPROCS). Results are
-// returned in input order; the first error cancels the batch.
+// BatchPredictor is implemented by estimators with a native batched
+// prediction fast path — ApDeepSense propagates the whole batch as a pair of
+// B×D moment matrices (see Propagator.PropagateBatch). PredictBatch
+// dispatches to it when available.
+type BatchPredictor interface {
+	PredictBatch(inputs []tensor.Vector) ([]GaussianVec, error)
+}
+
+// BatchProbsPredictor is BatchPredictor for classification probabilities.
+type BatchProbsPredictor interface {
+	PredictProbsBatch(inputs []tensor.Vector) ([]tensor.Vector, error)
+}
+
+var (
+	_ BatchPredictor      = (*ApDeepSense)(nil)
+	_ BatchProbsPredictor = (*ApDeepSense)(nil)
+)
+
+// PredictBatch runs est.Predict over a batch of inputs. Estimators that
+// implement BatchPredictor (ApDeepSense) take their matrix-level fast path —
+// one batched pass, internally row-parallel — and workers is ignored.
+// Everything else (MCDrop, RDeepSense) fans out across up to workers
+// goroutines (<= 0 selects GOMAXPROCS). Results are returned in input order;
+// the first error cancels the batch.
 //
 // Estimator implementations in this repository are safe for concurrent
 // Predict calls (the ApDeepSense propagator is read-only after construction;
 // MCDrop serializes its RNG internally), so gateway-style deployments can
 // use this to saturate multicore hosts.
 func PredictBatch(est Estimator, inputs []tensor.Vector, workers int) ([]GaussianVec, error) {
+	if bp, ok := est.(BatchPredictor); ok {
+		return bp.PredictBatch(inputs)
+	}
 	out := make([]GaussianVec, len(inputs))
 	err := forEachInput(len(inputs), workers, func(i int) error {
 		g, err := est.Predict(inputs[i])
@@ -34,6 +59,9 @@ func PredictBatch(est Estimator, inputs []tensor.Vector, workers int) ([]Gaussia
 
 // PredictProbsBatch is PredictBatch for classification probabilities.
 func PredictProbsBatch(est Estimator, inputs []tensor.Vector, workers int) ([]tensor.Vector, error) {
+	if bp, ok := est.(BatchProbsPredictor); ok {
+		return bp.PredictProbsBatch(inputs)
+	}
 	out := make([]tensor.Vector, len(inputs))
 	err := forEachInput(len(inputs), workers, func(i int) error {
 		p, err := est.PredictProbs(inputs[i])
@@ -50,7 +78,9 @@ func PredictProbsBatch(est Estimator, inputs []tensor.Vector, workers int) ([]te
 }
 
 // forEachInput distributes indices [0, n) over a worker pool and collects
-// the first error.
+// the first error. After an error, the producer stops feeding new indices
+// and workers drain the already-queued remainder without executing it, so a
+// failing batch does not run all n inputs.
 func forEachInput(n, workers int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -73,6 +103,7 @@ func forEachInput(n, workers int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		stop     atomic.Bool
 		next     = make(chan int)
 	)
 	for w := 0; w < workers; w++ {
@@ -80,15 +111,20 @@ func forEachInput(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if stop.Load() {
+					continue // drain without executing
+				}
 				if err := fn(i); err != nil {
+					stop.Store(true)
 					errOnce.Do(func() { firstErr = err })
-					// Drain remaining work quickly; producers stop via the
-					// shared error check below.
 				}
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if stop.Load() {
+			break
+		}
 		next <- i
 	}
 	close(next)

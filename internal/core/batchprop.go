@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// GaussianBatch is a batch of B independent diagonal Gaussians over the same
+// D-dimensional space, stored as a pair of B×D row-major matrices: row i of
+// Mean/Var is sample i's GaussianVec. The matrix layout is what lets the
+// batched propagation replace B matrix–vector products per layer with one
+// blocked matrix–matrix product (X_mu W and X_var W²).
+type GaussianBatch struct {
+	Mean *tensor.Matrix
+	Var  *tensor.Matrix
+}
+
+// NewGaussianBatch allocates a zero batch of b samples with dimension d.
+func NewGaussianBatch(b, d int) GaussianBatch {
+	return GaussianBatch{Mean: tensor.NewMatrix(b, d), Var: tensor.NewMatrix(b, d)}
+}
+
+// Batch returns the number of samples B.
+func (g GaussianBatch) Batch() int {
+	if g.Mean == nil {
+		return 0
+	}
+	return g.Mean.Rows
+}
+
+// Dim returns the per-sample dimension D.
+func (g GaussianBatch) Dim() int {
+	if g.Mean == nil {
+		return 0
+	}
+	return g.Mean.Cols
+}
+
+// Row returns sample i as a GaussianVec sharing the batch's backing storage.
+func (g GaussianBatch) Row(i int) GaussianVec {
+	return GaussianVec{Mean: g.Mean.Row(i), Var: g.Var.Row(i)}
+}
+
+// Rows returns all samples as GaussianVec views sharing the batch's backing
+// storage.
+func (g GaussianBatch) Rows() []GaussianVec {
+	out := make([]GaussianVec, g.Batch())
+	for i := range out {
+		out[i] = g.Row(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (g GaussianBatch) Clone() GaussianBatch {
+	return GaussianBatch{Mean: g.Mean.Clone(), Var: g.Var.Clone()}
+}
+
+// DeterministicBatch stacks plain input vectors into a point-mass batch
+// (variance zero), validating every row against dim. Index information is
+// preserved in the error so callers can report which request in a batch was
+// malformed.
+func DeterministicBatch(xs []tensor.Vector, dim int) (GaussianBatch, error) {
+	gb := NewGaussianBatch(len(xs), dim)
+	for i, x := range xs {
+		if len(x) != dim {
+			return GaussianBatch{}, fmt.Errorf("batch input %d: dim %d, want %d: %w", i, len(x), dim, ErrInput)
+		}
+		copy(gb.Mean.Row(i), x)
+	}
+	return gb, nil
+}
+
+// PropagateBatch runs the full ApDeepSense pass over a batch of plain input
+// vectors: the matrix-level counterpart of Propagate. All B inputs move
+// through each layer together — two blocked matrix–matrix multiplies per
+// layer instead of 2B matrix–vector passes — and the activation moments are
+// applied across the batch matrix with per-layer kernels that share
+// truncated-moment boundary terms between adjacent PWL pieces. Each output
+// row is value-identical to Propagate on the corresponding input.
+func (p *Propagator) PropagateBatch(xs []tensor.Vector) (GaussianBatch, error) {
+	gb, err := DeterministicBatch(xs, p.net.InputDim())
+	if err != nil {
+		return GaussianBatch{}, fmt.Errorf("propagate-batch: %w", err)
+	}
+	return p.propagateBatch(gb)
+}
+
+// PropagateBatchFrom is PropagateBatch starting from already-Gaussian inputs
+// (e.g. a convolutional front-end's output distributions). The input batch
+// is not modified.
+func (p *Propagator) PropagateBatchFrom(gb GaussianBatch) (GaussianBatch, error) {
+	if gb.Dim() != p.net.InputDim() {
+		return GaussianBatch{}, fmt.Errorf("propagate-batch-from: input dim %d, want %d: %w", gb.Dim(), p.net.InputDim(), ErrInput)
+	}
+	return p.propagateBatch(gb)
+}
+
+// minRowsPerWorker is the smallest row chunk worth a goroutine: below this
+// the per-layer work is too small for fan-out overhead to pay off.
+const minRowsPerWorker = 8
+
+// propagateBatch fans the validated batch out over row chunks. Rows are
+// independent through the whole network, so the split happens once at the
+// top: each worker pushes its chunk through every layer with its own pooled
+// scratch buffers, maximizing weight-matrix reuse while it owns the cache.
+func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
+	b := gb.Batch()
+	out := NewGaussianBatch(b, p.net.OutputDim())
+	if b == 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if max := (b + minRowsPerWorker - 1) / minRowsPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		p.propagateRows(gb, out, 0, b)
+		return out, nil
+	}
+	chunk := (b + workers - 1) / workers
+	// Multiple-of-4 chunks keep every worker but the last on the 4-row
+	// register-blocked matmul fast path.
+	if chunk%4 != 0 {
+		chunk += 4 - chunk%4
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < b; lo += chunk {
+		hi := lo + chunk
+		if hi > b {
+			hi = b
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.propagateRows(gb, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// batchScratch is one worker's reusable buffers: ping-pong mean/variance
+// panels sized rows×maxDim plus the per-element boundary-term scratch of the
+// activation kernel. Pooled on the Propagator so steady-state batches
+// allocate nothing but their result.
+type batchScratch struct {
+	curMu, curVar []float64
+	nxtMu, nxtVar []float64
+	bounds        []stats.Boundary
+	pms           []stats.PartialMoments
+}
+
+func (s *batchScratch) ensure(n, nBounds int) {
+	if len(s.curMu) < n {
+		s.curMu = make([]float64, n)
+		s.curVar = make([]float64, n)
+		s.nxtMu = make([]float64, n)
+		s.nxtVar = make([]float64, n)
+	}
+	if len(s.bounds) < nBounds {
+		s.bounds = make([]stats.Boundary, nBounds)
+		s.pms = make([]stats.PartialMoments, nBounds)
+	}
+}
+
+// propagateRows pushes rows [lo, hi) of in through every layer, writing the
+// final Gaussians into the same rows of out. The layer step mirrors
+// DenseMoments + ActivationMomentsVec exactly: dropout-aware input moments
+// (eqs. 9–10) in place, one blocked matmul per moment, bias add, variance
+// clamp, then the PWL activation moments (eqs. 12–26) element-wise.
+func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int) {
+	rows := hi - lo
+	sc := p.scratch.Get().(*batchScratch)
+	sc.ensure(rows*p.maxDim, p.maxBounds)
+
+	dim := in.Dim()
+	copy(sc.curMu[:rows*dim], in.Mean.Data[lo*dim:hi*dim])
+	copy(sc.curVar[:rows*dim], in.Var.Data[lo*dim:hi*dim])
+
+	layers := p.net.Layers()
+
+	// Input moments of the first layer under its dropout mask (eq. 9–10
+	// prep): E[x z] = μp, Var[x z] = (μ²+σ²)p − μ²p². For every later layer
+	// this prep is fused into the previous layer's activation sweep below.
+	{
+		keep := layers[0].KeepProb
+		mu := sc.curMu[:rows*dim]
+		va := sc.curVar[:rows*dim]
+		for t, m := range mu {
+			s2 := va[t]
+			mu[t] = m * keep
+			va[t] = (m*m+s2)*keep - m*m*keep*keep
+		}
+	}
+
+	for li, l := range layers {
+		nIn, nOut := l.InDim(), l.OutDim()
+
+		curMu := &tensor.Matrix{Rows: rows, Cols: nIn, Data: sc.curMu[:rows*nIn]}
+		curVar := &tensor.Matrix{Rows: rows, Cols: nIn, Data: sc.curVar[:rows*nIn]}
+		nxtMu := &tensor.Matrix{Rows: rows, Cols: nOut, Data: sc.nxtMu[:rows*nOut]}
+		nxtVar := &tensor.Matrix{Rows: rows, Cols: nOut, Data: sc.nxtVar[:rows*nOut]}
+
+		// Mean panel X_mu W and variance panel X_var W². Shapes are
+		// guaranteed by construction.
+		if err := curMu.MulInto(l.W, nxtMu); err != nil {
+			panic(fmt.Sprintf("core: batch mean matmul layer %d: %v", li, err))
+		}
+		if err := curVar.MulInto(p.wsq[li], nxtVar); err != nil {
+			panic(fmt.Sprintf("core: batch variance matmul layer %d: %v", li, err))
+		}
+
+		// One fused sweep over the panel: bias add, the variance clamp for
+		// floating-point cancellation (exactly as DenseMoments), the PWL
+		// activation moments (eqs. 12–26), and — for all but the last layer
+		// — the next layer's dropout prep. Fusing keeps each element's
+		// operation sequence identical to the separate passes while touching
+		// the panel once instead of four times.
+		ak := p.kernels[li]
+		nextKeep := math.NaN()
+		if li+1 < len(layers) {
+			nextKeep = layers[li+1].KeepProb
+		}
+		for r := 0; r < rows; r++ {
+			o := nxtMu.Data[r*nOut : (r+1)*nOut]
+			v := nxtVar.Data[r*nOut : (r+1)*nOut][:nOut]
+			if li+1 < len(layers) {
+				for j, bj := range l.B {
+					s2 := v[j]
+					if s2 < 0 {
+						s2 = 0
+					}
+					m, mv := ak.moments(o[j]+bj, s2, sc.bounds, sc.pms)
+					o[j] = m * nextKeep
+					v[j] = (m*m+mv)*nextKeep - m*m*nextKeep*nextKeep
+				}
+			} else {
+				for j, bj := range l.B {
+					s2 := v[j]
+					if s2 < 0 {
+						s2 = 0
+					}
+					o[j], v[j] = ak.moments(o[j]+bj, s2, sc.bounds, sc.pms)
+				}
+			}
+		}
+
+		sc.curMu, sc.nxtMu = sc.nxtMu, sc.curMu
+		sc.curVar, sc.nxtVar = sc.nxtVar, sc.curVar
+	}
+
+	outDim := out.Dim()
+	copy(out.Mean.Data[lo*outDim:hi*outDim], sc.curMu[:rows*outDim])
+	copy(out.Var.Data[lo*outDim:hi*outDim], sc.curVar[:rows*outDim])
+	p.scratch.Put(sc)
+}
+
+// actKernel is the batched activation-moment kernel: the same eqs. 12–26 as
+// ActivationMoments, restructured for a panel of elements. The per-piece
+// slopes, intercepts, and knots live in flat arrays hoisted out of the
+// per-element call, and the truncated-moment boundary terms (one erf and one
+// Gaussian density per knot) are computed once per knot instead of twice —
+// adjacent pieces share their boundary. Outputs are bit-identical to
+// ActivationMoments (stats.MomentsBetween reproduces stats.TruncatedMoments
+// exactly; see TestActivationKernelExact).
+type actKernel struct {
+	f         *piecewise.Func  // point-mass fast path (f.Eval)
+	knots     []float64        // n+1 piece boundaries, ascending
+	k, c      []float64        // per-piece slope and intercept
+	infB      []stats.Boundary // boundary terms, precomputed at ±Inf knots
+	finiteIdx []int            // indices of the finite knots
+}
+
+func newActKernel(f *piecewise.Func) *actKernel {
+	n := f.NumPieces()
+	ak := &actKernel{
+		f:     f,
+		knots: make([]float64, n+1),
+		k:     make([]float64, n),
+		c:     make([]float64, n),
+		infB:  make([]stats.Boundary, n+1),
+	}
+	for i := 0; i < n; i++ {
+		piece := f.Piece(i)
+		ak.knots[i] = piece.A
+		ak.k[i] = piece.K
+		ak.c[i] = piece.C
+	}
+	ak.knots[n] = f.Piece(n - 1).B
+	// Outermost knots are ±Inf for every supported activation, where the
+	// boundary terms are the constants Erf(±Inf) = ±1, φ(±Inf) = 0,
+	// z·φ(±Inf) = 0 — exactly what BoundaryAt returns for any finite
+	// (mu, sigma). Precomputing them removes two transcendental evaluations
+	// per element per layer: for ReLU that is two of the three knots.
+	for t := 0; t <= n; t++ {
+		if math.IsInf(ak.knots[t], 0) {
+			ak.infB[t] = stats.Boundary{Erf: math.Copysign(1, ak.knots[t])}
+		} else {
+			ak.finiteIdx = append(ak.finiteIdx, t)
+		}
+	}
+	return ak
+}
+
+// moments pushes one scalar Gaussian through the kernel, using bounds and
+// pms (each at least len(knots) long) as per-worker scratch — caller-owned
+// so the per-element call zeroes no stack arrays.
+func (ak *actKernel) moments(mu, variance float64, bounds []stats.Boundary, pms []stats.PartialMoments) (outMean, outVar float64) {
+	sigma := math.Sqrt(variance)
+	if sigma <= sigmaFloor*(1+math.Abs(mu)) {
+		// Point mass: the PWL function maps it to another point mass.
+		return ak.f.Eval(mu), 0
+	}
+
+	n := len(ak.k)
+	// The precomputed ±Inf boundaries assume (knot - mu)/sigma stays ±Inf,
+	// which holds for any finite mu and non-NaN sigma. The common path
+	// copies the constants wholesale and evaluates only the finite knots.
+	if !math.IsInf(mu, 0) && !math.IsNaN(mu) && !math.IsNaN(sigma) {
+		copy(bounds[:n+1], ak.infB)
+		for _, t := range ak.finiteIdx {
+			bounds[t] = stats.BoundaryAt(ak.knots[t], mu, sigma)
+		}
+	} else {
+		for t := 0; t <= n; t++ {
+			bounds[t] = stats.BoundaryAt(ak.knots[t], mu, sigma)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		pms[i] = stats.MomentsBetween(bounds[i], bounds[i+1], sigma)
+	}
+
+	for i := 0; i < n; i++ {
+		outMean += (ak.k[i]*mu+ak.c[i])*pms[i].D + ak.k[i]*pms[i].M
+	}
+	for i := 0; i < n; i++ {
+		d := ak.k[i]*mu + ak.c[i] - outMean
+		outVar += ak.k[i]*ak.k[i]*pms[i].V + 2*ak.k[i]*d*pms[i].M + d*d*pms[i].D
+	}
+	if outVar < 0 {
+		outVar = 0
+	}
+	return outMean, outVar
+}

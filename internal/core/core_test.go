@@ -439,7 +439,10 @@ func TestMeanFieldSoftmaxModeratesConfidence(t *testing.T) {
 func TestMeanFieldSoftmaxVsSampled(t *testing.T) {
 	g := GaussianVec{Mean: tensor.Vector{1.0, -0.5, 0.2}, Var: tensor.Vector{0.5, 1.5, 0.1}}
 	rng := rand.New(rand.NewSource(77))
-	sampled := SampledSoftmax(g, 200000, rng)
+	sampled, err := SampledSoftmax(g, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mf := MeanFieldSoftmax(g)
 	// The moderation approximation treats each logit independently, so a few
 	// percent of per-class bias is expected; it must stay in that regime.
@@ -447,6 +450,31 @@ func TestMeanFieldSoftmaxVsSampled(t *testing.T) {
 		if math.Abs(mf[i]-sampled[i]) > 0.05 {
 			t.Errorf("class %d: mean-field %v vs sampled %v", i, mf[i], sampled[i])
 		}
+	}
+}
+
+// TestSampledSoftmaxRejectsNonPositiveN pins the explicit error contract: a
+// non-positive sample count used to silently divide by zero and return an
+// all-NaN vector.
+func TestSampledSoftmaxRejectsNonPositiveN(t *testing.T) {
+	g := GaussianVec{Mean: tensor.Vector{1, 0}, Var: tensor.Vector{0.1, 0.2}}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, -5} {
+		p, err := SampledSoftmax(g, n, rng)
+		if !errors.Is(err, ErrInput) {
+			t.Errorf("n=%d: err = %v, want ErrInput", n, err)
+		}
+		if p != nil {
+			t.Errorf("n=%d: got vector %v, want nil", n, p)
+		}
+	}
+	// The happy path still returns a proper distribution.
+	p, err := SampledSoftmax(g, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasNaN() || math.Abs(p.Sum()-1) > 1e-12 {
+		t.Errorf("n=50: probs %v", p)
 	}
 }
 

@@ -77,6 +77,40 @@ func (a *ApDeepSense) PredictProbs(x tensor.Vector) (tensor.Vector, error) {
 	return MeanFieldSoftmax(g), nil
 }
 
+// PredictBatch implements BatchPredictor: one matrix-level moment
+// propagation pass over the whole batch (Propagator.PropagateBatch) instead
+// of per-sample fan-out. Each returned GaussianVec is value-identical to
+// Predict on the corresponding input.
+func (a *ApDeepSense) PredictBatch(inputs []tensor.Vector) ([]GaussianVec, error) {
+	gb, err := a.prop.PropagateBatch(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := make([]GaussianVec, gb.Batch())
+	for i := range out {
+		g := gb.Row(i)
+		for j := range g.Var {
+			g.Var[j] += a.obsVar
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
+// PredictProbsBatch implements BatchProbsPredictor: batched moment
+// propagation followed by the mean-field softmax link per row.
+func (a *ApDeepSense) PredictProbsBatch(inputs []tensor.Vector) ([]tensor.Vector, error) {
+	gb, err := a.prop.PropagateBatch(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := make([]tensor.Vector, gb.Batch())
+	for i := range out {
+		out[i] = MeanFieldSoftmax(gb.Row(i))
+	}
+	return out, nil
+}
+
 // Cost implements Estimator.
 func (a *ApDeepSense) Cost() edison.Cost { return a.prop.Cost() }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/apdeepsense/apdeepsense/internal/edison"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
@@ -47,13 +48,24 @@ func (o *Options) fillDefaults() {
 // element-wise squared weight matrices (for eq. 10) and the PWL activation
 // approximations, so construction is paid once per model.
 //
-// A Propagator is safe for concurrent use: Propagate only reads the
-// precomputed state.
+// A Propagator is safe for concurrent use: Propagate and PropagateBatch only
+// read the precomputed state (the batch scratch pool is internally
+// synchronized).
 type Propagator struct {
 	net  *nn.Network
 	acts []*piecewise.Func
 	wsq  []*tensor.Matrix
 	cost edison.Cost
+
+	// Batched-path state (see batchprop.go): per-layer activation kernels
+	// with shared-boundary truncated moments, the widest layer dimension
+	// (sizing the ping-pong scratch), the largest knot count, and a pool of
+	// reusable scratch buffers so the hot path is allocation-free after
+	// warmup.
+	kernels   []*actKernel
+	maxDim    int
+	maxBounds int
+	scratch   sync.Pool
 }
 
 // NewPropagator prepares ApDeepSense inference for net.
@@ -61,9 +73,11 @@ func NewPropagator(net *nn.Network, opts Options) (*Propagator, error) {
 	opts.fillDefaults()
 	layers := net.Layers()
 	p := &Propagator{
-		net:  net,
-		acts: make([]*piecewise.Func, len(layers)),
-		wsq:  make([]*tensor.Matrix, len(layers)),
+		net:     net,
+		acts:    make([]*piecewise.Func, len(layers)),
+		wsq:     make([]*tensor.Matrix, len(layers)),
+		kernels: make([]*actKernel, len(layers)),
+		maxDim:  net.InputDim(),
 	}
 	for i, l := range layers {
 		var (
@@ -87,8 +101,16 @@ func NewPropagator(net *nn.Network, opts Options) (*Propagator, error) {
 		}
 		p.acts[i] = f
 		p.wsq[i] = l.W.Square()
+		p.kernels[i] = newActKernel(f)
+		if l.OutDim() > p.maxDim {
+			p.maxDim = l.OutDim()
+		}
+		if f.NumPieces()+1 > p.maxBounds {
+			p.maxBounds = f.NumPieces() + 1
+		}
 	}
 	p.cost = p.computeCost()
+	p.scratch.New = func() any { return &batchScratch{} }
 	return p, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -44,8 +45,12 @@ func MeanFieldSoftmax(g GaussianVec) tensor.Vector {
 
 // SampledSoftmax estimates E[softmax(z)] by averaging the softmax of n
 // Gaussian logit samples. It is the sampling alternative to MeanFieldSoftmax
-// used by the ablation benchmarks; n must be positive and rng non-nil.
-func SampledSoftmax(g GaussianVec, n int, rng *rand.Rand) tensor.Vector {
+// used by the ablation benchmarks; n must be positive (a non-positive n is
+// an explicit error, not a silent all-NaN vector) and rng non-nil.
+func SampledSoftmax(g GaussianVec, n int, rng *rand.Rand) (tensor.Vector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sampled softmax: sample count %d, want > 0: %w", n, ErrInput)
+	}
 	out := make(tensor.Vector, g.Dim())
 	z := make(tensor.Vector, g.Dim())
 	for s := 0; s < n; s++ {
@@ -60,5 +65,5 @@ func SampledSoftmax(g GaussianVec, n int, rng *rand.Rand) tensor.Vector {
 	for i := range out {
 		out[i] /= float64(n)
 	}
-	return out
+	return out, nil
 }

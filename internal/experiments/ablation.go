@@ -97,7 +97,7 @@ func (r *Runner) AblationSoftmaxLink(samplesGrid []int) (*report.Table, error) {
 		Title:   "Ablation: classification link for ApDeepSense Gaussian logits (HHAR, ReLU)",
 		Headers: []string{"link", "ACC", "NLL", "ECE"},
 	}
-	evalProbs := func(name string, probFn func(core.GaussianVec) tensor.Vector) error {
+	evalProbs := func(name string, probFn func(core.GaussianVec) (tensor.Vector, error)) error {
 		probs := make([]tensor.Vector, len(d.Test))
 		targets := make([]tensor.Vector, len(d.Test))
 		for i, s := range d.Test {
@@ -105,7 +105,9 @@ func (r *Runner) AblationSoftmaxLink(samplesGrid []int) (*report.Table, error) {
 			if err != nil {
 				return err
 			}
-			probs[i] = probFn(g)
+			if probs[i], err = probFn(g); err != nil {
+				return err
+			}
 			targets[i] = s.Y
 		}
 		acc, err := metrics.Accuracy(probs, targets)
@@ -124,13 +126,15 @@ func (r *Runner) AblationSoftmaxLink(samplesGrid []int) (*report.Table, error) {
 		return nil
 	}
 
-	if err := evalProbs("mean-field (default)", core.MeanFieldSoftmax); err != nil {
+	if err := evalProbs("mean-field (default)", func(g core.GaussianVec) (tensor.Vector, error) {
+		return core.MeanFieldSoftmax(g), nil
+	}); err != nil {
 		return nil, err
 	}
 	for _, n := range samplesGrid {
 		rng := rand.New(rand.NewSource(77))
 		n := n
-		if err := evalProbs(fmt.Sprintf("sampled-%d", n), func(g core.GaussianVec) tensor.Vector {
+		if err := evalProbs(fmt.Sprintf("sampled-%d", n), func(g core.GaussianVec) (tensor.Vector, error) {
 			return core.SampledSoftmax(g, n, rng)
 		}); err != nil {
 			return nil, err

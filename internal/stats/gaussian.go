@@ -158,3 +158,51 @@ func stdPhi(z float64) float64 {
 	}
 	return invSqrt2Pi * math.Exp(-0.5*z*z)
 }
+
+// Boundary holds the transcendental terms of the truncated-moment
+// decomposition at one knot x, standardized as z = (x − mu)/sigma:
+//
+//	Erf  = erf(z/√2)    (CDF term of eq. 23)
+//	Phi  = φ(z)         (standard normal density, eqs. 24–25)
+//	ZPhi = z·φ(z)       (tail term of eq. 25; 0 at infinite knots)
+//
+// Adjacent pieces of a PWL activation share their interior knots, so a
+// batched moment kernel evaluates one Boundary per knot (n+1 for n pieces)
+// and assembles every piece's PartialMoments with MomentsBetween, instead of
+// paying two erf/exp pairs per piece inside TruncatedMoments.
+type Boundary struct {
+	Erf, Phi, ZPhi float64
+}
+
+// BoundaryAt computes the boundary terms of N(mu, sigma²) at knot x. The
+// standardization and the per-term expressions match TruncatedMoments
+// exactly, so moments assembled from Boundary values are bit-identical to
+// the direct computation.
+func BoundaryAt(x, mu, sigma float64) Boundary {
+	z := (x - mu) / sigma
+	b := Boundary{Erf: math.Erf(z / sqrt2), Phi: stdPhi(z)}
+	if !math.IsInf(z, 0) {
+		b.ZPhi = z * b.Phi
+	}
+	return b
+}
+
+// MomentsBetween assembles the partial moments of N(mu, sigma²) over one
+// interval from its precomputed Boundary terms. It performs the same
+// floating-point operations in the same order as TruncatedMoments, so
+// MomentsBetween(BoundaryAt(lo, mu, sigma), BoundaryAt(hi, mu, sigma), sigma)
+// equals TruncatedMoments(lo, hi, mu, sigma) bit for bit.
+func MomentsBetween(lo, hi Boundary, sigma float64) PartialMoments {
+	var pm PartialMoments
+	pm.D = 0.5 * (hi.Erf - lo.Erf)
+	pm.M = sigma * (lo.Phi - hi.Phi)
+	pm.V = sigma * sigma * (pm.D + lo.ZPhi - hi.ZPhi)
+	if pm.V < 0 {
+		// Guard against catastrophic cancellation on very thin slices.
+		pm.V = 0
+	}
+	if pm.D < 0 {
+		pm.D = 0
+	}
+	return pm
+}

@@ -382,3 +382,26 @@ func TestGaussianFitError(t *testing.T) {
 		t.Error("zero sigma should report fit error 1")
 	}
 }
+
+// TestBoundaryDecompositionExact verifies that assembling partial moments
+// from shared per-knot Boundary terms is bit-identical to the direct
+// TruncatedMoments computation — the property the batched activation kernel
+// in internal/core relies on for batch-vs-sequential parity.
+func TestBoundaryDecompositionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	intervals := [][2]float64{
+		{math.Inf(-1), -1.2}, {-1.2, 0}, {0, 0.7}, {0.7, math.Inf(1)},
+		{math.Inf(-1), math.Inf(1)}, {50, 60},
+	}
+	for trial := 0; trial < 200; trial++ {
+		mu := rng.NormFloat64() * 3
+		sigma := 1e-6 + 3*rng.Float64()
+		for _, iv := range intervals {
+			want := TruncatedMoments(iv[0], iv[1], mu, sigma)
+			got := MomentsBetween(BoundaryAt(iv[0], mu, sigma), BoundaryAt(iv[1], mu, sigma), sigma)
+			if got != want {
+				t.Fatalf("interval %v mu=%v sigma=%v: decomposed %+v != direct %+v", iv, mu, sigma, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func axpy4AVX(x0, x1, x2, x3 float64, w *float64, n int, d0, d1, d2, d3 *float64)
+//
+// d_r[j] += x_r * w[j] for four destination rows at once, 4 doubles per
+// step. Uses VMULPD + VADDPD (two separately rounded IEEE operations per
+// element) instead of FMA so every lane matches the scalar Go loop bit for
+// bit. The broadcast of each x value amortises one w load across four rows.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-80
+	VBROADCASTSD x0+0(FP), Y0  // x0 in all lanes
+	VBROADCASTSD x1+8(FP), Y1
+	VBROADCASTSD x2+16(FP), Y2
+	VBROADCASTSD x3+24(FP), Y3
+	MOVQ w+32(FP), SI
+	MOVQ n+40(FP), CX
+	MOVQ d0+48(FP), R8
+	MOVQ d1+56(FP), R9
+	MOVQ d2+64(FP), R10
+	MOVQ d3+72(FP), R11
+	XORQ DX, DX             // j
+	MOVQ CX, BX
+	ANDQ $-4, BX            // BX = n & ^3: last index of the 4-wide loop
+
+loop4:
+	CMPQ DX, BX
+	JGE  tail
+	VMOVUPD (SI)(DX*8), Y4  // w[j:j+4]
+	VMULPD  Y4, Y0, Y5
+	VADDPD  (R8)(DX*8), Y5, Y5
+	VMOVUPD Y5, (R8)(DX*8)  // d0[j:j+4] += x0*w
+	VMULPD  Y4, Y1, Y6
+	VADDPD  (R9)(DX*8), Y6, Y6
+	VMOVUPD Y6, (R9)(DX*8)
+	VMULPD  Y4, Y2, Y7
+	VADDPD  (R10)(DX*8), Y7, Y7
+	VMOVUPD Y7, (R10)(DX*8)
+	VMULPD  Y4, Y3, Y8
+	VADDPD  (R11)(DX*8), Y8, Y8
+	VMOVUPD Y8, (R11)(DX*8)
+	ADDQ    $4, DX
+	JMP     loop4
+
+tail:
+	CMPQ DX, CX
+	JGE  done
+	VMOVSD (SI)(DX*8), X4   // scalar remainder, still VEX-encoded
+	VMULSD X4, X0, X5
+	VADDSD (R8)(DX*8), X5, X5
+	VMOVSD X5, (R8)(DX*8)
+	VMULSD X4, X1, X6
+	VADDSD (R9)(DX*8), X6, X6
+	VMOVSD X6, (R9)(DX*8)
+	VMULSD X4, X2, X7
+	VADDSD (R10)(DX*8), X7, X7
+	VMOVSD X7, (R10)(DX*8)
+	VMULSD X4, X3, X8
+	VADDSD (R11)(DX*8), X8, X8
+	VMOVSD X8, (R11)(DX*8)
+	INCQ   DX
+	JMP    tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpy4AVX512(x0, x1, x2, x3 float64, w *float64, n int, d0, d1, d2, d3 *float64)
+//
+// The 8-wide ZMM variant of axpy4AVX: identical per-lane multiply-then-add
+// sequence, twice the elements per store. Remainders fall through to a
+// 4-wide YMM step and then the scalar tail.
+TEXT ·axpy4AVX512(SB), NOSPLIT, $0-80
+	VBROADCASTSD x0+0(FP), Z0
+	VBROADCASTSD x1+8(FP), Z1
+	VBROADCASTSD x2+16(FP), Z2
+	VBROADCASTSD x3+24(FP), Z3
+	MOVQ w+32(FP), SI
+	MOVQ n+40(FP), CX
+	MOVQ d0+48(FP), R8
+	MOVQ d1+56(FP), R9
+	MOVQ d2+64(FP), R10
+	MOVQ d3+72(FP), R11
+	XORQ DX, DX             // j
+	MOVQ CX, BX
+	ANDQ $-8, BX            // BX = n & ^7: last index of the 8-wide loop
+
+loop8:
+	CMPQ DX, BX
+	JGE  tail4z
+	VMOVUPD (SI)(DX*8), Z4  // w[j:j+8]
+	VMULPD  Z4, Z0, Z5
+	VADDPD  (R8)(DX*8), Z5, Z5
+	VMOVUPD Z5, (R8)(DX*8)  // d0[j:j+8] += x0*w
+	VMULPD  Z4, Z1, Z6
+	VADDPD  (R9)(DX*8), Z6, Z6
+	VMOVUPD Z6, (R9)(DX*8)
+	VMULPD  Z4, Z2, Z7
+	VADDPD  (R10)(DX*8), Z7, Z7
+	VMOVUPD Z7, (R10)(DX*8)
+	VMULPD  Z4, Z3, Z8
+	VADDPD  (R11)(DX*8), Z8, Z8
+	VMOVUPD Z8, (R11)(DX*8)
+	ADDQ    $8, DX
+	JMP     loop8
+
+tail4z:
+	MOVQ CX, BX
+	ANDQ $-4, BX            // one optional 4-wide step covers n&4
+	CMPQ DX, BX
+	JGE  tail1z
+	VMOVUPD (SI)(DX*8), Y4
+	VMULPD  Y4, Y0, Y5
+	VADDPD  (R8)(DX*8), Y5, Y5
+	VMOVUPD Y5, (R8)(DX*8)
+	VMULPD  Y4, Y1, Y6
+	VADDPD  (R9)(DX*8), Y6, Y6
+	VMOVUPD Y6, (R9)(DX*8)
+	VMULPD  Y4, Y2, Y7
+	VADDPD  (R10)(DX*8), Y7, Y7
+	VMOVUPD Y7, (R10)(DX*8)
+	VMULPD  Y4, Y3, Y8
+	VADDPD  (R11)(DX*8), Y8, Y8
+	VMOVUPD Y8, (R11)(DX*8)
+	ADDQ    $4, DX
+
+tail1z:
+	CMPQ DX, CX
+	JGE  done512
+	VMOVSD (SI)(DX*8), X4
+	VMULSD X4, X0, X5
+	VADDSD (R8)(DX*8), X5, X5
+	VMOVSD X5, (R8)(DX*8)
+	VMULSD X4, X1, X6
+	VADDSD (R9)(DX*8), X6, X6
+	VMOVSD X6, (R9)(DX*8)
+	VMULSD X4, X2, X7
+	VADDSD (R10)(DX*8), X7, X7
+	VMOVSD X7, (R10)(DX*8)
+	VMULSD X4, X3, X8
+	VADDSD (R11)(DX*8), X8, X8
+	VMOVSD X8, (R11)(DX*8)
+	INCQ   DX
+	JMP    tail1z
+
+done512:
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

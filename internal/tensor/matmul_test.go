@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestMulIntoMatchesMulVecRowwise is the bit-level contract of the batched
+// kernel: every row of m × n from MulInto equals that row pushed through the
+// per-vector MulVecInto — with zero tolerance — across shapes that exercise
+// the 4-row register blocking remainder and the k-block remainder.
+func TestMulIntoMatchesMulVecRowwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{1, 5, 3}, {4, 64, 48}, {7, 65, 31}, {64, 256, 256}, {3, 130, 2}, {9, 1, 4},
+	}
+	for _, s := range shapes {
+		rows, k, cols := s[0], s[1], s[2]
+		a := NewMatrix(rows, k)
+		b := NewMatrix(k, cols)
+		a.RandomNormal(rng, 0, 1)
+		b.RandomNormal(rng, 0, 1)
+		// Sprinkle zeros to exercise the zero-skip paths.
+		for i := 0; i < len(a.Data); i += 7 {
+			a.Data[i] = 0
+		}
+		dst := NewMatrix(rows, cols)
+		dst.Fill(99) // MulInto must overwrite, not accumulate
+		if err := a.MulInto(b, dst); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		want := make(Vector, cols)
+		for i := 0; i < rows; i++ {
+			b.MulVecInto(a.Row(i), want)
+			if !dst.Row(i).Equal(want, 0) {
+				t.Fatalf("%v: row %d differs from MulVecInto", s, i)
+			}
+		}
+	}
+}
+
+// TestMulParallelIntoMatchesSerial checks the row-parallel variant against
+// the serial kernel under a forced multi-worker configuration, including
+// chunk sizes that are not multiples of 4.
+func TestMulParallelIntoMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := rand.New(rand.NewSource(13))
+	for _, rows := range []int{2, 5, 64, 66, 131} {
+		a := NewMatrix(rows, 96)
+		b := NewMatrix(96, 80)
+		a.RandomNormal(rng, 0, 1)
+		b.RandomNormal(rng, 0, 1)
+		want := NewMatrix(rows, 80)
+		if err := a.MulInto(b, want); err != nil {
+			t.Fatal(err)
+		}
+		got := NewMatrix(rows, 80)
+		if err := a.MulParallelInto(b, got); err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got, 0) {
+			t.Errorf("rows=%d: parallel result differs from serial", rows)
+		}
+	}
+}
+
+func TestMulIntoShapeErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 5) // inner mismatch
+	if err := a.MulInto(b, NewMatrix(2, 5)); err == nil {
+		t.Error("inner mismatch accepted")
+	}
+	c := NewMatrix(3, 5)
+	if err := a.MulInto(c, NewMatrix(2, 4)); err == nil {
+		t.Error("bad dst shape accepted")
+	}
+	if err := a.MulParallelInto(b, NewMatrix(2, 5)); err == nil {
+		t.Error("parallel inner mismatch accepted")
+	}
+	if err := a.MulParallelInto(c, NewMatrix(3, 5)); err == nil {
+		t.Error("parallel bad dst shape accepted")
+	}
+}
+
+// TestMulIntoMatchesMul cross-checks against the allocating Mul (ikj serial
+// kernel) within floating-point reassociation tolerance.
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := NewMatrix(33, 70)
+	b := NewMatrix(70, 41)
+	a.RandomNormal(rng, 0, 1)
+	b.RandomNormal(rng, 0, 1)
+	want, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewMatrix(33, 41)
+	if err := a.MulInto(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got, 1e-12) {
+		t.Error("MulInto differs from Mul")
+	}
+}
+
+// TestMulBlockedVectorScalarBitExact pins the vector axpy kernels to the
+// pure-Go inner loop bit for bit (including negative zeros and subnormal
+// products): each vector path must be the same sequence of separately
+// rounded multiplies and adds, just several lanes at a time. Skipped where
+// no vector kernel runs.
+func TestMulBlockedVectorScalarBitExact(t *testing.T) {
+	if !hasAVX {
+		t.Skip("no AVX vector kernel on this machine")
+	}
+	savedAVX, saved512 := hasAVX, hasAVX512
+	defer func() { hasAVX, hasAVX512 = savedAVX, saved512 }()
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range [][3]int{{4, 64, 64}, {8, 130, 33}, {6, 7, 5}, {5, 64, 2}, {64, 256, 256}, {4, 16, 13}} {
+		rows, k, cols := s[0], s[1], s[2]
+		a := NewMatrix(rows, k)
+		b := NewMatrix(k, cols)
+		a.RandomNormal(rng, 0, 1)
+		b.RandomNormal(rng, 0, 1)
+		for i := 0; i < len(a.Data); i += 5 {
+			a.Data[i] = 0
+		}
+		for i := 0; i < len(b.Data); i += 9 {
+			b.Data[i] = -b.Data[i]
+		}
+		hasAVX, hasAVX512 = false, false
+		sca := NewMatrix(rows, cols)
+		if err := a.MulInto(b, sca); err != nil {
+			t.Fatal(err)
+		}
+		kernels := []struct {
+			name     string
+			avx, zmm bool
+		}{{"avx", true, false}}
+		if saved512 {
+			kernels = append(kernels, struct {
+				name     string
+				avx, zmm bool
+			}{"avx512", true, true})
+		}
+		for _, kr := range kernels {
+			hasAVX, hasAVX512 = kr.avx, kr.zmm
+			vec := NewMatrix(rows, cols)
+			if err := a.MulInto(b, vec); err != nil {
+				t.Fatal(err)
+			}
+			for i := range vec.Data {
+				if math.Float64bits(vec.Data[i]) != math.Float64bits(sca.Data[i]) {
+					t.Fatalf("%v %s: element %d: vector %x != scalar %x",
+						s, kr.name, i, math.Float64bits(vec.Data[i]), math.Float64bits(sca.Data[i]))
+				}
+			}
+		}
+		hasAVX, hasAVX512 = savedAVX, saved512
+	}
+}

@@ -6,6 +6,10 @@ import (
 	"sync"
 )
 
+// parallelThreshold is the multiply-add count below which goroutine overhead
+// dominates and the serial kernel wins.
+const parallelThreshold = 1 << 16 // ~64k multiply-adds
+
 // MulParallel returns m × n, splitting the output rows across up to
 // runtime.GOMAXPROCS goroutines. It falls back to the serial kernel for
 // small matrices where goroutine overhead dominates.
@@ -14,45 +18,53 @@ func (m *Matrix) MulParallel(n *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("matmul-parallel %dx%d × %dx%d: %w", m.Rows, m.Cols, n.Rows, n.Cols, ErrShape)
 	}
 	out := NewMatrix(m.Rows, n.Cols)
-	const parallelThreshold = 1 << 16 // ~64k multiply-adds
+	if err := m.MulParallelInto(n, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulParallelInto is the row-parallel variant of MulInto: dst = m × n with
+// the rows of m divided into contiguous chunks, each pushed through the
+// blocked serial kernel on its own goroutine. Because every chunk runs the
+// same ascending-k accumulation on disjoint output rows, the result is
+// identical to MulInto regardless of worker count.
+func (m *Matrix) MulParallelInto(n, dst *Matrix) error {
+	if m.Cols != n.Rows {
+		return fmt.Errorf("matmul-parallel %dx%d × %dx%d: %w", m.Rows, m.Cols, n.Rows, n.Cols, ErrShape)
+	}
+	if dst.Rows != m.Rows || dst.Cols != n.Cols {
+		return fmt.Errorf("matmul-parallel dst %dx%d, want %dx%d: %w", dst.Rows, dst.Cols, m.Rows, n.Cols, ErrShape)
+	}
 	work := m.Rows * m.Cols * n.Cols
 	workers := runtime.GOMAXPROCS(0)
 	if work < parallelThreshold || workers < 2 || m.Rows < 2 {
-		mulSerial(m, n, out)
-		return out, nil
+		mulBlocked(m, n, dst)
+		return nil
 	}
 	if workers > m.Rows {
 		workers = m.Rows
 	}
 	var wg sync.WaitGroup
 	chunk := (m.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	// Round chunks up to a multiple of 4 so every worker but the last runs
+	// the 4-row register-blocked fast path end to end.
+	if chunk%4 != 0 {
+		chunk += 4 - chunk%4
+	}
+	for lo := 0; lo < m.Rows; lo += chunk {
 		hi := lo + chunk
 		if hi > m.Rows {
 			hi = m.Rows
 		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				outRow := out.Data[i*out.Cols : (i+1)*out.Cols]
-				for k := 0; k < m.Cols; k++ {
-					a := m.Data[i*m.Cols+k]
-					if a == 0 {
-						continue
-					}
-					nRow := n.Data[k*n.Cols : (k+1)*n.Cols]
-					for j, b := range nRow {
-						outRow[j] += a * b
-					}
-				}
-			}
+			sub := &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+			sdst := &Matrix{Rows: hi - lo, Cols: dst.Cols, Data: dst.Data[lo*dst.Cols : hi*dst.Cols]}
+			mulBlocked(sub, n, sdst)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out, nil
+	return nil
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate, also reachable as `make check`:
+# vet, build, race-test the numeric hot paths, then record the batched
+# propagation benchmark as results/BENCH_batch.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./internal/core/... ./internal/tensor/..."
+go test -race ./internal/core/... ./internal/tensor/...
+
+echo "== apds-bench -batch"
+go run ./cmd/apds-bench -batch -results results
+
+echo "check: ok"
