@@ -1,8 +1,9 @@
 # Developer entry points. `make check` is the pre-merge gate: vet + build +
-# race tests over the numeric hot paths + the batched propagation benchmark
-# (results/BENCH_batch.json).
+# race tests over the numeric hot paths and the observability/serving path +
+# the batched propagation benchmark with its metrics snapshot
+# (results/BENCH_batch.json, results/BENCH_obs.prom).
 
-.PHONY: check test bench build
+.PHONY: check test bench bench-hooks build
 
 check:
 	./tools/check.sh
@@ -15,3 +16,10 @@ test:
 
 bench:
 	go test -run NONE -bench . -benchtime 2s .
+
+# The instrumentation-overhead pair: PropagateBatch with nil hooks must stay
+# within noise of the pre-instrumentation baseline recorded in
+# internal/core/hooks_bench_test.go; the Hooked variant shows the cost of
+# live callbacks.
+bench-hooks:
+	go test -run NONE -bench 'PropagateBatch(NilHooks|Hooked)' -benchtime 2s ./internal/core

@@ -26,6 +26,7 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/experiments"
 	"github.com/apdeepsense/apdeepsense/internal/mcdrop"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/obs"
 	"github.com/apdeepsense/apdeepsense/internal/quantize"
 	"github.com/apdeepsense/apdeepsense/internal/rdeepsense"
 	"github.com/apdeepsense/apdeepsense/internal/rnn"
@@ -87,6 +88,56 @@ func NewWithObsVar(net *Network, opts Options, obsVar float64) (*core.ApDeepSens
 func NewMCDrop(net *Network, k int, obsVar float64, seed int64) (*mcdrop.Estimator, error) {
 	return mcdrop.New(net, k, obsVar, seed)
 }
+
+// Estimator internals exposed for serving-path integration.
+type (
+	// ApDeepSenseEstimator is the concrete estimator returned by New; it
+	// exposes the underlying Propagator for hook attachment and ablations.
+	ApDeepSenseEstimator = core.ApDeepSense
+	// Propagator is the closed-form moment-propagation engine.
+	Propagator = core.Propagator
+	// PropagatorHooks carries the optional observability callbacks a
+	// Propagator invokes (per-layer wall time, batch sizes, scratch-pool
+	// reuse). Attach with Propagator.SetHooks; nil hooks cost nothing on
+	// the hot path.
+	PropagatorHooks = core.Hooks
+)
+
+// Observability re-exports (internal/obs): the dependency-free metrics
+// registry (Prometheus text exposition) and per-request trace spans used by
+// examples/server and cmd/apds-bench -obs.
+type (
+	// ObsRegistry holds metric families and renders Prometheus text format.
+	ObsRegistry = obs.Registry
+	// ObsCounter is a monotonically increasing metric.
+	ObsCounter = obs.Counter
+	// ObsGauge is a metric that can go up and down.
+	ObsGauge = obs.Gauge
+	// ObsHistogram buckets observations (exponential latency layouts).
+	ObsHistogram = obs.Histogram
+	// ObsCounterVec is a counter family with a fixed label schema.
+	ObsCounterVec = obs.CounterVec
+	// ObsGaugeVec is a gauge family with a fixed label schema.
+	ObsGaugeVec = obs.GaugeVec
+	// ObsHistogramVec is a histogram family with a fixed label schema.
+	ObsHistogramVec = obs.HistogramVec
+	// ObsTrace is a lightweight per-request span collector.
+	ObsTrace = obs.Trace
+	// ObsSpan is one finished timed section of a trace.
+	ObsSpan = obs.Span
+)
+
+// Observability constructors and bucket layouts.
+var (
+	// NewObsRegistry returns an empty metrics registry.
+	NewObsRegistry = obs.NewRegistry
+	// NewObsTrace starts a trace identified by a request ID.
+	NewObsTrace = obs.NewTrace
+	// ObsExpBuckets builds exponential histogram bucket bounds.
+	ObsExpBuckets = obs.ExpBuckets
+	// ObsLatencyBuckets is the default request-latency bucket layout.
+	ObsLatencyBuckets = obs.LatencyBuckets
+)
 
 // Batch inference vocabulary: estimators implementing BatchPredictor get the
 // matrix-level fast path (one blocked matrix–matrix pass per layer for the

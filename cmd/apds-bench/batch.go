@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"github.com/apdeepsense/apdeepsense/internal/core"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/obs"
 	"github.com/apdeepsense/apdeepsense/internal/report"
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
 )
@@ -35,10 +37,63 @@ type batchBenchReport struct {
 	Entries   []batchBenchEntry `json:"entries"`
 }
 
+// benchObs is the -obs instrumentation: a metrics registry fed by
+// propagator hooks during the benchmark, snapshotted to
+// results/BENCH_obs.prom next to BENCH_batch.json so the per-layer time
+// distribution and scratch-pool behavior ship with the throughput numbers.
+type benchObs struct {
+	reg       *obs.Registry
+	layerTime *obs.HistogramVec
+	batchRows *obs.Histogram
+	scratch   *obs.CounterVec
+}
+
+func newBenchObs() *benchObs {
+	reg := obs.NewRegistry()
+	return &benchObs{
+		reg: reg,
+		layerTime: reg.HistogramVec("apds_propagate_layer_seconds",
+			"Wall time per network layer per propagation chunk.",
+			obs.ExpBuckets(1e-6, 2, 16), "activation", "layer"),
+		batchRows: reg.Histogram("apds_propagate_batch_rows",
+			"Rows per PropagateBatch call.", obs.ExpBuckets(1, 2, 12)),
+		scratch: reg.CounterVec("apds_scratch_pool_gets_total",
+			"Batch scratch-buffer acquisitions by pool outcome.", "result"),
+	}
+}
+
+// hooks returns the propagator callbacks for one activation's runs.
+func (o *benchObs) hooks(act string) *core.Hooks {
+	if o == nil {
+		return nil
+	}
+	hit := o.scratch.With("hit")
+	miss := o.scratch.With("miss")
+	return &core.Hooks{
+		BatchStart: func(rows int) { o.batchRows.Observe(float64(rows)) },
+		LayerTime: func(layer, rows int, d time.Duration) {
+			o.layerTime.With(act, strconv.Itoa(layer)).Observe(d.Seconds())
+		},
+		ScratchGet: func(ok bool) {
+			if ok {
+				hit.Inc()
+			} else {
+				miss.Inc()
+			}
+		},
+	}
+}
+
 // emitBatchBench measures per-sample Propagate against the matrix-level
 // PropagateBatch on the 2-hidden-layer 256-unit network across batch sizes,
-// prints the comparison, and records it as BENCH_batch.json under dir.
-func emitBatchBench(dir string) error {
+// prints the comparison, and records it as BENCH_batch.json under dir. With
+// withObs it also attaches observability hooks and writes the registry
+// snapshot as BENCH_obs.prom.
+func emitBatchBench(dir string, withObs bool) error {
+	var ob *benchObs
+	if withObs {
+		ob = newBenchObs()
+	}
 	rep := batchBenchReport{
 		Network:   "5-256-256-1",
 		KeepProb:  0.9,
@@ -61,6 +116,7 @@ func emitBatchBench(dir string) error {
 		if err != nil {
 			return fmt.Errorf("batch bench: %w", err)
 		}
+		prop.SetHooks(ob.hooks(act.String()))
 		for _, b := range batchSizes {
 			inputs := benchBatchInputs(b, net.InputDim())
 			seq := timePerBatch(func() error {
@@ -105,7 +161,18 @@ func emitBatchBench(dir string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "BENCH_batch.json"), append(js, '\n'), 0o644)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_batch.json"), append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	if ob != nil {
+		snap := ob.reg.Snapshot()
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_obs.prom"), []byte(snap), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("observability snapshot (%d bytes) written to %s\n",
+			len(snap), filepath.Join(dir, "BENCH_obs.prom"))
+	}
+	return nil
 }
 
 func benchBatchInputs(n, dim int) []tensor.Vector {

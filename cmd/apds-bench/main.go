@@ -10,6 +10,7 @@
 //	apds-bench -fig 2                    # one figure
 //	apds-bench -scale quick -all         # fast smoke run
 //	apds-bench -batch                    # batched-vs-sequential propagation benchmark
+//	apds-bench -batch -obs               # same, plus a metrics snapshot (BENCH_obs.prom)
 package main
 
 import (
@@ -43,12 +44,18 @@ func run(args []string) error {
 	ablations := fs.Bool("ablations", false, "also run the ablation studies (PWL pieces, softmax link, variance bias)")
 	verify := fs.Bool("verify", false, "check the paper's qualitative claims against measured results")
 	batch := fs.Bool("batch", false, "benchmark batched vs per-sample moment propagation (writes BENCH_batch.json)")
+	obsMode := fs.Bool("obs", false, "with -batch: attach propagator observability hooks and dump the metrics registry snapshot (BENCH_obs.prom)")
 	verbose := fs.Bool("v", false, "log progress")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *obsMode && !*batch {
+		// -obs instruments the batch benchmark; alone it has nothing to
+		// observe, so imply -batch rather than fail.
+		*batch = true
+	}
 	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, or -batch")
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, or -obs")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -111,7 +118,7 @@ func run(args []string) error {
 		}
 	}
 	if *batch {
-		if err := emitBatchBench(*resultDir); err != nil {
+		if err := emitBatchBench(*resultDir, *obsMode); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// decodeFuzzSeeds is the seeded corpus: the interesting shapes of /predict
+// payloads — valid single and batch forms, truncated JSON, NaN/Inf tokens
+// (legal nowhere in standard JSON), huge exponents that overflow float64,
+// mixed single/batch requests, trailing garbage, and deep nesting. Regular
+// `go test` runs every seed through the fuzz body, so the corpus doubles as
+// a table-driven regression test; `go test -fuzz FuzzDecodePredict` expands
+// from it.
+var decodeFuzzSeeds = []string{
+	`{"input":[0.5,-1]}`,
+	`{"inputs":[[0.5,-1],[2,0.25]]}`,
+	`{"input":[]}`,
+	`{"inputs":[]}`,
+	`{"inputs":[[]]}`,
+	``,
+	`null`,
+	`{}`,
+	`{"input":`,
+	`{"input":[1,`,
+	`{"input":[1,2]`,
+	`{"input":[NaN]}`,
+	`{"input":[Infinity]}`,
+	`{"input":[-Infinity]}`,
+	`{"input":[nan,inf]}`,
+	`{"input":[1e999]}`,
+	`{"input":[-1e999]}`,
+	`{"inputs":[[1e999]]}`,
+	`{"input":[1,2],"inputs":[[3,4]]}`,
+	`{"inputs":[[1,2]],"input":[3]}`,
+	`{"input":[1,2]} trailing`,
+	`{"input":[1,2]}{"input":[3,4]}`,
+	`{"input":"not an array"}`,
+	`{"input":{"a":1}}`,
+	`{"input":[true]}`,
+	`{"input":[[1]]}`,
+	`{"inputs":[1,2]}`,
+	`{"inputs":"x"}`,
+	`[1,2,3]`,
+	`"just a string"`,
+	`{"input":[1], "unknown":{"deep":{"deeper":[{}]}}}`,
+	strings.Repeat(`{"input":`, 50),
+	`{"INPUT":[1]}`,
+	`{"input":[0.1,2e-308,1.7976931348623157e308]}`,
+}
+
+// FuzzDecodePredict is the decoder's safety contract: for ANY byte input,
+// decodePredict must never panic, and must either return a request that
+// satisfies the documented invariants (exactly one of input/inputs set, all
+// values finite) or an error wrapping errBadRequest.
+func FuzzDecodePredict(f *testing.F) {
+	for _, seed := range decodeFuzzSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodePredict(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, errBadRequest) {
+				t.Fatalf("untyped decode error %v (input %q)", err, data)
+			}
+			return
+		}
+		hasOne, hasBatch := req.Input != nil, req.Inputs != nil
+		if hasOne == hasBatch {
+			t.Fatalf("accepted request violates one-of invariant: %+v (input %q)", req, data)
+		}
+		for _, v := range req.Input {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite value %v (input %q)", v, data)
+			}
+		}
+		for _, row := range req.Inputs {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite value %v (input %q)", v, data)
+				}
+			}
+		}
+	})
+}

@@ -3,19 +3,28 @@
 // model at startup (for a self-contained demo; production would load one
 // with -model), then serves:
 //
-//	POST /predict   {"input": [..]}        → {"mean": [...], "std": [...], ...}
-//	POST /predict   {"inputs": [[..],..]}  → {"results": [{"mean":..}, ...], ...}
-//	GET  /healthz                          → model summary + modeled device cost
+//	POST /predict        {"input": [..]}        → {"mean": [...], "std": [...], ...}
+//	POST /predict        {"inputs": [[..],..]}  → {"results": [{"mean":..}, ...], ...}
+//	GET  /healthz                               → model summary + modeled device cost
+//	GET  /metrics                               → Prometheus text exposition
+//	GET  /debug/pprof/                          → runtime profiling endpoints
 //
 // Batch requests go through the matrix-level PropagateBatch fast path: the
 // whole batch moves through each layer together, so a gateway flushing a
 // window of sensor readings pays far less than per-sample calls.
+//
+// Every route is wrapped by the observability middleware (examples/server
+// obs.go): request IDs, per-route latency/status metrics, per-request trace
+// spans, and one structured JSON access-log line per request. The
+// propagator's hooks feed per-layer timing and scratch-pool metrics into
+// the same /metrics registry.
 //
 // Run with:
 //
 //	go run ./examples/server            # listens on :8080
 //	curl -s localhost:8080/predict -d '{"input":[0.3]}'
 //	curl -s localhost:8080/predict -d '{"inputs":[[0.3],[-1.2]]}'
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -25,19 +34,25 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"time"
 
 	apds "github.com/apdeepsense/apdeepsense"
 )
 
-// service bundles the estimator with the metadata handlers report.
+// service bundles the estimator with the metadata handlers report and the
+// observability state (metrics registry, structured logger).
 type service struct {
-	est    apds.Estimator
-	net    *apds.Network
-	device *apds.Device
+	est     apds.Estimator
+	net     *apds.Network
+	device  *apds.Device
+	metrics *serverMetrics
+	logger  *slog.Logger
 }
 
 func main() {
@@ -52,13 +67,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", svc.handlePredict)
-	mux.HandleFunc("/healthz", svc.handleHealth)
-
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           svc.mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("serving %s on %s", svc.net.Summary(), *addr)
@@ -83,7 +94,34 @@ func newService(modelPath string) (*service, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &service{est: est, net: net, device: apds.NewEdison()}, nil
+	m := newServerMetrics()
+	m.params.Set(float64(net.Params()))
+	// The propagator reports per-layer wall time, batch sizes, and scratch
+	// reuse straight into the /metrics registry.
+	est.Propagator().SetHooks(m.hooks())
+	return &service{
+		est:     est,
+		net:     net,
+		device:  apds.NewEdison(),
+		metrics: m,
+		logger:  slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}, nil
+}
+
+// mux assembles the route table with every route instrumented. The pprof
+// endpoints come from net/http/pprof, wired explicitly because the server
+// uses its own mux rather than http.DefaultServeMux.
+func (s *service) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.instrument("/predict", s.handlePredict))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // trainDemoModel fits y = sin(3x) with a dropout network.
@@ -138,54 +176,85 @@ type predictResponse struct {
 	HostMicros int64 `json:"host_micros"`
 }
 
+// errBadRequest is the typed error class for every client-side /predict
+// failure: decodePredict (and the handler's dimension checks) wrap all
+// rejections in it, so callers — and the fuzz harness — can distinguish
+// "bad payload" from an internal fault with errors.Is.
+var errBadRequest = errors.New("bad request")
+
 // decodePredict parses a /predict body that has already been wrapped with
 // MaxBytesReader. It rejects payloads with trailing garbage after the JSON
-// object, bodies over the size limit, and requests that set both or neither
-// of "input" and "inputs".
+// object, bodies over the size limit, non-finite values, and requests that
+// set both or neither of "input" and "inputs". Every rejection wraps
+// errBadRequest; decodePredict never panics on any input
+// (FuzzDecodePredict).
 func decodePredict(body io.Reader) (predictRequest, error) {
 	var req predictRequest
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return req, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+			return req, fmt.Errorf("request body exceeds %d bytes: %w", tooLarge.Limit, errBadRequest)
 		}
-		return req, fmt.Errorf("malformed JSON: %v", err)
+		return req, fmt.Errorf("malformed JSON: %v: %w", err, errBadRequest)
 	}
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-		return req, errors.New("trailing data after JSON object")
+		return req, fmt.Errorf("trailing data after JSON object: %w", errBadRequest)
 	}
 	hasOne, hasBatch := req.Input != nil, req.Inputs != nil
 	switch {
 	case hasOne && hasBatch:
-		return req, errors.New(`set either "input" or "inputs", not both`)
+		return req, fmt.Errorf(`set either "input" or "inputs", not both: %w`, errBadRequest)
 	case !hasOne && !hasBatch:
-		return req, errors.New(`missing "input" or "inputs"`)
+		return req, fmt.Errorf(`missing "input" or "inputs": %w`, errBadRequest)
+	}
+	// Standard JSON cannot encode NaN/Inf, but the finiteness contract is
+	// part of this decoder's interface, not an accident of the wire format.
+	for _, v := range req.Input {
+		if !finite(v) {
+			return req, fmt.Errorf("non-finite value in input: %w", errBadRequest)
+		}
+	}
+	for i, row := range req.Inputs {
+		for _, v := range row {
+			if !finite(v) {
+				return req, fmt.Errorf("non-finite value in inputs[%d]: %w", i, errBadRequest)
+			}
+		}
 	}
 	return req, nil
 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	tr := traceFrom(r.Context())
+
+	span := tr.StartSpan("decode")
 	req, err := decodePredict(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	span.End()
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
 
 	resp := predictResponse{ModeledEdisonMs: s.device.TimeMillis(s.est.Cost())}
+	span = tr.StartSpan("predict")
 	start := time.Now()
 	if req.Input != nil {
 		if len(req.Input) != s.net.InputDim() {
-			http.Error(w, fmt.Sprintf("input has %d values, model expects %d",
-				len(req.Input), s.net.InputDim()), http.StatusBadRequest)
+			span.End()
+			http.Error(w, fmt.Sprintf("input has %d values, model expects %d: %v",
+				len(req.Input), s.net.InputDim(), errBadRequest), http.StatusBadRequest)
 			return
 		}
 		g, err := s.est.Predict(req.Input)
 		if err != nil {
+			span.End()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -194,8 +263,9 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		inputs := make([]apds.Vector, len(req.Inputs))
 		for i, x := range req.Inputs {
 			if len(x) != s.net.InputDim() {
-				http.Error(w, fmt.Sprintf("inputs[%d] has %d values, model expects %d",
-					i, len(x), s.net.InputDim()), http.StatusBadRequest)
+				span.End()
+				http.Error(w, fmt.Sprintf("inputs[%d] has %d values, model expects %d: %v",
+					i, len(x), s.net.InputDim(), errBadRequest), http.StatusBadRequest)
 				return
 			}
 			inputs[i] = x
@@ -204,6 +274,7 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// estimators: the whole batch crosses each layer together.
 		gs, err := apds.PredictBatch(s.est, inputs, 0)
 		if err != nil {
+			span.End()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -213,7 +284,10 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.HostMicros = time.Since(start).Microseconds()
+	span.End()
 
+	span = tr.StartSpan("encode")
+	defer span.End()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("encode response: %v", err)

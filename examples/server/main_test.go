@@ -2,16 +2,21 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	apds "github.com/apdeepsense/apdeepsense"
 )
 
 // testService builds a service around a small untrained network so handler
-// tests don't pay the demo-training cost.
+// tests don't pay the demo-training cost. The full observability stack
+// (metrics registry, propagator hooks, discard logger) is wired exactly as
+// in newService.
 func testService(t *testing.T) *service {
 	t.Helper()
 	net, err := apds.NewNetwork(apds.NetworkConfig{
@@ -26,7 +31,16 @@ func testService(t *testing.T) *service {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &service{est: est, net: net, device: apds.NewEdison()}
+	m := newServerMetrics()
+	m.params.Set(float64(net.Params()))
+	est.Propagator().SetHooks(m.hooks())
+	return &service{
+		est:     est,
+		net:     net,
+		device:  apds.NewEdison(),
+		metrics: m,
+		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
 }
 
 func post(t *testing.T, svc *service, body string) *httptest.ResponseRecorder {
@@ -104,5 +118,139 @@ func TestHandlePredictMethod(t *testing.T) {
 	testService(t).handlePredict(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET status %d, want 405", rec.Code)
+	}
+}
+
+// do sends one request through the full instrumented mux, so middleware,
+// metrics, and routing are all exercised.
+func do(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestMetricsEndpoint drives traffic through the mux and checks /metrics
+// renders valid Prometheus exposition including request histograms and the
+// per-layer propagation timings the hooks feed.
+func TestMetricsEndpoint(t *testing.T) {
+	svc := testService(t)
+	mux := svc.mux()
+
+	if rec := do(t, mux, http.MethodPost, "/predict", `{"input":[0.5,-1]}`); rec.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, mux, http.MethodPost, "/predict", `{"inputs":[[0.5,-1],[2,0.25],[-3,1]]}`); rec.Code != http.StatusOK {
+		t.Fatalf("batch predict status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, mux, http.MethodPost, "/predict", `{"bad":`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad predict status %d", rec.Code)
+	}
+
+	rec := do(t, mux, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		`apds_http_requests_total{route="/predict",code="200"} 2`,
+		`apds_http_requests_total{route="/predict",code="400"} 1`,
+		"# TYPE apds_http_request_seconds histogram",
+		`apds_http_request_seconds_bucket{route="/predict",le="+Inf"} 3`,
+		"# TYPE apds_propagate_layer_seconds histogram",
+		`apds_propagate_layer_seconds_bucket{layer="0",le="+Inf"}`,
+		`apds_propagate_layer_seconds_bucket{layer="1",le="+Inf"}`,
+		"apds_predict_batch_rows_count 1",
+		"apds_scratch_pool_gets_total",
+		"apds_model_params",
+		// The scrape itself is in flight while the registry renders.
+		"apds_http_inflight_requests 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Basic exposition well-formedness: every non-comment line is
+	// "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+	// GET only.
+	if rec := do(t, mux, http.MethodPost, "/metrics", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d, want 405", rec.Code)
+	}
+}
+
+// TestRequestID checks the middleware assigns IDs and honors incoming ones.
+func TestRequestID(t *testing.T) {
+	svc := testService(t)
+	mux := svc.mux()
+
+	rec := do(t, mux, http.MethodGet, "/healthz", "")
+	if id := rec.Header().Get("X-Request-ID"); id == "" {
+		t.Error("no X-Request-ID assigned")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-id-7")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if id := rec.Header().Get("X-Request-ID"); id != "caller-id-7" {
+		t.Errorf("X-Request-ID = %q, want caller-id-7", id)
+	}
+}
+
+// TestPprofRoutes checks the profiling endpoints are wired.
+func TestPprofRoutes(t *testing.T) {
+	rec := do(t, testService(t).mux(), http.MethodGet, "/debug/pprof/", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index status %d", rec.Code)
+	}
+}
+
+// TestConcurrentPredictMetrics hammers /predict and /metrics from parallel
+// goroutines — the race-detector coverage tools/check.sh requires for the
+// serving path (scrapes render the registry while hooks update it).
+func TestConcurrentPredictMetrics(t *testing.T) {
+	svc := testService(t)
+	mux := svc.mux()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var rec *httptest.ResponseRecorder
+				switch i % 3 {
+				case 0:
+					rec = do(t, mux, http.MethodPost, "/predict", `{"input":[0.5,-1]}`)
+				case 1:
+					rec = do(t, mux, http.MethodPost, "/predict", `{"inputs":[[0.5,-1],[2,0.25]]}`)
+				default:
+					rec = do(t, mux, http.MethodGet, "/metrics", "")
+				}
+				if rec.Code != http.StatusOK {
+					t.Errorf("worker %d req %d: status %d", w, i, rec.Code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := svc.metrics.inflight.Value(); got != 0 {
+		t.Errorf("inflight gauge = %v after drain, want 0", got)
 	}
 }

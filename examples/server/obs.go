@@ -1,0 +1,184 @@
+// Observability plumbing for the inference server: the metrics the handlers
+// and propagator hooks update, the request-ID + access-log + histogram
+// middleware every route passes through, and the /metrics handler that
+// renders it all as Prometheus text exposition format.
+//
+// Metric names (see README "Observability"):
+//
+//	apds_http_requests_total{route,code}     requests by route and status
+//	apds_http_request_seconds{route}         request latency histogram
+//	apds_http_inflight_requests              currently executing requests
+//	apds_predict_batch_rows                  /predict batch-size histogram
+//	apds_propagate_layer_seconds{layer}      per-layer propagation wall time
+//	apds_scratch_pool_gets_total{result}     batch scratch pool hit/miss
+//	apds_model_params                        parameter count of the served model
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	apds "github.com/apdeepsense/apdeepsense"
+)
+
+// serverMetrics bundles the registry and the handles the hot paths update.
+type serverMetrics struct {
+	reg *apds.ObsRegistry
+
+	requests  *apds.ObsCounterVec
+	latency   *apds.ObsHistogramVec
+	inflight  *apds.ObsGauge
+	batchRows *apds.ObsHistogram
+	layerTime *apds.ObsHistogramVec
+	scratch   *apds.ObsCounterVec
+	params    *apds.ObsGauge
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := apds.NewObsRegistry()
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("apds_http_requests_total",
+			"HTTP requests by route and status code.", "route", "code"),
+		latency: reg.HistogramVec("apds_http_request_seconds",
+			"HTTP request latency.", apds.ObsLatencyBuckets(), "route"),
+		inflight: reg.Gauge("apds_http_inflight_requests",
+			"Requests currently being served."),
+		batchRows: reg.Histogram("apds_predict_batch_rows",
+			"Rows per batched propagation call (single-input requests bypass the batch path).",
+			apds.ObsExpBuckets(1, 2, 12)),
+		layerTime: reg.HistogramVec("apds_propagate_layer_seconds",
+			"Wall time per network layer per propagation chunk.",
+			apds.ObsExpBuckets(1e-6, 2, 16), "layer"),
+		scratch: reg.CounterVec("apds_scratch_pool_gets_total",
+			"Batch scratch-buffer acquisitions by pool outcome.", "result"),
+		params: reg.Gauge("apds_model_params",
+			"Parameter count of the served model."),
+	}
+}
+
+// hooks builds the propagator callbacks feeding the registry. Layer labels
+// are the layer indices, so scraping shows where propagation time goes.
+func (m *serverMetrics) hooks() *apds.PropagatorHooks {
+	hit := m.scratch.With("hit")
+	miss := m.scratch.With("miss")
+	return &apds.PropagatorHooks{
+		BatchStart: func(rows int) { m.batchRows.Observe(float64(rows)) },
+		LayerTime: func(layer, rows int, d time.Duration) {
+			m.layerTime.With(strconv.Itoa(layer)).Observe(d.Seconds())
+		},
+		ScratchGet: func(ok bool) {
+			if ok {
+				hit.Inc()
+			} else {
+				miss.Inc()
+			}
+		},
+	}
+}
+
+// handleMetrics renders the registry in Prometheus text exposition format.
+func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WriteText(w); err != nil {
+		s.logger.Error("write metrics", "err", err)
+	}
+}
+
+// reqIDPrefix and reqIDCounter generate process-unique request IDs of the
+// form "f3a9c1d2-42": a random process prefix plus a sequence number.
+var (
+	reqIDPrefix  = randomPrefix()
+	reqIDCounter atomic.Uint64
+)
+
+func randomPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for this process anyway;
+		// fall back to a fixed prefix rather than refuse to serve.
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func nextRequestID() string {
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDCounter.Add(1), 10)
+}
+
+// traceKey carries the request's *apds.ObsTrace through the context.
+type traceKey struct{}
+
+// traceFrom returns the request trace installed by instrument, or a
+// throwaway trace so direct handler calls (tests) need no middleware.
+func traceFrom(ctx context.Context) *apds.ObsTrace {
+	if tr, ok := ctx.Value(traceKey{}).(*apds.ObsTrace); ok {
+		return tr
+	}
+	return apds.NewObsTrace("untraced")
+}
+
+// statusWriter captures the status code and body size for metrics/logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a route handler with the full observability stack:
+// request-ID assignment (honoring an incoming X-Request-ID), a per-request
+// trace, the in-flight gauge, per-route latency/status metrics, and one
+// structured access-log line per request.
+func (s *service) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		tr := apds.NewObsTrace(id)
+
+		s.metrics.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next(sw, r.WithContext(context.WithValue(r.Context(), traceKey{}, tr)))
+		s.metrics.inflight.Add(-1)
+
+		elapsed := tr.Elapsed()
+		s.metrics.requests.With(route, strconv.Itoa(sw.status)).Inc()
+		s.metrics.latency.With(route).Observe(elapsed.Seconds())
+
+		attrs := []any{
+			"id", id,
+			"method", r.Method,
+			"route", route,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_us", elapsed.Microseconds(),
+			"remote", r.RemoteAddr,
+		}
+		for _, span := range tr.Spans() {
+			attrs = append(attrs, span.Name+"_us", span.Duration.Microseconds())
+		}
+		s.logger.Info("request", attrs...)
+	}
+}

@@ -149,8 +149,8 @@ func TestPredictBatchFanOutPath(t *testing.T) {
 // estimator so tests can force the worker-pool path.
 type plainEstimator struct{ est Estimator }
 
-func (p plainEstimator) Name() string                                     { return p.est.Name() }
-func (p plainEstimator) Predict(x tensor.Vector) (GaussianVec, error)     { return p.est.Predict(x) }
+func (p plainEstimator) Name() string                                 { return p.est.Name() }
+func (p plainEstimator) Predict(x tensor.Vector) (GaussianVec, error) { return p.est.Predict(x) }
 func (p plainEstimator) PredictProbs(x tensor.Vector) (tensor.Vector, error) {
 	return p.est.PredictProbs(x)
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/apdeepsense/apdeepsense/internal/piecewise"
 	"github.com/apdeepsense/apdeepsense/internal/stats"
@@ -116,12 +117,16 @@ func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 	if b == 0 {
 		return out, nil
 	}
+	h := p.hooks.Load()
+	if h != nil && h.BatchStart != nil {
+		h.BatchStart(b)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if max := (b + minRowsPerWorker - 1) / minRowsPerWorker; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		p.propagateRows(gb, out, 0, b)
+		p.propagateRows(gb, out, 0, b, h)
 		return out, nil
 	}
 	chunk := (b + workers - 1) / workers
@@ -139,7 +144,7 @@ func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			p.propagateRows(gb, out, lo, hi)
+			p.propagateRows(gb, out, lo, hi, h)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -155,6 +160,9 @@ type batchScratch struct {
 	nxtMu, nxtVar []float64
 	bounds        []stats.Boundary
 	pms           []stats.PartialMoments
+	// warm distinguishes a pooled buffer set (true) from a fresh sync.Pool
+	// allocation, feeding the Hooks.ScratchGet hit/miss signal.
+	warm bool
 }
 
 func (s *batchScratch) ensure(n, nBounds int) {
@@ -175,9 +183,17 @@ func (s *batchScratch) ensure(n, nBounds int) {
 // DenseMoments + ActivationMomentsVec exactly: dropout-aware input moments
 // (eqs. 9–10) in place, one blocked matmul per moment, bias add, variance
 // clamp, then the PWL activation moments (eqs. 12–26) element-wise.
-func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int) {
+//
+// h is the hooks snapshot taken by propagateBatch; hooks observe timing and
+// pool reuse only and never touch the numeric state, so results are
+// bit-identical with or without them (TestPropagateBatchHookedBitIdentical).
+func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int, h *Hooks) {
 	rows := hi - lo
 	sc := p.scratch.Get().(*batchScratch)
+	if h != nil && h.ScratchGet != nil {
+		h.ScratchGet(sc.warm)
+	}
+	sc.warm = true
 	sc.ensure(rows*p.maxDim, p.maxBounds)
 
 	dim := in.Dim()
@@ -200,7 +216,12 @@ func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int) {
 		}
 	}
 
+	timed := h != nil && h.LayerTime != nil
+	var t0 time.Time
 	for li, l := range layers {
+		if timed {
+			t0 = time.Now()
+		}
 		nIn, nOut := l.InDim(), l.OutDim()
 
 		curMu := &tensor.Matrix{Rows: rows, Cols: nIn, Data: sc.curMu[:rows*nIn]}
@@ -254,6 +275,9 @@ func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int) {
 
 		sc.curMu, sc.nxtMu = sc.nxtMu, sc.curMu
 		sc.curVar, sc.nxtVar = sc.nxtVar, sc.curVar
+		if timed {
+			h.LayerTime(li, rows, time.Since(t0))
+		}
 	}
 
 	outDim := out.Dim()

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/apdeepsense/apdeepsense/internal/edison"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
@@ -50,7 +52,8 @@ func (o *Options) fillDefaults() {
 //
 // A Propagator is safe for concurrent use: Propagate and PropagateBatch only
 // read the precomputed state (the batch scratch pool is internally
-// synchronized).
+// synchronized), and the optional observability hooks (SetHooks) are stored
+// behind an atomic pointer.
 type Propagator struct {
 	net  *nn.Network
 	acts []*piecewise.Func
@@ -66,6 +69,10 @@ type Propagator struct {
 	maxDim    int
 	maxBounds int
 	scratch   sync.Pool
+
+	// hooks holds the optional observability callbacks (see Hooks). Loaded
+	// once per propagation call; nil costs one atomic pointer load.
+	hooks atomic.Pointer[Hooks]
 }
 
 // NewPropagator prepares ApDeepSense inference for net.
@@ -140,14 +147,23 @@ func (p *Propagator) PropagateFrom(g GaussianVec) (GaussianVec, error) {
 	if g.Dim() != p.net.InputDim() {
 		return GaussianVec{}, fmt.Errorf("propagate-from: input dim %d, want %d: %w", g.Dim(), p.net.InputDim(), ErrInput)
 	}
+	h := p.hooks.Load()
+	timed := h != nil && h.LayerTime != nil
+	var t0 time.Time
 	g = g.Clone()
 	for i, l := range p.net.Layers() {
+		if timed {
+			t0 = time.Now()
+		}
 		var err error
 		g, err = DenseMoments(g, l, p.wsq[i])
 		if err != nil {
 			return GaussianVec{}, fmt.Errorf("propagate layer %d: %w", i, err)
 		}
 		ActivationMomentsVec(g, p.acts[i])
+		if timed {
+			h.LayerTime(i, 1, time.Since(t0))
+		}
 	}
 	return g, nil
 }

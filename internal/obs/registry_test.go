@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("requests_total", "total requests"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("inflight", "in-flight requests")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c_total", "").Add(-1)
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type conflict did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, name := range []string{"", "9lives", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name, "")
+		}()
+	}
+	// "le" is reserved for histogram buckets.
+	defer func() {
+		if recover() == nil {
+			t.Error(`label "le" did not panic`)
+		}
+	}()
+	NewRegistry().HistogramVec("h", "", []float64{1}, "le")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-3.545) > 1e-12 {
+		t.Errorf("sum = %v, want 3.545", h.Sum())
+	}
+	text := r.Snapshot()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 3.545`,
+		`latency_seconds_count 5`,
+		"# TYPE latency_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "by route and code", "route", "code")
+	v.With("/predict", "200").Add(3)
+	v.With("/predict", "400").Inc()
+	v.With("/metrics", "200").Inc()
+	if v.With("/predict", "200").Value() != 3 {
+		t.Error("series lookup did not return the same counter")
+	}
+	text := r.Snapshot()
+	for _, want := range []string{
+		`http_requests_total{route="/predict",code="200"} 3`,
+		`http_requests_total{route="/predict",code="400"} 1`,
+		`http_requests_total{route="/metrics",code="200"} 1`,
+		"# HELP http_requests_total by route and code",
+		"# TYPE http_requests_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecWrongArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("m_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("weird_total", "", "path").With(`a\b"c` + "\nd").Inc()
+	text := r.Snapshot()
+	want := `weird_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(text, want) {
+		t.Errorf("exposition missing %q:\n%s", want, text)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	lb := LatencyBuckets()
+	if len(lb) != 16 || lb[0] != 50e-6 {
+		t.Errorf("latency buckets = %v", lb)
+	}
+}
+
+// TestExpositionDeterministic pins that rendering sorts families and series
+// so scrapes diff cleanly.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		v := r.CounterVec("zz_total", "", "k")
+		for _, k := range order {
+			v.With(k).Inc()
+		}
+		r.Gauge("aa", "").Set(1)
+		return r.Snapshot()
+	}
+	a := build([]string{"x", "y", "z"})
+	b := build([]string{"z", "x", "y"})
+	if a != b {
+		t.Errorf("exposition depends on creation order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "# TYPE aa gauge") {
+		t.Errorf("families not name-sorted:\n%s", a)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; the
+// race detector (tools/check.sh runs this package with -race) validates the
+// lock-free update paths.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "")
+	h := r.Histogram("lat", "", []float64{0.5, 1, 2})
+	v := r.CounterVec("routes_total", "", "route")
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%3) + 0.25)
+				v.With([]string{"/a", "/b", "/c"}[i%3]).Inc()
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight per-request span collector: a request ID plus the
+// named timed sections the request passed through. It is built for access
+// logging and slow-request triage, not distributed tracing — spans live in
+// memory for the request's lifetime and render as one log-friendly line.
+//
+// A Trace is safe for concurrent span recording (a batched handler may time
+// sections from helper goroutines), though spans are usually sequential.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one finished timed section of a trace.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// NewTrace starts a trace identified by id (typically the request ID).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() string { return t.id }
+
+// Start returns the trace start time.
+func (t *Trace) Start() time.Time { return t.start }
+
+// StartSpan opens a named section; call End on the result to record it.
+func (t *Trace) StartSpan(name string) *ActiveSpan {
+	return &ActiveSpan{t: t, name: name, start: time.Now()}
+}
+
+// Time runs fn inside a span — the common single-statement form.
+func (t *Trace) Time(name string, fn func()) {
+	s := t.StartSpan(name)
+	defer s.End()
+	fn()
+}
+
+// Spans returns the finished spans in recording order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Elapsed returns the time since the trace started.
+func (t *Trace) Elapsed() time.Duration { return time.Since(t.start) }
+
+// String renders the trace as one log line:
+//
+//	trace=<id> total=1.8ms decode=0.1ms predict=1.5ms encode=0.2ms
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace=%s total=%s", t.id, t.Elapsed().Round(time.Microsecond))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.spans {
+		fmt.Fprintf(&b, " %s=%s", s.Name, s.Duration.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// ActiveSpan is an open span; End records it on the owning trace.
+type ActiveSpan struct {
+	t     *Trace
+	name  string
+	start time.Time
+	done  bool
+}
+
+// End closes the span and returns its duration. Multiple End calls record
+// the span once (the first duration wins).
+func (s *ActiveSpan) End() time.Duration {
+	d := time.Since(s.start)
+	if s.done {
+		return d
+	}
+	s.done = true
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, Span{Name: s.name, Start: s.start, Duration: d})
+	s.t.mu.Unlock()
+	return d
+}

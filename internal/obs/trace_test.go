@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("req-1")
+	s := tr.StartSpan("decode")
+	time.Sleep(time.Millisecond)
+	d := s.End()
+	if d < time.Millisecond {
+		t.Errorf("span duration %v, want >= 1ms", d)
+	}
+	tr.Time("predict", func() {})
+
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "decode" || spans[1].Name != "predict" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Duration < time.Millisecond {
+		t.Errorf("recorded duration %v, want >= 1ms", spans[0].Duration)
+	}
+
+	line := tr.String()
+	for _, want := range []string{"trace=req-1", "total=", "decode=", "predict="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("trace line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestTraceDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTrace("x")
+	s := tr.StartSpan("a")
+	s.End()
+	s.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Errorf("spans recorded %d times, want 1", got)
+	}
+}
+
+// TestTraceConcurrent records spans from several goroutines; validated
+// under -race by tools/check.sh.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("c")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Time("work", func() {})
+				_ = tr.String()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 400 {
+		t.Errorf("spans = %d, want 400", got)
+	}
+}

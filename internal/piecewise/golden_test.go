@@ -1,0 +1,136 @@
+package piecewise
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// updateGolden regenerates testdata/pwl_golden.json from the current
+// implementation:
+//
+//	go test ./internal/piecewise -run TestGoldenPWL -update
+//
+// The golden file locks the exact 7-piece tanh/sigmoid segments — knot
+// positions and (K, C) slope/intercept per piece — so that any change to
+// curvatureKnots, Interpolate, or the default span shows up as an explicit
+// diff instead of a silent shift in every downstream moment computation
+// (trained-model behavior depends bit-for-bit on these coefficients).
+var updateGolden = flag.Bool("update", false, "rewrite the PWL golden file")
+
+const goldenPath = "testdata/pwl_golden.json"
+
+// goldenPiece stores the four floats of one segment as strconv 'g' -1
+// strings: full round-trip precision, and ±Inf survives JSON (which has no
+// encoding for non-finite numbers).
+type goldenPiece struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	K string `json:"k"`
+	C string `json:"c"`
+}
+
+type goldenFile struct {
+	Comment string                   `json:"comment"`
+	Funcs   map[string][]goldenPiece `json:"funcs"`
+}
+
+func formatPieces(f *Func) []goldenPiece {
+	fmtF := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	out := make([]goldenPiece, f.NumPieces())
+	for i, p := range f.Pieces() {
+		out[i] = goldenPiece{A: fmtF(p.A), B: fmtF(p.B), K: fmtF(p.K), C: fmtF(p.C)}
+	}
+	return out
+}
+
+func parseGolden(t *testing.T, g goldenPiece) Piece {
+	t.Helper()
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("golden file holds unparseable float %q: %v", s, err)
+		}
+		return v
+	}
+	return Piece{A: parse(g.A), B: parse(g.B), K: parse(g.K), C: parse(g.C)}
+}
+
+// TestGoldenPWL pins the exact segments of the paper-default 7-piece tanh
+// and sigmoid approximations against testdata/pwl_golden.json.
+func TestGoldenPWL(t *testing.T) {
+	tanh, err := Tanh(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigmoid, err := Sigmoid(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]*Func{"tanh7": tanh, "sigmoid7": sigmoid}
+
+	if *updateGolden {
+		g := goldenFile{
+			Comment: "Exact 7-piece PWL segments [A,B): y=Kx+C. Regenerate with: go test ./internal/piecewise -run TestGoldenPWL -update",
+			Funcs:   map[string][]goldenPiece{},
+		}
+		for name, f := range got {
+			g.Funcs[name] = formatPieces(f)
+		}
+		js, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Funcs) != len(got) {
+		t.Fatalf("golden file has %d funcs, want %d", len(want.Funcs), len(got))
+	}
+	for name, f := range got {
+		pieces := want.Funcs[name]
+		if len(pieces) != f.NumPieces() {
+			t.Fatalf("%s: golden has %d pieces, implementation has %d", name, len(pieces), f.NumPieces())
+		}
+		for i, gp := range pieces {
+			wp := parseGolden(t, gp)
+			cp := f.Piece(i)
+			for _, c := range []struct {
+				field     string
+				got, want float64
+			}{
+				{"A", cp.A, wp.A},
+				{"B", cp.B, wp.B},
+				{"K", cp.K, wp.K},
+				{"C", cp.C, wp.C},
+			} {
+				// Bit equality, not approximate: these coefficients feed the
+				// closed-form moments, and strconv 'g' -1 round-trips exactly.
+				if math.Float64bits(c.got) != math.Float64bits(c.want) {
+					t.Errorf("%s piece %d field %s: got %v (bits %#x), golden %v (bits %#x)\n"+
+						"intentional change? regenerate with -update and review the diff",
+						name, i, c.field, c.got, math.Float64bits(c.got), c.want, math.Float64bits(c.want))
+				}
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/apdeepsense/apdeepsense/internal/core"
 	"github.com/apdeepsense/apdeepsense/internal/stats"
@@ -23,6 +24,11 @@ var ErrConfig = errors.New("stream: invalid configuration")
 // fixed-length windows. Push one sample (one value per channel) at a time;
 // each call returns a flattened window (time-major: sample t's channels are
 // adjacent) every stride samples once the first window has filled.
+//
+// A Windower is NOT safe for concurrent use: a window is defined by the
+// order samples arrive, so interleaving Push calls from several goroutines
+// has no meaningful semantics. Feed each sensor stream from one goroutine
+// (one Windower per stream).
 type Windower struct {
 	channels int
 	length   int
@@ -72,7 +78,13 @@ func (w *Windower) Count() int { return w.count }
 // OnlineStandardizer tracks running per-dimension mean and variance
 // (Welford) and standardizes vectors against them — for deployments where
 // the training-time statistics are unavailable or drifting.
+//
+// An OnlineStandardizer is safe for concurrent use: Observe, Apply, and
+// Count may be called from multiple goroutines (e.g. several serving
+// goroutines sharing one drift tracker). Apply standardizes against a
+// consistent snapshot of the statistics at the time of the call.
 type OnlineStandardizer struct {
+	mu  sync.Mutex
 	acc *stats.VecWelford
 }
 
@@ -89,7 +101,9 @@ func (s *OnlineStandardizer) Observe(x []float64) error {
 	if len(x) != s.acc.Dim() {
 		return fmt.Errorf("dim %d, want %d: %w", len(x), s.acc.Dim(), ErrConfig)
 	}
+	s.mu.Lock()
 	s.acc.Add(x)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -99,8 +113,10 @@ func (s *OnlineStandardizer) Apply(x []float64) ([]float64, error) {
 	if len(x) != s.acc.Dim() {
 		return nil, fmt.Errorf("dim %d, want %d: %w", len(x), s.acc.Dim(), ErrConfig)
 	}
+	s.mu.Lock()
 	mean := s.acc.Mean()
 	variance := s.acc.Variance()
+	s.mu.Unlock()
 	out := make([]float64, len(x))
 	for i := range x {
 		sd := math.Sqrt(variance[i])
@@ -113,7 +129,11 @@ func (s *OnlineStandardizer) Apply(x []float64) ([]float64, error) {
 }
 
 // Count returns the number of observed vectors.
-func (s *OnlineStandardizer) Count() int64 { return s.acc.Count() }
+func (s *OnlineStandardizer) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc.Count()
+}
 
 // Decision is the uncertainty gate's verdict for one prediction.
 type Decision int
@@ -143,10 +163,17 @@ func (d Decision) String() string {
 // keeps acceptance statistics. It is the smallest useful policy on top of
 // ApDeepSense's variance output: bound the mean predictive standard
 // deviation.
+//
+// A Gate is safe for concurrent use: Check and Stats may be called from
+// multiple goroutines (the expected deployment shares one gate across
+// serving goroutines), and Stats always observes a consistent
+// (accepted, escalated) pair.
 type Gate struct {
 	maxMeanStd float64
-	accepted   int64
-	escalated  int64
+
+	mu        sync.Mutex
+	accepted  int64
+	escalated int64
 }
 
 // NewGate accepts predictions whose mean per-dimension standard deviation is
@@ -165,18 +192,31 @@ func (g *Gate) Check(pred core.GaussianVec) Decision {
 		s += math.Sqrt(pred.Var[i])
 	}
 	if s/float64(pred.Dim()) <= g.maxMeanStd {
+		g.mu.Lock()
 		g.accepted++
+		g.mu.Unlock()
 		return Accept
 	}
+	g.mu.Lock()
 	g.escalated++
+	g.mu.Unlock()
 	return Escalate
 }
 
 // Stats returns the accept and escalate counts so far.
-func (g *Gate) Stats() (accepted, escalated int64) { return g.accepted, g.escalated }
+func (g *Gate) Stats() (accepted, escalated int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.accepted, g.escalated
+}
 
 // Pipeline chains a windower, an optional online standardizer, an estimator,
 // and a gate into a push-based streaming predictor.
+//
+// A Pipeline inherits the Windower's contract: NOT safe for concurrent use.
+// Run one Pipeline per stream, pushed from a single goroutine; the shared
+// pieces (standardizer, gate, estimator) are individually safe to reuse
+// across pipelines.
 type Pipeline struct {
 	win  *Windower
 	std  *OnlineStandardizer

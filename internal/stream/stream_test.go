@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/apdeepsense/apdeepsense/internal/core"
@@ -282,5 +283,94 @@ func TestPipelineEstimatorDimMismatch(t *testing.T) {
 	}
 	if _, err := p.Push([]float64{1}); err == nil {
 		t.Error("expected estimator dim error")
+	}
+}
+
+// TestGateConcurrent exercises the documented concurrency contract: many
+// goroutines share one gate, and the counters must neither race (caught by
+// -race in tools/check.sh) nor lose increments.
+func TestGateConcurrent(t *testing.T) {
+	g, err := NewGate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := core.GaussianVec{Mean: tensor.Vector{0}, Var: tensor.Vector{0.01}} // std 0.1: accept
+	high := core.GaussianVec{Mean: tensor.Vector{0}, Var: tensor.Vector{4}}   // std 2: escalate
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				pred := low
+				if (w+i)%2 == 0 {
+					pred = high
+				}
+				g.Check(pred)
+				if i%64 == 0 {
+					// Interleave reads: Stats must always be consistent.
+					a, e := g.Stats()
+					if a < 0 || e < 0 || a+e > workers*perWorker {
+						t.Errorf("impossible stats (%d, %d)", a, e)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	a, e := g.Stats()
+	if a+e != workers*perWorker {
+		t.Errorf("counts lost: accepted %d + escalated %d = %d, want %d",
+			a, e, a+e, workers*perWorker)
+	}
+	if a != e {
+		t.Errorf("accepted %d != escalated %d (workload is an even split)", a, e)
+	}
+}
+
+// TestOnlineStandardizerConcurrent shares one standardizer across goroutines
+// that interleave Observe, Apply, and Count — the drift-tracker deployment
+// the type documents as safe.
+func TestOnlineStandardizerConcurrent(t *testing.T) {
+	s, err := NewOnlineStandardizer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			x := make([]float64, 3)
+			for i := 0; i < perWorker; i++ {
+				for j := range x {
+					x[j] = rng.NormFloat64()
+				}
+				if err := s.Observe(x); err != nil {
+					t.Error(err)
+					return
+				}
+				out, err := s.Apply(x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, v := range out {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Errorf("standardized value %v not finite", v)
+						return
+					}
+				}
+				_ = s.Count()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Count(); got != workers*perWorker {
+		t.Errorf("Count() = %d, want %d", got, workers*perWorker)
 	}
 }

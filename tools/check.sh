@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the repo's pre-merge gate, also reachable as `make check`:
-# vet, build, race-test the numeric hot paths, then record the batched
-# propagation benchmark as results/BENCH_batch.json.
+# vet, build, race-test the numeric hot paths AND the observability/serving
+# path (the metrics registry, hooks, and stream gating are explicitly
+# concurrent), then record the batched propagation benchmark with its
+# metrics snapshot (results/BENCH_batch.json + results/BENCH_obs.prom).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,10 +14,13 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./internal/core/... ./internal/tensor/..."
+echo "== go test -race (numeric hot paths)"
 go test -race ./internal/core/... ./internal/tensor/...
 
-echo "== apds-bench -batch"
-go run ./cmd/apds-bench -batch -results results
+echo "== go test -race (observability + serving path)"
+go test -race ./internal/obs/... ./internal/stream/... ./examples/server/...
+
+echo "== apds-bench -batch -obs"
+go run ./cmd/apds-bench -batch -obs -results results
 
 echo "check: ok"
