@@ -1,9 +1,10 @@
 # Developer entry points. `make check` is the pre-merge gate: vet + build +
 # race tests over the numeric hot paths and the observability/serving path +
 # the batched propagation benchmark with its metrics snapshot
-# (results/BENCH_batch.json, results/BENCH_obs.prom).
+# (results/BENCH_batch.json, results/BENCH_obs.prom) + a smoke run of the
+# serving benchmark.
 
-.PHONY: check test bench bench-hooks build
+.PHONY: check test bench bench-hooks bench-serve build
 
 check:
 	./tools/check.sh
@@ -23,3 +24,9 @@ bench:
 # live callbacks.
 bench-hooks:
 	go test -run NONE -bench 'PropagateBatch(NilHooks|Hooked)' -benchtime 2s ./internal/core
+
+# The serving benchmark: closed-loop clients at concurrency 1/8/64, coalesced
+# vs per-request, recorded as results/BENCH_serve.json (the committed
+# artifact; EXPERIMENTS.md documents the recorded run).
+bench-serve:
+	go run ./cmd/apds-bench -serve -results results

@@ -30,6 +30,7 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/quantize"
 	"github.com/apdeepsense/apdeepsense/internal/rdeepsense"
 	"github.com/apdeepsense/apdeepsense/internal/rnn"
+	"github.com/apdeepsense/apdeepsense/internal/serve"
 	"github.com/apdeepsense/apdeepsense/internal/stream"
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
 	"github.com/apdeepsense/apdeepsense/internal/train"
@@ -73,21 +74,42 @@ func LoadModel(path string) (*Network, error) { return nn.LoadFile(path) }
 func ReadModel(r io.Reader) (*Network, error) { return nn.Load(r) }
 
 // New builds the ApDeepSense estimator for a dropout-trained network with no
-// observation-noise floor. Use NewWithObsVar to add one.
-func New(net *Network, opts Options) (*core.ApDeepSense, error) {
-	return core.NewApDeepSense(net, opts, 0)
+// observation-noise floor. Use NewWithObsVar to add one. Trailing options
+// (e.g. WithWorkers) configure the underlying Propagator.
+func New(net *Network, opts Options, extra ...PropagatorOption) (*core.ApDeepSense, error) {
+	return core.NewApDeepSense(net, opts, 0, extra...)
 }
 
 // NewWithObsVar builds the ApDeepSense estimator with an observation-noise
 // variance added to every predictive variance.
-func NewWithObsVar(net *Network, opts Options, obsVar float64) (*core.ApDeepSense, error) {
-	return core.NewApDeepSense(net, opts, obsVar)
+func NewWithObsVar(net *Network, opts Options, obsVar float64, extra ...PropagatorOption) (*core.ApDeepSense, error) {
+	return core.NewApDeepSense(net, opts, obsVar, extra...)
 }
 
 // NewMCDrop builds the MCDrop-k sampling baseline over the same network.
-func NewMCDrop(net *Network, k int, obsVar float64, seed int64) (*mcdrop.Estimator, error) {
-	return mcdrop.New(net, k, obsVar, seed)
+// Trailing options (e.g. WithMCDropWorkers) configure the sampler fan-out.
+func NewMCDrop(net *Network, k int, obsVar float64, seed int64, opts ...MCDropOption) (*mcdrop.Estimator, error) {
+	return mcdrop.New(net, k, obsVar, seed, opts...)
 }
+
+// Parallelism options.
+type (
+	// PropagatorOption configures optional Propagator behavior.
+	PropagatorOption = core.Option
+	// MCDropOption configures optional MCDrop sampler behavior.
+	MCDropOption = mcdrop.Option
+)
+
+// Worker-bound options for the two estimators.
+var (
+	// WithWorkers bounds the batched-propagation fan-out (default GOMAXPROCS;
+	// 1 forces the single-threaded path).
+	WithWorkers = core.WithWorkers
+	// WithMCDropWorkers bounds how many goroutines MCDrop's Predict fans its
+	// k passes across (default GOMAXPROCS; 1 restores the sequential
+	// single-stream sampler exactly).
+	WithMCDropWorkers = mcdrop.WithWorkers
+)
 
 // Estimator internals exposed for serving-path integration.
 type (
@@ -160,6 +182,36 @@ var (
 	PredictProbsBatch = core.PredictProbsBatch
 	// NewGaussianBatch allocates a zero batch of b Gaussians of dimension d.
 	NewGaussianBatch = core.NewGaussianBatch
+)
+
+// Serving re-exports (internal/serve): the dynamic micro-batching layer that
+// coalesces concurrent single-row predict requests onto the batched
+// moment-propagation fast path. A coalesced request's result is bit-identical
+// to calling the estimator directly; under load, requests arriving together
+// share one matrix-level pass per layer.
+type (
+	// ServeConfig tunes a coalescer (batch cap, latency budget, queue bound).
+	ServeConfig = serve.Config
+	// ServeMetrics instruments a coalescer into an ObsRegistry.
+	ServeMetrics = serve.Metrics
+	// PredictCoalescer coalesces Predict calls onto the batched fast path.
+	PredictCoalescer = serve.PredictCoalescer
+	// ProbsCoalescer coalesces PredictProbs calls the same way.
+	ProbsCoalescer = serve.ProbsCoalescer
+)
+
+// Serving constructors and error classes.
+var (
+	// NewPredictCoalescer builds a coalescer flushing into PredictBatch.
+	NewPredictCoalescer = serve.NewPredict
+	// NewProbsCoalescer builds a coalescer flushing into PredictProbsBatch.
+	NewProbsCoalescer = serve.NewPredictProbs
+	// NewServeMetrics registers coalescer metrics on a registry.
+	NewServeMetrics = serve.NewMetrics
+	// ErrServeQueueFull marks rejected requests under overload (HTTP 429).
+	ErrServeQueueFull = serve.ErrQueueFull
+	// ErrServeClosed marks requests arriving after shutdown began.
+	ErrServeClosed = serve.ErrClosed
 )
 
 // Convolutional extension re-exports (paper §VI future work, internal/conv).

@@ -11,6 +11,7 @@
 //	apds-bench -scale quick -all         # fast smoke run
 //	apds-bench -batch                    # batched-vs-sequential propagation benchmark
 //	apds-bench -batch -obs               # same, plus a metrics snapshot (BENCH_obs.prom)
+//	apds-bench -serve                    # coalesced-vs-per-request serving benchmark
 package main
 
 import (
@@ -44,6 +45,8 @@ func run(args []string) error {
 	ablations := fs.Bool("ablations", false, "also run the ablation studies (PWL pieces, softmax link, variance bias)")
 	verify := fs.Bool("verify", false, "check the paper's qualitative claims against measured results")
 	batch := fs.Bool("batch", false, "benchmark batched vs per-sample moment propagation (writes BENCH_batch.json)")
+	serveBench := fs.Bool("serve", false, "benchmark coalesced vs per-request serving under closed-loop load (writes BENCH_serve.json)")
+	serveCell := fs.Duration("serve-duration", 2*time.Second, "with -serve: measured wall time per (concurrency, mode) cell")
 	obsMode := fs.Bool("obs", false, "with -batch: attach propagator observability hooks and dump the metrics registry snapshot (BENCH_obs.prom)")
 	verbose := fs.Bool("v", false, "log progress")
 	if err := fs.Parse(args); err != nil {
@@ -54,8 +57,8 @@ func run(args []string) error {
 		// observe, so imply -batch rather than fail.
 		*batch = true
 	}
-	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, or -obs")
+	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, or -obs")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -119,6 +122,11 @@ func run(args []string) error {
 	}
 	if *batch {
 		if err := emitBatchBench(*resultDir, *obsMode); err != nil {
+			return err
+		}
+	}
+	if *serveBench {
+		if err := emitServeBench(*resultDir, *serveCell); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/report"
+	"github.com/apdeepsense/apdeepsense/internal/serve"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// serveConcurrencies is the closed-loop client sweep recorded by -serve.
+var serveConcurrencies = []int{1, 8, 64}
+
+// serveBenchEntry is one (concurrency, mode) cell of BENCH_serve.json. The
+// closed loop keeps exactly Concurrency requests in flight: each simulated
+// client issues a single-row predict, waits for the answer, and immediately
+// issues the next.
+type serveBenchEntry struct {
+	Concurrency int     `json:"concurrency"`
+	Mode        string  `json:"mode"` // "per_request" or "coalesced"
+	Requests    int64   `json:"requests"`
+	QPS         float64 `json:"qps"`
+	P50Micros   float64 `json:"p50_micros"`
+	P95Micros   float64 `json:"p95_micros"`
+	P99Micros   float64 `json:"p99_micros"`
+	// Speedup is coalesced QPS over per-request QPS at the same concurrency
+	// (set on coalesced rows only).
+	Speedup float64 `json:"speedup,omitempty"`
+	// MeanBatchRows is the average rows per coalescer flush (coalesced only):
+	// how much batching the load actually produced.
+	MeanBatchRows float64 `json:"mean_batch_rows,omitempty"`
+}
+
+type serveBenchReport struct {
+	Network    string            `json:"network"`
+	KeepProb   float64           `json:"keep_prob"`
+	MaxBatch   int               `json:"max_batch"`
+	MaxWaitMs  float64           `json:"max_wait_ms"`
+	CellSecs   float64           `json:"cell_seconds"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Timestamp  string            `json:"timestamp"`
+	Entries    []serveBenchEntry `json:"entries"`
+}
+
+// emitServeBench measures the dynamic micro-batching serving path: closed-loop
+// clients at each concurrency level drive single-row predictions either
+// straight into Estimator.Predict (per_request) or through the request
+// coalescer (coalesced, flushing via the matrix-level PropagateBatch fast
+// path). Results print as a table and land in BENCH_serve.json under dir.
+// cell is the measured wall time per (concurrency, mode) cell.
+func emitServeBench(dir string, cell time.Duration) error {
+	net, err := nn.New(nn.Config{
+		InputDim: 5, Hidden: []int{256, 256}, OutputDim: 1,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("serve bench: %w", err)
+	}
+	est, err := core.NewApDeepSense(net, core.Options{}, 0)
+	if err != nil {
+		return fmt.Errorf("serve bench: %w", err)
+	}
+
+	rep := serveBenchReport{
+		Network:    "5-256-256-1",
+		KeepProb:   0.9,
+		MaxBatch:   64,
+		MaxWaitMs:  2,
+		CellSecs:   cell.Seconds(),
+		GOMAXPROCS: maxprocs(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	tbl := &report.Table{
+		Title: "Dynamic micro-batching: coalesced vs per-request serving (5-256-256-1)",
+		Headers: []string{"clients", "mode", "qps", "p50 µs", "p95 µs", "p99 µs",
+			"speedup", "rows/flush"},
+	}
+
+	for _, c := range serveConcurrencies {
+		direct := runServeCell(c, cell, func(x tensor.Vector) error {
+			_, err := est.Predict(x)
+			return err
+		})
+		direct.Concurrency, direct.Mode = c, "per_request"
+		rep.Entries = append(rep.Entries, directRow(tbl, direct))
+
+		// Fresh coalescer per cell so flush/row counters are cell-local.
+		var flushes, rows atomic.Int64
+		coal, err := serve.New(serve.Config{MaxBatch: rep.MaxBatch, MaxWait: 2 * time.Millisecond,
+			QueueDepth: 4 * rep.MaxBatch},
+			func(batch []tensor.Vector) ([]core.GaussianVec, error) {
+				flushes.Add(1)
+				rows.Add(int64(len(batch)))
+				return core.PredictBatch(est, batch, 0)
+			})
+		if err != nil {
+			return fmt.Errorf("serve bench: %w", err)
+		}
+		ctx := context.Background()
+		coalesced := runServeCell(c, cell, func(x tensor.Vector) error {
+			_, err := coal.Do(ctx, x)
+			return err
+		})
+		if err := coal.Close(ctx); err != nil {
+			return fmt.Errorf("serve bench: drain: %w", err)
+		}
+		coalesced.Concurrency, coalesced.Mode = c, "coalesced"
+		if direct.QPS > 0 {
+			coalesced.Speedup = coalesced.QPS / direct.QPS
+		}
+		if f := flushes.Load(); f > 0 {
+			coalesced.MeanBatchRows = float64(rows.Load()) / float64(f)
+		}
+		rep.Entries = append(rep.Entries, coalesced)
+		tbl.AddRow(fmt.Sprint(c), coalesced.Mode,
+			fmt.Sprintf("%.0f", coalesced.QPS),
+			fmt.Sprintf("%.0f", coalesced.P50Micros),
+			fmt.Sprintf("%.0f", coalesced.P95Micros),
+			fmt.Sprintf("%.0f", coalesced.P99Micros),
+			fmt.Sprintf("%.2fx", coalesced.Speedup),
+			fmt.Sprintf("%.1f", coalesced.MeanBatchRows),
+		)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"closed loop: each client waits for its answer before sending the next request",
+		"per_request = Estimator.Predict per call; coalesced = serve.Coalescer onto PredictBatch",
+	)
+
+	text, err := tbl.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), append(js, '\n'), 0o644)
+}
+
+func maxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// directRow records the per-request baseline row in the table and returns the
+// entry unchanged (so the caller appends exactly what was printed).
+func directRow(tbl *report.Table, e serveBenchEntry) serveBenchEntry {
+	tbl.AddRow(fmt.Sprint(e.Concurrency), e.Mode,
+		fmt.Sprintf("%.0f", e.QPS),
+		fmt.Sprintf("%.0f", e.P50Micros),
+		fmt.Sprintf("%.0f", e.P95Micros),
+		fmt.Sprintf("%.0f", e.P99Micros),
+		"", "")
+	return e
+}
+
+// runServeCell drives one closed-loop cell: c clients issue requests through
+// call back-to-back for roughly d, after a short warmup. It returns the
+// request count, throughput, and latency percentiles.
+func runServeCell(c int, d time.Duration, call func(tensor.Vector) error) serveBenchEntry {
+	inputs := benchBatchInputs(256, 5)
+	run := func(d time.Duration, record bool) (int64, []float64) {
+		var (
+			wg   sync.WaitGroup
+			lats = make([][]float64, c)
+		)
+		start := time.Now()
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				x := inputs[w%len(inputs)]
+				for time.Since(start) < d {
+					t0 := time.Now()
+					if err := call(x); err != nil {
+						panic(fmt.Sprintf("apds-bench serve: %v", err))
+					}
+					if record {
+						lats[w] = append(lats[w], float64(time.Since(t0).Microseconds()))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var all []float64
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		return int64(len(all)), all
+	}
+
+	run(d/10+10*time.Millisecond, false) // warmup: prime scratch pools and scheduler
+	start := time.Now()
+	n, lats := run(d, true)
+	elapsed := time.Since(start).Seconds()
+	sort.Float64s(lats)
+	return serveBenchEntry{
+		Requests:  n,
+		QPS:       float64(n) / elapsed,
+		P50Micros: percentile(lats, 0.50),
+		P95Micros: percentile(lats, 0.95),
+		P99Micros: percentile(lats, 0.99),
+	}
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -9,9 +9,14 @@
 //	GET  /metrics                               → Prometheus text exposition
 //	GET  /debug/pprof/                          → runtime profiling endpoints
 //
-// Batch requests go through the matrix-level PropagateBatch fast path: the
-// whole batch moves through each layer together, so a gateway flushing a
-// window of sensor readings pays far less than per-sample calls.
+// Both /predict forms feed ONE flush pipeline: a request coalescer
+// (internal/serve) enqueues every row and flushes the queue as a single
+// matrix-level PropagateBatch pass when it reaches -max-batch rows, when the
+// oldest row has waited -max-wait, or immediately when a flush worker is
+// idle. Single-row requests arriving concurrently therefore share a batched
+// pass — same results bit-for-bit, far higher throughput — and a full queue
+// rejects with 429 instead of buffering unboundedly. SIGINT/SIGTERM drains
+// the queue before exiting, so accepted requests still get answers.
 //
 // Every route is wrapped by the observability middleware (examples/server
 // obs.go): request IDs, per-route latency/status metrics, per-request trace
@@ -28,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -40,15 +46,19 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	apds "github.com/apdeepsense/apdeepsense"
 )
 
 // service bundles the estimator with the metadata handlers report and the
-// observability state (metrics registry, structured logger).
+// observability state (metrics registry, structured logger). All prediction
+// traffic flows through coal, the shared request coalescer.
 type service struct {
 	est     apds.Estimator
+	coal    *apds.PredictCoalescer
 	net     *apds.Network
 	device  *apds.Device
 	metrics *serverMetrics
@@ -58,11 +68,19 @@ type service struct {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelPath := flag.String("model", "", "serialized model to serve (trains a demo model if empty)")
+	maxBatch := flag.Int("max-batch", 64, "coalescer: max rows per flush")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "coalescer: latency budget of the oldest queued row")
+	queueDepth := flag.Int("queue-depth", 0, "coalescer: queued-row bound before 429s (0 = 4x max-batch)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown: bound on connection + queue drain")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("apds-server: ")
 
-	svc, err := newService(*modelPath)
+	svc, err := newService(*modelPath, apds.ServeConfig{
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		QueueDepth: *queueDepth,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,11 +90,37 @@ func main() {
 		Handler:           svc.mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("serving %s on %s", svc.net.Summary(), *addr)
-	log.Fatal(srv.ListenAndServe())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %s on %s (max-batch %d, max-wait %v)",
+		svc.net.Summary(), *addr, *maxBatch, *maxWait)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-draining
+
+	// Graceful drain: stop accepting connections, let in-flight handlers
+	// finish, then drain the coalescer queue so every accepted request is
+	// answered before the process exits.
+	log.Print("shutdown signal: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.close(drainCtx); err != nil {
+		log.Printf("coalescer drain: %v", err)
+	}
+	log.Print("drained")
 }
 
-func newService(modelPath string) (*service, error) {
+func newService(modelPath string, serveCfg apds.ServeConfig) (*service, error) {
 	var net *apds.Network
 	var err error
 	if modelPath != "" {
@@ -97,16 +141,27 @@ func newService(modelPath string) (*service, error) {
 	m := newServerMetrics()
 	m.params.Set(float64(net.Params()))
 	// The propagator reports per-layer wall time, batch sizes, and scratch
-	// reuse straight into the /metrics registry.
+	// reuse straight into the /metrics registry; the coalescer adds its
+	// batch-size/queue-wait histograms and flush-reason counters alongside.
 	est.Propagator().SetHooks(m.hooks())
+	serveCfg.Metrics = apds.NewServeMetrics(m.reg)
+	coal, err := apds.NewPredictCoalescer(est, serveCfg)
+	if err != nil {
+		return nil, err
+	}
 	return &service{
 		est:     est,
+		coal:    coal,
 		net:     net,
 		device:  apds.NewEdison(),
 		metrics: m,
 		logger:  slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 	}, nil
 }
+
+// close drains the coalescer: intake stops, queued requests flush, and the
+// call returns when the pipeline is empty (or ctx expires).
+func (s *service) close(ctx context.Context) error { return s.coal.Close(ctx) }
 
 // mux assembles the route table with every route instrumented. The pprof
 // endpoints come from net/http/pprof, wired explicitly because the server
@@ -252,10 +307,13 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 				len(req.Input), s.net.InputDim(), errBadRequest), http.StatusBadRequest)
 			return
 		}
-		g, err := s.est.Predict(req.Input)
+		// The coalescer merges this row with concurrently arriving requests
+		// into one batched propagation pass; the result is bit-identical to
+		// s.est.Predict(req.Input).
+		g, err := s.coal.Do(r.Context(), req.Input)
 		if err != nil {
 			span.End()
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), predictStatus(err))
 			return
 		}
 		resp.Mean, resp.Std = g.Mean, stds(g)
@@ -270,12 +328,13 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 			}
 			inputs[i] = x
 		}
-		// PredictBatch takes the matrix-level fast path for ApDeepSense
-		// estimators: the whole batch crosses each layer together.
-		gs, err := apds.PredictBatch(s.est, inputs, 0)
+		// Batch requests share the same flush pipeline: rows enter the queue
+		// together (admitted all-or-nothing) and may merge with other
+		// requests' rows into the same matrix-level pass.
+		gs, err := s.coal.DoBatch(r.Context(), inputs)
 		if err != nil {
 			span.End()
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), predictStatus(err))
 			return
 		}
 		resp.Results = make([]sampleResult, len(gs))
@@ -291,6 +350,23 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("encode response: %v", err)
+	}
+}
+
+// predictStatus maps coalescer failures to HTTP semantics: a full queue is
+// overload (429, retryable after backoff), a closed coalescer or abandoned
+// request context is the service going away mid-request (503), anything else
+// is an internal fault (500).
+func predictStatus(err error) int {
+	switch {
+	case errors.Is(err, apds.ErrServeQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, apds.ErrServeClosed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -9,16 +10,21 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	apds "github.com/apdeepsense/apdeepsense"
 )
 
 // testService builds a service around a small untrained network so handler
-// tests don't pay the demo-training cost. The full observability stack
-// (metrics registry, propagator hooks, discard logger) is wired exactly as
-// in newService.
-func testService(t *testing.T) *service {
+// tests don't pay the demo-training cost. The full stack (metrics registry,
+// propagator hooks, request coalescer, discard logger) is wired exactly as
+// in newService; trailing config overrides the coalescer defaults.
+func testService(t *testing.T, cfgs ...apds.ServeConfig) *service {
 	t.Helper()
+	var cfg apds.ServeConfig
+	if len(cfgs) > 0 {
+		cfg = cfgs[0]
+	}
 	net, err := apds.NewNetwork(apds.NetworkConfig{
 		InputDim: 2, Hidden: []int{8}, OutputDim: 1,
 		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
@@ -34,13 +40,27 @@ func testService(t *testing.T) *service {
 	m := newServerMetrics()
 	m.params.Set(float64(net.Params()))
 	est.Propagator().SetHooks(m.hooks())
-	return &service{
+	cfg.Metrics = apds.NewServeMetrics(m.reg)
+	coal, err := apds.NewPredictCoalescer(est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &service{
 		est:     est,
+		coal:    coal,
 		net:     net,
 		device:  apds.NewEdison(),
 		metrics: m,
 		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := svc.close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return svc
 }
 
 func post(t *testing.T, svc *service, body string) *httptest.ResponseRecorder {
@@ -87,6 +107,139 @@ func TestHandlePredictBatch(t *testing.T) {
 	}
 	if resp.Results[0].Mean[0] != want.Mean[0] || resp.Results[0].Std[0] != want.Std[0] {
 		t.Errorf("batch result %v differs from single-sample result %v", resp.Results[0], want)
+	}
+}
+
+// TestCoalescedMatchesDirect is the serving-path bit-identity contract at the
+// handler level: a /predict response produced through the coalescer carries
+// exactly the moments est.Predict returns for the same input.
+func TestCoalescedMatchesDirect(t *testing.T) {
+	svc := testService(t)
+	rec := post(t, svc, `{"input":[0.5,-1]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, err := svc.est.Predict(apds.Vector{0.5, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mean[0] != want.Mean[0] || resp.Std[0] != want.Std(0) {
+		t.Errorf("coalesced response %v/%v, direct predict %v/%v",
+			resp.Mean[0], resp.Std[0], want.Mean[0], want.Std(0))
+	}
+}
+
+// blockingEstimator wraps an estimator so every Predict stalls until release
+// closes, signalling started first — the lever that deterministically wedges
+// the coalescer's flush worker for overload tests.
+type blockingEstimator struct {
+	apds.Estimator
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingEstimator) Predict(x apds.Vector) (apds.GaussianVec, error) {
+	b.started <- struct{}{}
+	<-b.release
+	return b.Estimator.Predict(x)
+}
+
+// TestHandlePredictQueueFull pins the overload contract end-to-end: with the
+// flush worker wedged and the queue at capacity, the next request gets 429
+// (not a hang, not a 500), and queued requests still complete once the worker
+// frees up.
+func TestHandlePredictQueueFull(t *testing.T) {
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 2, Hidden: []int{8}, OutputDim: 1,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := apds.New(net, apds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &blockingEstimator{
+		Estimator: inner,
+		started:   make(chan struct{}, 8),
+		release:   make(chan struct{}),
+	}
+	m := newServerMetrics()
+	coal, err := apds.NewPredictCoalescer(est, apds.ServeConfig{
+		MaxBatch: 1, QueueDepth: 1, Metrics: apds.NewServeMetrics(m.reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &service{
+		est: est, coal: coal, net: net,
+		device: apds.NewEdison(), metrics: m,
+		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+
+	// Request 1 flushes immediately (idle worker) and wedges on the blocking
+	// estimator; request 2 fills the one queue slot behind it.
+	results := make(chan *httptest.ResponseRecorder, 2)
+	for i := 0; i < 2; i++ {
+		go func() { results <- post(t, svc, `{"input":[0.5,-1]}`) }()
+		if i == 0 {
+			<-est.started // flush worker is now wedged
+		} else {
+			deadline := time.Now().Add(5 * time.Second)
+			for coal.Depth() != 1 {
+				if time.Now().After(deadline) {
+					t.Fatal("request 2 never queued")
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+
+	// Request 3 finds the queue full.
+	if rec := post(t, svc, `{"input":[0.5,-1]}`); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("over-capacity status %d, want 429 (%s)", rec.Code, rec.Body)
+	}
+
+	close(est.release)
+	for i := 0; i < 2; i++ {
+		if rec := <-results; rec.Code != http.StatusOK {
+			t.Errorf("queued request status %d, want 200 (%s)", rec.Code, rec.Body)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// After drain, new requests are refused as unavailable.
+	if rec := post(t, svc, `{"input":[0.5,-1]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-close status %d, want 503 (%s)", rec.Code, rec.Body)
+	}
+}
+
+// TestPredictStatus pins the error → HTTP status mapping.
+func TestPredictStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{apds.ErrServeQueueFull, http.StatusTooManyRequests},
+		{apds.ErrServeClosed, http.StatusServiceUnavailable},
+		{context.Canceled, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusServiceUnavailable},
+		{io.ErrUnexpectedEOF, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := predictStatus(c.err); got != c.want {
+			t.Errorf("predictStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }
 
@@ -168,9 +321,17 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE apds_propagate_layer_seconds histogram",
 		`apds_propagate_layer_seconds_bucket{layer="0",le="+Inf"}`,
 		`apds_propagate_layer_seconds_bucket{layer="1",le="+Inf"}`,
-		"apds_predict_batch_rows_count 1",
+		// Both the single and the batch request flushed through the
+		// coalescer onto the batched propagation path.
+		"apds_predict_batch_rows_count 2",
 		"apds_scratch_pool_gets_total",
 		"apds_model_params",
+		// Coalescer instrumentation: 2 flushes moved 4 rows total.
+		"apds_serve_batch_rows_count 2",
+		"apds_serve_batch_rows_sum 4",
+		"apds_serve_queue_wait_seconds_count 4",
+		"# TYPE apds_serve_flushes_total counter",
+		"apds_serve_queue_depth 0",
 		// The scrape itself is in flight while the registry renders.
 		"apds_http_inflight_requests 1",
 	} {

@@ -12,6 +12,11 @@
 //	apds_propagate_layer_seconds{layer}      per-layer propagation wall time
 //	apds_scratch_pool_gets_total{result}     batch scratch pool hit/miss
 //	apds_model_params                        parameter count of the served model
+//
+// The request coalescer registers its own family on the same registry (see
+// internal/serve): apds_serve_batch_rows, apds_serve_queue_wait_seconds,
+// apds_serve_queue_depth, apds_serve_flushes_total{reason},
+// apds_serve_rejected_total, apds_serve_cancelled_total.
 package main
 
 import (
@@ -50,7 +55,7 @@ func newServerMetrics() *serverMetrics {
 		inflight: reg.Gauge("apds_http_inflight_requests",
 			"Requests currently being served."),
 		batchRows: reg.Histogram("apds_predict_batch_rows",
-			"Rows per batched propagation call (single-input requests bypass the batch path).",
+			"Rows per batched propagation call (all /predict traffic flushes through the coalescer).",
 			apds.ObsExpBuckets(1, 2, 12)),
 		layerTime: reg.HistogramVec("apds_propagate_layer_seconds",
 			"Wall time per network layer per propagation chunk.",

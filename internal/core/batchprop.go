@@ -121,7 +121,10 @@ func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 	if h != nil && h.BatchStart != nil {
 		h.BatchStart(b)
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if max := (b + minRowsPerWorker - 1) / minRowsPerWorker; workers > max {
 		workers = max
 	}

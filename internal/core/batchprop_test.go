@@ -64,6 +64,55 @@ func TestPropagateBatchParity(t *testing.T) {
 	}
 }
 
+// TestPropagateBatchWithWorkers pins the WithWorkers contract: the batch path
+// is bit-identical regardless of the worker bound (rows are independent), and
+// the configured bound is reported by Workers().
+func TestPropagateBatchWithWorkers(t *testing.T) {
+	net := buildTestNet(t, nn.ActTanh, 0.85, 11)
+	inputs := batchInputs(33, net.InputDim(), 13)
+
+	base, err := NewPropagator(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Workers() != 0 {
+		t.Errorf("default Workers = %d, want 0 (GOMAXPROCS)", base.Workers())
+	}
+	want, err := base.PropagateBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		prop, err := NewPropagator(net, Options{}, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prop.Workers() != workers {
+			t.Errorf("Workers() = %d, want %d", prop.Workers(), workers)
+		}
+		got, err := prop.PropagateBatch(inputs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := 0; i < got.Batch(); i++ {
+			g, w := got.Row(i), want.Row(i)
+			if !g.Mean.Equal(w.Mean, 0) || !g.Var.Equal(w.Var, 0) {
+				t.Errorf("workers=%d row %d: not bit-identical to default", workers, i)
+			}
+		}
+	}
+
+	// The estimator constructor forwards trailing options.
+	est, err := NewApDeepSense(net, Options{}, 0, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Propagator().Workers() != 1 {
+		t.Errorf("NewApDeepSense did not forward WithWorkers: %d", est.Propagator().Workers())
+	}
+}
+
 // TestPropagateBatchFromParity checks the Gaussian-input entry point against
 // per-sample PropagateFrom, and that the input batch is left untouched.
 func TestPropagateBatchFromParity(t *testing.T) {

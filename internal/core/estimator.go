@@ -41,11 +41,12 @@ var _ Estimator = (*ApDeepSense)(nil)
 
 // NewApDeepSense builds the estimator for a dropout-trained network. obsVar
 // (>= 0) is the observation-noise variance added to predictive variances.
-func NewApDeepSense(net *nn.Network, opts Options, obsVar float64) (*ApDeepSense, error) {
+// Trailing options (e.g. WithWorkers) configure the underlying Propagator.
+func NewApDeepSense(net *nn.Network, opts Options, obsVar float64, extra ...Option) (*ApDeepSense, error) {
 	if obsVar < 0 {
 		return nil, fmt.Errorf("core: negative obsVar %v: %w", obsVar, ErrInput)
 	}
-	prop, err := NewPropagator(net, opts)
+	prop, err := NewPropagator(net, opts, extra...)
 	if err != nil {
 		return nil, err
 	}

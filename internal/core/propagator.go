@@ -44,6 +44,20 @@ func (o *Options) fillDefaults() {
 	}
 }
 
+// Option configures optional Propagator behavior beyond the numeric Options
+// struct (which is part of the serialized experiment configs and stays
+// purely about PWL fidelity).
+type Option func(*Propagator)
+
+// WithWorkers bounds the number of goroutines a batched propagation fans its
+// row chunks across. n <= 0 (the default) selects runtime.GOMAXPROCS(0);
+// n == 1 forces the single-threaded batch path (deterministic scheduling,
+// useful for benchmarking the kernels themselves). The effective worker
+// count is still capped so every worker has at least a few rows.
+func WithWorkers(n int) Option {
+	return func(p *Propagator) { p.workers = n }
+}
+
 // Propagator runs ApDeepSense inference over a fixed network: a single
 // deterministic pass that outputs the full Gaussian approximation of the
 // network's output distribution under dropout. It precomputes the
@@ -69,14 +83,18 @@ type Propagator struct {
 	maxDim    int
 	maxBounds int
 	scratch   sync.Pool
+	// workers bounds the batched-path fan-out (WithWorkers); <= 0 means
+	// runtime.GOMAXPROCS(0), resolved per call.
+	workers int
 
 	// hooks holds the optional observability callbacks (see Hooks). Loaded
 	// once per propagation call; nil costs one atomic pointer load.
 	hooks atomic.Pointer[Hooks]
 }
 
-// NewPropagator prepares ApDeepSense inference for net.
-func NewPropagator(net *nn.Network, opts Options) (*Propagator, error) {
+// NewPropagator prepares ApDeepSense inference for net. Optional behavior
+// (e.g. WithWorkers) is passed as trailing options.
+func NewPropagator(net *nn.Network, opts Options, extra ...Option) (*Propagator, error) {
 	opts.fillDefaults()
 	layers := net.Layers()
 	p := &Propagator{
@@ -118,7 +136,18 @@ func NewPropagator(net *nn.Network, opts Options) (*Propagator, error) {
 	}
 	p.cost = p.computeCost()
 	p.scratch.New = func() any { return &batchScratch{} }
+	for _, o := range extra {
+		o(p)
+	}
 	return p, nil
+}
+
+// Workers reports the configured batched-path worker bound (0 = GOMAXPROCS).
+func (p *Propagator) Workers() int {
+	if p.workers <= 0 {
+		return 0
+	}
+	return p.workers
 }
 
 // Network returns the underlying network.

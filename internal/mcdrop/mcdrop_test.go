@@ -3,6 +3,7 @@ package mcdrop
 import (
 	"errors"
 	"math"
+	"runtime"
 	"testing"
 
 	"github.com/apdeepsense/apdeepsense/internal/core"
@@ -177,6 +178,136 @@ func TestCostScalesWithK(t *testing.T) {
 	}
 	if c3.RandomDraws == 0 {
 		t.Error("dropout net should report random draws")
+	}
+}
+
+// TestWorkersOption pins the fan-out selection rules: default is GOMAXPROCS
+// capped at k, and explicit widths pass through.
+func TestWorkersOption(t *testing.T) {
+	net := testNet(t, 0.9)
+	seq, err := New(net, 10, 0, 1, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Workers() != 1 {
+		t.Errorf("WithWorkers(1) Workers = %d", seq.Workers())
+	}
+	wide, err := New(net, 4, 0, 1, WithWorkers(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Workers() != 4 {
+		t.Errorf("workers should cap at k: Workers = %d, want 4", wide.Workers())
+	}
+	def, err := New(net, 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default Workers = %d, want GOMAXPROCS %d", def.Workers(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestParallelPredictDeterministic: for a fixed (seed, workers) config the
+// parallel sampler is fully deterministic — two estimators built alike agree
+// bit-for-bit, and repeated calls advance the streams consistently.
+func TestParallelPredictDeterministic(t *testing.T) {
+	net := testNet(t, 0.8)
+	x := tensor.Vector{0.5, -1, 2, 0.1}
+	a, err := New(net, 64, 0.01, 7, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(net, 64, 0.01, 7, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for call := 0; call < 3; call++ {
+		ga, err := a.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := b.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ga.Mean.Equal(gb.Mean, 0) || !ga.Var.Equal(gb.Var, 0) {
+			t.Fatalf("call %d: same-config estimators disagree: %v/%v vs %v/%v",
+				call, ga.Mean, ga.Var, gb.Mean, gb.Var)
+		}
+	}
+}
+
+// TestParallelMomentsMatchSequential is the satellite's moment-equivalence
+// contract: the parallel sampler draws different mask sequences than the
+// sequential one, so outputs are not bit-identical, but at large k both must
+// estimate the same underlying predictive distribution.
+func TestParallelMomentsMatchSequential(t *testing.T) {
+	net := testNet(t, 0.8)
+	x := tensor.Vector{1, -0.5, 0.25, 2}
+	const k = 20000
+	seq, err := New(net, k, 0, 3, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(net, k, 0, 3, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := seq.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := par.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range gs.Mean {
+		// Monte-Carlo standard error of the mean is sqrt(var/k); allow 5σ.
+		se := 5 * math.Sqrt(gs.Var[j]/float64(k))
+		if math.Abs(gp.Mean[j]-gs.Mean[j]) > se+1e-9 {
+			t.Errorf("out %d: parallel mean %v vs sequential %v (tol %v)",
+				j, gp.Mean[j], gs.Mean[j], se)
+		}
+		if gs.Var[j] > 1e-9 {
+			ratio := gp.Var[j] / gs.Var[j]
+			if ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("out %d: parallel var %v vs sequential %v (ratio %v)",
+					j, gp.Var[j], gs.Var[j], ratio)
+			}
+		}
+	}
+}
+
+// TestParallelObsVarAdded mirrors TestObsVarAdded on the parallel path: with
+// no dropout the sample variance collapses to exactly obsVar regardless of
+// how the passes are chunked.
+func TestParallelObsVarAdded(t *testing.T) {
+	net := testNet(t, 1)
+	mc, err := New(net, 8, 1.5, 1, WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mc.Predict(tensor.Vector{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range g.Var {
+		if math.Abs(v-1.5) > 1e-12 {
+			t.Errorf("var[%d] = %v, want obsVar 1.5", j, v)
+		}
+	}
+}
+
+// TestParallelPredictErrorsOnBadInput: worker errors surface, not panic.
+func TestParallelPredictErrorsOnBadInput(t *testing.T) {
+	net := testNet(t, 0.9)
+	mc, err := New(net, 8, 0, 1, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Predict(tensor.Vector{1}); err == nil {
+		t.Error("expected error for wrong input dim")
 	}
 }
 

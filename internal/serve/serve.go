@@ -1,0 +1,482 @@
+// Package serve is the dynamic micro-batching layer between concurrent
+// request handlers and the batched moment-propagation fast path: a request
+// coalescer in the Triton/TF-Serving dynamic-batching mold. Concurrent
+// single-row predict requests enqueue into one bounded queue; a dispatcher
+// flushes them as a single batch when a size threshold (MaxBatch) or a
+// latency budget (MaxWait) is hit — or, by default, as soon as a flush
+// worker is idle, so an unloaded server adds no batching latency and batches
+// emerge naturally under load (arrivals accumulate while a flush runs).
+//
+// The coalescer guarantees:
+//
+//   - results are demultiplexed back to callers in request order within a
+//     flush, bit-identical to running each request alone (the flush function
+//     receives the rows exactly as submitted; core.PropagateBatch rows are
+//     bit-identical to per-row Propagate);
+//   - per-request context cancellation: a caller whose ctx ends returns
+//     immediately, and its queued row is dropped before the flush;
+//   - bounded memory: at most QueueDepth requests wait at once, and
+//     Do/DoBatch fail fast with ErrQueueFull beyond that (backpressure, not
+//     buffering) — HTTP servers map this to 429;
+//   - graceful drain: Close stops intake, flushes everything queued, and
+//     waits for in-flight flushes, bounded by the caller's context.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrQueueFull is returned by Do/DoBatch when the pending queue is at
+	// QueueDepth: explicit backpressure for the caller to surface (HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrClosed is returned by Do/DoBatch after Close has begun.
+	ErrClosed = errors.New("serve: coalescer closed")
+	// ErrConfig is returned (wrapped) by New for invalid configurations.
+	ErrConfig = errors.New("serve: invalid configuration")
+)
+
+// Flush reasons recorded by Metrics.Flushes.
+const (
+	// ReasonSize: the queue reached MaxBatch.
+	ReasonSize = "size"
+	// ReasonTimeout: the oldest queued request waited out MaxWait.
+	ReasonTimeout = "timeout"
+	// ReasonIdle: a flush worker was idle and eager flushing is on.
+	ReasonIdle = "idle"
+	// ReasonDrain: Close is flushing the remaining queue.
+	ReasonDrain = "drain"
+)
+
+// Config tunes a Coalescer. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// MaxBatch is the flush size threshold: a batch never exceeds it, and
+	// reaching it triggers an immediate flush. Defaults to 64 (the knee of
+	// the PropagateBatch speedup curve on the reference net).
+	MaxBatch int
+	// MaxWait is the latency budget: a partial batch is flushed once its
+	// oldest request has waited this long, even if no flush worker is idle.
+	// Defaults to 2ms.
+	MaxWait time.Duration
+	// QueueDepth bounds the number of requests waiting to be batched.
+	// Enqueueing beyond it fails with ErrQueueFull. Defaults to 4×MaxBatch.
+	QueueDepth int
+	// FlushWorkers is the number of goroutines executing flushes; while all
+	// are busy, arrivals accumulate into the next batch. Defaults to 1: the
+	// batched propagation path is internally parallel, so one in-flight
+	// flush already saturates the cores while the next batch forms.
+	FlushWorkers int
+	// StrictWait disables the eager-idle policy: with it set, a partial
+	// batch always waits out MaxWait (or MaxBatch arrivals), even when a
+	// flush worker sits idle. The default (false) flushes immediately when a
+	// worker is idle, which keeps single-request latency at the direct-call
+	// floor and still forms full batches under load.
+	StrictWait bool
+	// Metrics, when non-nil, receives queue/batch/flush observations (see
+	// NewMetrics). A nil Metrics costs nothing on the hot path.
+	Metrics *Metrics
+}
+
+func (c *Config) fillDefaults() error {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.FlushWorkers == 0 {
+		c.FlushWorkers = 1
+	}
+	switch {
+	case c.MaxBatch < 1:
+		return fmt.Errorf("MaxBatch %d: %w", c.MaxBatch, ErrConfig)
+	case c.MaxWait < 0:
+		return fmt.Errorf("MaxWait %v: %w", c.MaxWait, ErrConfig)
+	case c.QueueDepth < c.MaxBatch:
+		return fmt.Errorf("QueueDepth %d < MaxBatch %d: %w", c.QueueDepth, c.MaxBatch, ErrConfig)
+	case c.FlushWorkers < 1:
+		return fmt.Errorf("FlushWorkers %d: %w", c.FlushWorkers, ErrConfig)
+	}
+	return nil
+}
+
+// result is one demultiplexed outcome.
+type result[Res any] struct {
+	val Res
+	err error
+}
+
+// call is one queued request: the caller's context, the request row, and a
+// 1-buffered channel the flush outcome is delivered on (buffered so delivery
+// never blocks on a caller that already gave up).
+type call[Req, Res any] struct {
+	ctx context.Context
+	req Req
+	res chan result[Res]
+	enq time.Time
+}
+
+// Coalescer enqueues concurrent requests and flushes them in batches through
+// a single flush function. Create with New; all methods are safe for
+// concurrent use.
+type Coalescer[Req, Res any] struct {
+	cfg   Config
+	flush func([]Req) ([]Res, error)
+
+	mu     sync.Mutex
+	queue  []*call[Req, Res]
+	closed bool
+	// inflight counts batches handed to workers and not yet finished; a
+	// flush worker is genuinely idle iff inflight < FlushWorkers.
+	inflight int
+
+	kick    chan struct{}          // dispatcher wakeup (1-buffered, coalescing)
+	batches chan []*call[Req, Res] // dispatcher → flush workers
+	drained chan struct{}          // closed when dispatcher + workers have exited
+}
+
+// New builds a Coalescer whose batches are executed by flush. The flush
+// function receives between 1 and MaxBatch requests in submission order and
+// must return one result per request (a short or over-long result slice is
+// reported to every caller in the batch as an error). It may be called
+// concurrently when FlushWorkers > 1.
+func New[Req, Res any](cfg Config, flush func([]Req) ([]Res, error)) (*Coalescer[Req, Res], error) {
+	if flush == nil {
+		return nil, fmt.Errorf("nil flush function: %w", ErrConfig)
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	c := &Coalescer[Req, Res]{
+		cfg:     cfg,
+		flush:   flush,
+		kick:    make(chan struct{}, 1),
+		batches: make(chan []*call[Req, Res]),
+		drained: make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.FlushWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.worker()
+		}()
+	}
+	go func() {
+		c.dispatch()
+		wg.Wait()
+		close(c.drained)
+	}()
+	return c, nil
+}
+
+// Do enqueues one request and blocks until its batch has been flushed, the
+// context ends, or the request is rejected. It returns ErrQueueFull when the
+// queue is at QueueDepth and ErrClosed after Close has begun; a context
+// error means the caller stopped waiting (the queued row is dropped before
+// it reaches the flush function).
+func (c *Coalescer[Req, Res]) Do(ctx context.Context, req Req) (Res, error) {
+	var zero Res
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	it := &call[Req, Res]{ctx: ctx, req: req, res: make(chan result[Res], 1), enq: time.Now()}
+	if err := c.enqueue(it); err != nil {
+		return zero, err
+	}
+	select {
+	case r := <-it.res:
+		return r.val, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
+// DoBatch enqueues a multi-row request through the same flush pipeline and
+// blocks until every row has a result. Admission is all-or-nothing: if the
+// rows don't fit in the queue, nothing is enqueued and ErrQueueFull is
+// returned, so a large batch cannot partially starve single requests. Rows
+// may be split across flushes (each at most MaxBatch) and are returned in
+// submission order.
+func (c *Coalescer[Req, Res]) DoBatch(ctx context.Context, reqs []Req) ([]Res, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	items := make([]*call[Req, Res], len(reqs))
+	now := time.Now()
+	for i, r := range reqs {
+		items[i] = &call[Req, Res]{ctx: ctx, req: r, res: make(chan result[Res], 1), enq: now}
+	}
+	if err := c.enqueueAll(items); err != nil {
+		return nil, err
+	}
+	out := make([]Res, len(items))
+	for i, it := range items {
+		select {
+		case r := <-it.res:
+			if r.err != nil {
+				return nil, r.err
+			}
+			out[i] = r.val
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+func (c *Coalescer[Req, Res]) enqueue(it *call[Req, Res]) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if len(c.queue) >= c.cfg.QueueDepth {
+		c.mu.Unlock()
+		c.cfg.Metrics.reject()
+		return ErrQueueFull
+	}
+	c.queue = append(c.queue, it)
+	depth := len(c.queue)
+	c.mu.Unlock()
+	c.cfg.Metrics.depth(depth)
+	c.wake()
+	return nil
+}
+
+func (c *Coalescer[Req, Res]) enqueueAll(items []*call[Req, Res]) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if len(c.queue)+len(items) > c.cfg.QueueDepth {
+		c.mu.Unlock()
+		c.cfg.Metrics.reject()
+		return ErrQueueFull
+	}
+	c.queue = append(c.queue, items...)
+	depth := len(c.queue)
+	c.mu.Unlock()
+	c.cfg.Metrics.depth(depth)
+	c.wake()
+	return nil
+}
+
+// wake nudges the dispatcher; the 1-buffered channel coalesces bursts.
+func (c *Coalescer[Req, Res]) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops intake (subsequent Do/DoBatch return ErrClosed), flushes every
+// queued request, and waits — bounded by ctx — for in-flight flushes to
+// finish. Requests already enqueued complete normally; this is what lets an
+// HTTP server drain on SIGTERM instead of dropping work. Close is
+// idempotent; every call waits for the same drain.
+func (c *Coalescer[Req, Res]) Close(ctx context.Context) error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.wake()
+	select {
+	case <-c.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Depth reports the number of requests currently waiting to be batched.
+func (c *Coalescer[Req, Res]) Depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// dispatch is the single scheduling goroutine: it watches the queue and cuts
+// batches when MaxBatch fills, MaxWait expires, a worker is idle (unless
+// StrictWait), or the coalescer is draining. A batch is only ever popped
+// when a flush worker is free, so every waiting request stays in the queue
+// until the moment its flush starts — which is what makes the QueueDepth
+// backpressure bound exact. Exactly one dispatcher exists per Coalescer, so
+// batch formation is race-free by construction.
+func (c *Coalescer[Req, Res]) dispatch() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		n := len(c.queue)
+		closed := c.closed
+		idle := c.inflight < c.cfg.FlushWorkers
+		if n == 0 {
+			c.mu.Unlock()
+			if closed {
+				// Workers still mid-flush exit once they finish: closing
+				// the channel ends their receive loop.
+				close(c.batches)
+				return
+			}
+			<-c.kick
+			continue
+		}
+		if !idle {
+			// Nothing can flush until a worker frees up; its finish kicks us.
+			c.mu.Unlock()
+			<-c.kick
+			continue
+		}
+		reason := ""
+		switch {
+		case closed:
+			reason = ReasonDrain
+		case n >= c.cfg.MaxBatch:
+			reason = ReasonSize
+		case !c.cfg.StrictWait:
+			// An immediate idle flush would cut a batch of whatever happens
+			// to be queued right now — under a concurrent burst that is often
+			// just the first arrival, with its peers runnable but not yet
+			// scheduled (acute on few-core machines, where the flush then
+			// monopolizes the processor and every row flushes alone). Linger
+			// instead: yield the processor while the queue keeps growing, so
+			// concurrent enqueuers join this batch. Each extra round requires
+			// at least one new row, bounding the loop by MaxBatch; a stable
+			// queue exits after one yield, so an isolated request still
+			// flushes with no timer wait.
+			for {
+				prev := len(c.queue)
+				c.mu.Unlock()
+				runtime.Gosched()
+				c.mu.Lock()
+				if len(c.queue) <= prev || len(c.queue) >= c.cfg.MaxBatch || c.closed {
+					break
+				}
+			}
+			// The linger may have filled the batch or raced with Close;
+			// re-derive what this flush is.
+			switch {
+			case c.closed:
+				reason = ReasonDrain
+			case len(c.queue) >= c.cfg.MaxBatch:
+				reason = ReasonSize
+			default:
+				reason = ReasonIdle
+			}
+		default:
+			wait := time.Until(c.queue[0].enq.Add(c.cfg.MaxWait))
+			if wait <= 0 {
+				reason = ReasonTimeout
+			} else {
+				c.mu.Unlock()
+				timer.Reset(wait)
+				select {
+				case <-c.kick:
+					if !timer.Stop() {
+						<-timer.C
+					}
+				case <-timer.C:
+				}
+				continue
+			}
+		}
+		batch := c.take()
+		c.inflight++
+		c.mu.Unlock()
+		c.cfg.Metrics.flushed(reason)
+		// Never blocks meaningfully: inflight < FlushWorkers guarantees a
+		// worker is at (or headed to) its receive.
+		c.batches <- batch
+	}
+}
+
+// take pops up to MaxBatch calls. Caller holds c.mu.
+func (c *Coalescer[Req, Res]) take() []*call[Req, Res] {
+	n := len(c.queue)
+	if n > c.cfg.MaxBatch {
+		n = c.cfg.MaxBatch
+	}
+	batch := make([]*call[Req, Res], n)
+	copy(batch, c.queue[:n])
+	rest := copy(c.queue, c.queue[n:])
+	for i := rest; i < len(c.queue); i++ {
+		c.queue[i] = nil // release call pointers for GC
+	}
+	c.queue = c.queue[:rest]
+	c.cfg.Metrics.depth(rest)
+	return batch
+}
+
+// worker executes batches until the dispatcher closes the channel.
+func (c *Coalescer[Req, Res]) worker() {
+	for batch := range c.batches {
+		c.runBatch(batch)
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+		c.wake()
+	}
+}
+
+// runBatch drops cancelled calls, executes the flush over the survivors, and
+// demultiplexes results (or the flush error) back to every caller.
+func (c *Coalescer[Req, Res]) runBatch(batch []*call[Req, Res]) {
+	live := batch[:0]
+	for _, it := range batch {
+		if err := it.ctx.Err(); err != nil {
+			it.res <- result[Res]{err: err}
+			c.cfg.Metrics.cancel()
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	now := time.Now()
+	reqs := make([]Req, len(live))
+	for i, it := range live {
+		reqs[i] = it.req
+		c.cfg.Metrics.waited(now.Sub(it.enq))
+	}
+	c.cfg.Metrics.rows(len(live))
+	ress, err := c.safeFlush(reqs)
+	if err == nil && len(ress) != len(reqs) {
+		err = fmt.Errorf("serve: flush returned %d results for %d requests", len(ress), len(reqs))
+	}
+	for i, it := range live {
+		if err != nil {
+			it.res <- result[Res]{err: err}
+		} else {
+			it.res <- result[Res]{val: ress[i]}
+		}
+	}
+}
+
+// safeFlush converts a panicking flush function into a per-batch error: a
+// misbehaving model must fail the batch's callers, never hang them behind a
+// dead worker.
+func (c *Coalescer[Req, Res]) safeFlush(reqs []Req) (ress []Res, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ress, err = nil, fmt.Errorf("serve: flush panicked: %v", r)
+		}
+	}()
+	return c.flush(reqs)
+}

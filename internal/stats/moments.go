@@ -93,6 +93,30 @@ func (w *VecWelford) Add(x []float64) {
 	}
 }
 
+// Merge folds another accumulator into w (the parallel variance combination
+// of Welford.Merge, element-wise). Both accumulators must track the same
+// dimension; merging is how parallel samplers (mcdrop worker streams)
+// combine their per-chunk moments without storing samples.
+func (w *VecWelford) Merge(o *VecWelford) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		w.n = o.n
+		copy(w.mean, o.mean)
+		copy(w.m2, o.m2)
+		return
+	}
+	n := w.n + o.n
+	wn, on := float64(w.n), float64(o.n)
+	for i := range w.mean {
+		delta := o.mean[i] - w.mean[i]
+		w.m2[i] += o.m2[i] + delta*delta*wn*on/float64(n)
+		w.mean[i] += delta * on / float64(n)
+	}
+	w.n = n
+}
+
 // Mean returns the running per-element mean. The returned slice is a copy.
 func (w *VecWelford) Mean() []float64 {
 	out := make([]float64, len(w.mean))

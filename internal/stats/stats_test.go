@@ -237,6 +237,47 @@ func TestWelfordMerge(t *testing.T) {
 	}
 }
 
+func TestVecWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	all := NewVecWelford(3)
+	chunks := []*VecWelford{NewVecWelford(3), NewVecWelford(3), NewVecWelford(3)}
+	for i := 0; i < 900; i++ {
+		x := []float64{rng.NormFloat64() * 2, rng.Float64()*10 - 5, rng.ExpFloat64()}
+		all.Add(x)
+		chunks[i%3].Add(x)
+	}
+	merged := NewVecWelford(3)
+	for _, c := range chunks {
+		merged.Merge(c)
+	}
+	if merged.Count() != all.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), all.Count())
+	}
+	gm, gv := merged.Mean(), merged.SampleVariance()
+	wm, wv := all.Mean(), all.SampleVariance()
+	for j := 0; j < 3; j++ {
+		if math.Abs(gm[j]-wm[j]) > 1e-10 {
+			t.Errorf("dim %d: merged mean %v, want %v", j, gm[j], wm[j])
+		}
+		if math.Abs(gv[j]-wv[j]) > 1e-10 {
+			t.Errorf("dim %d: merged variance %v, want %v", j, gv[j], wv[j])
+		}
+	}
+	// Merge into empty copies the source state.
+	empty := NewVecWelford(3)
+	empty.Merge(all)
+	if empty.Count() != all.Count() || empty.Mean()[1] != all.Mean()[1] {
+		t.Error("merge into empty lost state")
+	}
+	// Merging nil or empty is a no-op.
+	before := merged.Mean()
+	merged.Merge(nil)
+	merged.Merge(NewVecWelford(3))
+	if merged.Mean()[0] != before[0] || merged.Count() != all.Count() {
+		t.Error("merging nil/empty changed state")
+	}
+}
+
 func TestVecWelford(t *testing.T) {
 	w := NewVecWelford(2)
 	if w.Dim() != 2 {

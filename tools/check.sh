@@ -1,9 +1,12 @@
 #!/bin/sh
 # check.sh — the repo's pre-merge gate, also reachable as `make check`:
 # vet, build, race-test the numeric hot paths AND the observability/serving
-# path (the metrics registry, hooks, and stream gating are explicitly
-# concurrent), then record the batched propagation benchmark with its
-# metrics snapshot (results/BENCH_batch.json + results/BENCH_obs.prom).
+# path (the metrics registry, hooks, the request coalescer, and stream gating
+# are explicitly concurrent), then record the batched propagation benchmark
+# with its metrics snapshot (results/BENCH_batch.json +
+# results/BENCH_obs.prom) and a smoke run of the serving benchmark. The smoke
+# serve run writes to a scratch directory so short cells never clobber the
+# committed results/BENCH_serve.json (regenerate that with `make bench-serve`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,9 +21,14 @@ echo "== go test -race (numeric hot paths)"
 go test -race ./internal/core/... ./internal/tensor/...
 
 echo "== go test -race (observability + serving path)"
-go test -race ./internal/obs/... ./internal/stream/... ./examples/server/...
+go test -race ./internal/obs/... ./internal/stream/... ./internal/serve/... ./examples/server/...
 
 echo "== apds-bench -batch -obs"
 go run ./cmd/apds-bench -batch -obs -results results
+
+echo "== apds-bench -serve (smoke)"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go run ./cmd/apds-bench -serve -serve-duration 200ms -results "$smokedir"
 
 echo "check: ok"
