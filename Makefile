@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the pre-merge gate: vet + build +
-# race tests over the numeric hot paths and the observability/serving path +
-# the batched propagation benchmark with its metrics snapshot
+# race tests over the numeric hot paths, the observability/serving path, and
+# the oracle-backed differential harness + a fuzz smoke pass over every fuzz
+# target + the batched propagation benchmark with its metrics snapshot
 # (results/BENCH_batch.json, results/BENCH_obs.prom) + a smoke run of the
 # serving benchmark.
 
-.PHONY: check test bench bench-hooks bench-serve build
+.PHONY: check test fuzz bench bench-hooks bench-serve build
 
 check:
 	./tools/check.sh
@@ -14,6 +15,13 @@ build:
 
 test:
 	go test ./...
+
+# Longer fuzz cells than the check.sh smoke pass: run before touching the
+# closed-form activation moments, the blocked kernels, or the serializer.
+fuzz:
+	go test -run NONE -fuzz 'FuzzPropagateVsOracle' -fuzztime 2m ./internal/proptest
+	go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 2m ./internal/proptest
+	go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 2m ./internal/nn
 
 bench:
 	go test -run NONE -bench . -benchtime 2s .

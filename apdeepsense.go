@@ -67,6 +67,12 @@ const (
 // NewNetwork constructs a freshly initialized dropout network.
 func NewNetwork(cfg NetworkConfig) (*Network, error) { return nn.New(cfg) }
 
+// ErrModel matches (via errors.Is) every error LoadModel or ReadModel
+// returns for malformed model data — undecodable streams, wrong magic or
+// version, inconsistent shapes, or non-finite weights — as opposed to I/O
+// failures opening the file.
+var ErrModel = nn.ErrModel
+
 // LoadModel reads a serialized network from a file.
 func LoadModel(path string) (*Network, error) { return nn.LoadFile(path) }
 

@@ -7,9 +7,13 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/stats"
 )
 
-// sigmaFloor is the relative standard deviation below which an input is
+// SigmaFloor is the relative standard deviation below which an input is
 // treated as a point mass, avoiding 0/0 in the truncated-moment integrals.
-const sigmaFloor = 1e-12
+// Exported so the numerical oracle (internal/oracle) can replicate the exact
+// same cutoff: the point-mass shortcut is part of the propagation's contract,
+// and a reference implementation with a different floor would disagree with
+// the fast paths near the threshold by more than rounding error.
+const SigmaFloor = 1e-12
 
 // ActivationMoments pushes a scalar Gaussian N(mu, variance) through the
 // piece-wise linear function f and returns the mean and variance of the
@@ -28,7 +32,7 @@ const sigmaFloor = 1e-12
 // keep the variance numerically stable.
 func ActivationMoments(mu, variance float64, f *piecewise.Func) (outMean, outVar float64) {
 	sigma := math.Sqrt(variance)
-	if sigma <= sigmaFloor*(1+math.Abs(mu)) {
+	if sigma <= SigmaFloor*(1+math.Abs(mu)) {
 		// Point mass: the PWL function maps it to another point mass.
 		return f.Eval(mu), 0
 	}
@@ -78,7 +82,7 @@ func ActivationMomentsVec(g GaussianVec, f *piecewise.Func) {
 //	Var[y] = E[y²] − E[y]²
 func ReLUMoments(mu, variance float64) (outMean, outVar float64) {
 	sigma := math.Sqrt(variance)
-	if sigma <= sigmaFloor*(1+math.Abs(mu)) {
+	if sigma <= SigmaFloor*(1+math.Abs(mu)) {
 		if mu > 0 {
 			return mu, 0
 		}

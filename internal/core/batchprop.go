@@ -341,7 +341,7 @@ func newActKernel(f *piecewise.Func) *actKernel {
 // so the per-element call zeroes no stack arrays.
 func (ak *actKernel) moments(mu, variance float64, bounds []stats.Boundary, pms []stats.PartialMoments) (outMean, outVar float64) {
 	sigma := math.Sqrt(variance)
-	if sigma <= sigmaFloor*(1+math.Abs(mu)) {
+	if sigma <= SigmaFloor*(1+math.Abs(mu)) {
 		// Point mass: the PWL function maps it to another point mass.
 		return ak.f.Eval(mu), 0
 	}

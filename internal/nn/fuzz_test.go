@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// shippedModels returns the bytes of cached models under ../../models so the
+// fuzzer starts from real, fully-valid gob streams and mutates from there —
+// by far the fastest route to interesting decoder states. Large files are
+// skipped: a megabyte-scale seed slows every mutation to a crawl, and the
+// small quick-scale models exercise the same decoder paths.
+func shippedModels(tb testing.TB) [][]byte {
+	tb.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "models", "*.gob"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	const maxSeedBytes = 64 << 10
+	var out [][]byte
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err != nil || fi.Size() > maxSeedBytes {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+// FuzzLoadModel feeds arbitrary bytes to Load. The contract under fuzzing:
+// Load never panics; every rejection is a typed error matching ErrModel; and
+// anything Load accepts must survive a Save/Load round trip bit-exactly —
+// accepting a stream it cannot faithfully re-serialize would mean the
+// validation let malformed state through.
+func FuzzLoadModel(f *testing.F) {
+	for _, data := range shippedModels(f) {
+		f.Add(data)
+	}
+	if net, err := New(Config{
+		InputDim: 3, Hidden: []int{4}, OutputDim: 2,
+		Activation: ActTanh, OutputActivation: ActIdentity,
+		KeepProb: 0.8, Seed: 9,
+	}); err == nil {
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err == nil {
+			valid := buf.Bytes()
+			f.Add(valid)
+			f.Add(valid[:len(valid)/2])              // truncated mid-stream
+			flipped := append([]byte(nil), valid...) // one bit of damage
+			flipped[len(flipped)/3] ^= 0x40
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrModel) {
+				t.Fatalf("Load error is not typed ErrModel: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err != nil {
+			t.Fatalf("accepted model failed to re-serialize: %v", err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("re-serialized model failed to load: %v", err)
+		}
+		if back.NumLayers() != net.NumLayers() {
+			t.Fatalf("round trip changed layer count: %d != %d", back.NumLayers(), net.NumLayers())
+		}
+		for i, l := range net.Layers() {
+			bl := back.Layers()[i]
+			if !l.W.Equal(bl.W, 0) || !l.B.Equal(bl.B, 0) ||
+				l.Act != bl.Act || l.KeepProb != bl.KeepProb {
+				t.Fatalf("round trip changed layer %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// TestModelRoundTripAll loads every checked-in model, verifies its weights
+// are finite, and requires a Save/Load round trip to reproduce it bit-exactly
+// — the guarantee that re-serializing a shipped model is always safe.
+func TestModelRoundTripAll(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "models", "*.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		// models/ is a gitignored local cache; a fresh clone has none.
+		t.Skip("no cached models under ../../models; run cmd/apds-train")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			net, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := net.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.NumLayers() != net.NumLayers() {
+				t.Fatalf("layer count %d != %d", back.NumLayers(), net.NumLayers())
+			}
+			for i, l := range net.Layers() {
+				bl := back.Layers()[i]
+				if !l.W.Equal(bl.W, 0) || !l.B.Equal(bl.B, 0) ||
+					l.Act != bl.Act || l.KeepProb != bl.KeepProb {
+					t.Fatalf("layer %d not bit-identical after round trip", i)
+				}
+			}
+			x := tensor.NewVector(net.InputDim()) // zero input exercises biases
+			a, err := net.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := back.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Equal(b, 0) {
+				t.Fatal("forward pass differs after round trip")
+			}
+		})
+	}
+}
+
+// TestLoadRejectsNonFinite checks that Load refuses models carrying NaN or
+// ±Inf in any numeric field with a typed ErrModel. The NaN keep probability
+// case is the regression for the naive `<= 0 || > 1` range check, which NaN
+// passed.
+func TestLoadRejectsNonFinite(t *testing.T) {
+	encode := func(wm wireModel) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(wm); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	layer := func(mut func(*wireLayer)) wireModel {
+		wl := wireLayer{
+			InDim: 2, OutDim: 2, Weights: []float64{1, 2, 3, 4}, Bias: []float64{0, 0},
+			Act: int(ActReLU), KeepProb: 0.9,
+		}
+		mut(&wl)
+		return wireModel{Magic: modelMagic, Version: modelVersion, Layers: []wireLayer{wl}}
+	}
+	cases := []struct {
+		name string
+		wm   wireModel
+	}{
+		{"nan weight", layer(func(wl *wireLayer) { wl.Weights[1] = math.NaN() })},
+		{"inf weight", layer(func(wl *wireLayer) { wl.Weights[3] = math.Inf(1) })},
+		{"nan bias", layer(func(wl *wireLayer) { wl.Bias[0] = math.NaN() })},
+		{"neg inf bias", layer(func(wl *wireLayer) { wl.Bias[1] = math.Inf(-1) })},
+		{"nan keep prob", layer(func(wl *wireLayer) { wl.KeepProb = math.NaN() })},
+		{"inf keep prob", layer(func(wl *wireLayer) { wl.KeepProb = math.Inf(1) })},
+	}
+	for _, c := range cases {
+		if _, err := Load(bytes.NewReader(encode(c.wm))); !errors.Is(err, ErrModel) {
+			t.Errorf("%s: err = %v, want ErrModel", c.name, err)
+		}
+	}
+}
+
+// TestLoadErrorsAreTyped pins the blanket contract FuzzLoadModel relies on:
+// every Load rejection, whatever the cause, matches ErrModel.
+func TestLoadErrorsAreTyped(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte("garbage"),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireModel{Magic: "other", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, buf.Bytes())
+	for i, data := range inputs {
+		if _, err := Load(bytes.NewReader(data)); err == nil || !errors.Is(err, ErrModel) {
+			t.Errorf("input %d: err = %v, want ErrModel", i, err)
+		}
+	}
+}

@@ -76,7 +76,9 @@ func New(cfg Config) (*Network, error) {
 	if cfg.OutputDim < 1 {
 		return nil, fmt.Errorf("output dim %d: %w", cfg.OutputDim, ErrConfig)
 	}
-	if cfg.KeepProb <= 0 || cfg.KeepProb > 1 {
+	// Phrased positively so NaN fails too: NaN <= 0 and NaN > 1 are both
+	// false, which let a NaN keep probability slip through the naive form.
+	if !(cfg.KeepProb > 0 && cfg.KeepProb <= 1) {
 		return nil, fmt.Errorf("keep prob %v outside (0, 1]: %w", cfg.KeepProb, ErrConfig)
 	}
 	if !cfg.Activation.Valid() {
@@ -131,7 +133,7 @@ func FromLayers(layers []*Layer) (*Network, error) {
 		if l.W == nil || len(l.B) != l.W.Cols {
 			return nil, fmt.Errorf("layer %d: bias/weight shape mismatch: %w", i, ErrConfig)
 		}
-		if l.KeepProb <= 0 || l.KeepProb > 1 {
+		if !(l.KeepProb > 0 && l.KeepProb <= 1) { // positive phrasing rejects NaN
 			return nil, fmt.Errorf("layer %d: keep prob %v: %w", i, l.KeepProb, ErrConfig)
 		}
 		if i > 0 && layers[i-1].W.Cols != l.W.Rows {

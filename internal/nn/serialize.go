@@ -2,12 +2,22 @@ package nn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
 )
+
+// ErrModel is returned (wrapped) whenever Load rejects serialized model data:
+// undecodable streams, wrong magic or version, inconsistent shapes, or
+// non-finite numeric fields. Every Load failure matches ErrModel, so callers
+// can distinguish "this file is not a usable model" from I/O errors with a
+// single errors.Is check; format-validation failures additionally match
+// ErrConfig.
+var ErrModel = errors.New("nn: invalid model data")
 
 // modelMagic and modelVersion guard the on-disk format so stale files fail
 // loudly instead of producing silently wrong weights.
@@ -15,6 +25,18 @@ const (
 	modelMagic   = "apds-model"
 	modelVersion = 1
 )
+
+// allFinite reports whether xs is free of NaN and ±Inf. A single non-finite
+// weight would propagate through every inference path, so Load rejects such
+// models outright rather than letting the poison surface downstream.
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
 
 // wireLayer is the serialized form of one layer.
 type wireLayer struct {
@@ -56,22 +78,25 @@ func (n *Network) Save(w io.Writer) error {
 func Load(r io.Reader) (*Network, error) {
 	var wm wireModel
 	if err := gob.NewDecoder(r).Decode(&wm); err != nil {
-		return nil, fmt.Errorf("nn: decode model: %w", err)
+		return nil, fmt.Errorf("nn: decode model: %v: %w", err, ErrModel)
 	}
 	if wm.Magic != modelMagic {
-		return nil, fmt.Errorf("nn: bad magic %q: %w", wm.Magic, ErrConfig)
+		return nil, fmt.Errorf("nn: bad magic %q: %w: %w", wm.Magic, ErrModel, ErrConfig)
 	}
 	if wm.Version != modelVersion {
-		return nil, fmt.Errorf("nn: unsupported model version %d: %w", wm.Version, ErrConfig)
+		return nil, fmt.Errorf("nn: unsupported model version %d: %w: %w", wm.Version, ErrModel, ErrConfig)
 	}
 	layers := make([]*Layer, 0, len(wm.Layers))
 	for i, wl := range wm.Layers {
 		if wl.InDim < 1 || wl.OutDim < 1 || len(wl.Weights) != wl.InDim*wl.OutDim || len(wl.Bias) != wl.OutDim {
-			return nil, fmt.Errorf("nn: layer %d has inconsistent shapes: %w", i, ErrConfig)
+			return nil, fmt.Errorf("nn: layer %d has inconsistent shapes: %w: %w", i, ErrModel, ErrConfig)
 		}
 		act := Activation(wl.Act)
 		if !act.Valid() {
-			return nil, fmt.Errorf("nn: layer %d has invalid activation %d: %w", i, wl.Act, ErrConfig)
+			return nil, fmt.Errorf("nn: layer %d has invalid activation %d: %w: %w", i, wl.Act, ErrModel, ErrConfig)
+		}
+		if !allFinite(wl.Weights) || !allFinite(wl.Bias) {
+			return nil, fmt.Errorf("nn: layer %d has non-finite weights: %w: %w", i, ErrModel, ErrConfig)
 		}
 		w := tensor.NewMatrix(wl.InDim, wl.OutDim)
 		copy(w.Data, wl.Weights)
@@ -82,7 +107,13 @@ func Load(r io.Reader) (*Network, error) {
 			KeepProb: wl.KeepProb,
 		})
 	}
-	return FromLayers(layers)
+	net, err := FromLayers(layers)
+	if err != nil {
+		// FromLayers re-validates keep probabilities and inter-layer shapes;
+		// from Load's perspective those are also model-data defects.
+		return nil, fmt.Errorf("%w: %w", err, ErrModel)
+	}
+	return net, nil
 }
 
 // SaveFile writes the network to path, creating or truncating it.

@@ -1,0 +1,90 @@
+package oracle
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+// DenseMoments propagates a Gaussian through one dropout layer (paper
+// eqs. 9–10) with naive triple loops in plain float64 — no blocking, no
+// register tiling, no SIMD dispatch, no precomputed W². The per-output
+// accumulation runs in ascending input order, the same mathematical order
+// the fast kernels document (tensor.MulVecInto / MulInto accumulate each
+// output element in strictly ascending k), so any difference between this
+// and the fast dense step is a real kernel bug, not reassociation noise.
+//
+// The input-moment expressions are kept textually identical to
+// core.DenseMoments — (μ²+σ²)p − μ²p², not the algebraically equal stable
+// form μ²p(1−p) + σ²p — because eq. 10's floating-point semantics are part
+// of the propagation contract; an oracle that reformulated them would
+// "disagree" with a correct fast path wherever the expressions round apart.
+func DenseMoments(g core.GaussianVec, l *nn.Layer) (core.GaussianVec, error) {
+	return denseMoments(g, l, false)
+}
+
+// DenseMomentsKahan is DenseMoments with Neumaier-compensated accumulation.
+// It is the higher-precision cross-check: the distance between the plain and
+// compensated results bounds the summation error of the ascending-order
+// accumulation itself, which in turn bounds how much of a fast-vs-oracle
+// difference could be explained by rounding rather than by a bug.
+func DenseMomentsKahan(g core.GaussianVec, l *nn.Layer) (core.GaussianVec, error) {
+	return denseMoments(g, l, true)
+}
+
+func denseMoments(g core.GaussianVec, l *nn.Layer, kahan bool) (core.GaussianVec, error) {
+	in, out := l.InDim(), l.OutDim()
+	if g.Dim() != in {
+		return core.GaussianVec{}, fmt.Errorf("oracle: dense input dim %d, want %d: %w", g.Dim(), in, core.ErrInput)
+	}
+	p := l.KeepProb
+	muIn := make([]float64, in)
+	varIn := make([]float64, in)
+	for i := 0; i < in; i++ {
+		mu, s2 := g.Mean[i], g.Var[i]
+		muIn[i] = mu * p
+		varIn[i] = (mu*mu+s2)*p - mu*mu*p*p
+	}
+
+	res := core.NewGaussianVec(out)
+	for j := 0; j < out; j++ {
+		var mSum, mComp, vSum, vComp float64
+		for i := 0; i < in; i++ {
+			w := l.W.Data[i*out+j]
+			mSum, mComp = add(mSum, mComp, muIn[i]*w, kahan)
+			vSum, vComp = add(vSum, vComp, varIn[i]*(w*w), kahan)
+		}
+		res.Mean[j] = mSum + mComp + l.B[j]
+		v := vSum + vComp
+		if v < 0 {
+			v = 0
+		}
+		res.Var[j] = v
+	}
+	return res, nil
+}
+
+// add accumulates term into (sum, comp). Plain mode ignores the compensation
+// slot entirely, reproducing the rounding sequence of a bare ascending loop;
+// Kahan mode applies the Neumaier update, which keeps the branch correct
+// when the incoming term exceeds the running sum.
+func add(sum, comp, term float64, kahan bool) (float64, float64) {
+	if !kahan {
+		return sum + term, 0
+	}
+	t := sum + term
+	if abs(sum) >= abs(term) {
+		comp += (sum - t) + term
+	} else {
+		comp += (term - t) + sum
+	}
+	return t, comp
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

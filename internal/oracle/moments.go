@@ -1,0 +1,70 @@
+package oracle
+
+import (
+	"math"
+	"sort"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+)
+
+// ActMoments computes the mean and variance of f(X) for X ~ N(mu, variance)
+// by quadrature: eqs. 12–26 of the paper evaluated by numerical integration
+// instead of the erf/exp closed forms. breaks lists the points where f is
+// not smooth (the PWL knots; nil for smooth activations) — the integration
+// interval is split there so every quadrature panel sees a smooth integrand.
+//
+// The point-mass cutoff replicates core.SigmaFloor exactly: below the floor
+// the fast paths shortcut to (f(mu), 0), and the oracle must apply the same
+// contract or differ at the threshold by more than rounding error.
+//
+// The variance is computed in a second, centered pass — ∫ (f(x) − m)²·φ dx —
+// rather than as E[f²] − m², so it cannot go negative and suffers no
+// cancellation for tight distributions.
+func ActMoments(f func(float64) float64, breaks []float64, mu, variance float64) (mean, vari float64) {
+	sigma := math.Sqrt(variance)
+	if sigma <= core.SigmaFloor*(1+math.Abs(mu)) {
+		return f(mu), 0
+	}
+
+	// Characteristic magnitude of f over the bulk of the distribution, for
+	// converting the relative quadrature target into the absolute tolerance
+	// Integrate wants.
+	scale := math.Max(1, math.Abs(f(mu)))
+	if a := math.Abs(f(mu - 3*sigma)); a > scale {
+		scale = a
+	}
+	if a := math.Abs(f(mu + 3*sigma)); a > scale {
+		scale = a
+	}
+	const relTol = 1e-15
+
+	segs := segments(breaks, mu, sigma)
+	for i := 0; i+1 < len(segs); i++ {
+		mean += Integrate(f, segs[i], segs[i+1], mu, sigma, relTol*scale)
+	}
+	centered := func(x float64) float64 {
+		d := f(x) - mean
+		return d * d
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		vari += Integrate(centered, segs[i], segs[i+1], mu, sigma, relTol*scale*scale)
+	}
+	return mean, vari
+}
+
+// segments returns the ascending split points covering (−∞, +∞): the finite
+// breakpoints that fall inside the effective integration window plus the two
+// infinities (Integrate clips those to mu ± tailSigmas·sigma itself).
+func segments(breaks []float64, mu, sigma float64) []float64 {
+	lo, hi := mu-tailSigmas*sigma, mu+tailSigmas*sigma
+	out := make([]float64, 0, len(breaks)+2)
+	out = append(out, math.Inf(-1))
+	for _, b := range breaks {
+		if b > lo && b < hi && !math.IsInf(b, 0) {
+			out = append(out, b)
+		}
+	}
+	out = append(out, math.Inf(1))
+	sort.Float64s(out)
+	return out
+}

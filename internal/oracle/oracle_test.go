@@ -1,0 +1,294 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// TestLegendreRule pins the generated Gauss–Legendre rule: weights sum to
+// the interval length and the rule integrates polynomials of its design
+// degree exactly.
+func TestLegendreRule(t *testing.T) {
+	var wsum float64
+	for _, w := range glWeights {
+		wsum += w
+	}
+	if math.Abs(wsum-2) > 1e-14 {
+		t.Errorf("weights sum to %v, want 2", wsum)
+	}
+	// ∫_{-1}^{1} x^k dx = 2/(k+1) for even k, 0 for odd; exact through
+	// degree 2·glOrder−1.
+	for k := 0; k < 2*glOrder; k++ {
+		got := glPanel(func(x float64) float64 { return math.Pow(x, float64(k)) }, -1, 1)
+		want := 0.0
+		if k%2 == 0 {
+			want = 2 / float64(k+1)
+		}
+		if math.Abs(got-want) > 1e-13 {
+			t.Errorf("∫x^%d = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestIntegrateGaussianMass checks the weighted integrator against closed
+// moments of the Gaussian itself: mass 1, mean mu, variance sigma².
+func TestIntegrateGaussianMass(t *testing.T) {
+	for _, c := range []struct{ mu, sigma float64 }{{0, 1}, {3.7, 0.2}, {-120, 15}, {1e6, 1e-3}} {
+		one := func(float64) float64 { return 1 }
+		if got := Integrate(one, math.Inf(-1), math.Inf(1), c.mu, c.sigma, 1e-15); math.Abs(got-1) > 1e-13 {
+			t.Errorf("mass(N(%v,%v)) = %v", c.mu, c.sigma, got)
+		}
+		id := func(x float64) float64 { return x }
+		scale := math.Max(1, math.Abs(c.mu))
+		if got := Integrate(id, math.Inf(-1), math.Inf(1), c.mu, c.sigma, 1e-15*scale); math.Abs(got-c.mu) > 1e-12*scale {
+			t.Errorf("mean(N(%v,%v)) = %v", c.mu, c.sigma, got)
+		}
+	}
+}
+
+// TestActMomentsIdentityAndConstant: closed-form anchors that need no other
+// implementation — identity maps (μ, σ²) to itself, a constant to (c, 0).
+func TestActMomentsIdentityAndConstant(t *testing.T) {
+	m, v := ActMoments(func(x float64) float64 { return x }, nil, 1.3, 2.6)
+	if math.Abs(m-1.3) > 1e-13 || math.Abs(v-2.6) > 1e-12 {
+		t.Errorf("identity moments = (%v, %v), want (1.3, 2.6)", m, v)
+	}
+	m, v = ActMoments(func(float64) float64 { return 4.2 }, nil, -0.5, 0.9)
+	if math.Abs(m-4.2) > 1e-13 || math.Abs(v) > 1e-13 {
+		t.Errorf("constant moments = (%v, %v), want (4.2, 0)", m, v)
+	}
+}
+
+// TestActMomentsVsReLUClosedForm cross-validates quadrature against the
+// independent rectified-Gaussian closed form (core.ReLUMoments), including
+// far-tail means where the mass sits almost entirely on one piece.
+func TestActMomentsVsReLUClosedForm(t *testing.T) {
+	relu := func(x float64) float64 { return math.Max(0, x) }
+	for _, mu := range []float64{-9, -2.5, -0.1, 0, 0.1, 2.5, 9, 1e5} {
+		for _, sigma := range []float64{0.05, 1, 7} {
+			gm, gv := ActMoments(relu, []float64{0}, mu, sigma*sigma)
+			wm, wv := core.ReLUMoments(mu, sigma*sigma)
+			scale := math.Max(1, math.Abs(wm))
+			if math.Abs(gm-wm) > 1e-11*scale {
+				t.Errorf("mu=%v sigma=%v: quad mean %v, closed form %v", mu, sigma, gm, wm)
+			}
+			// The closed form computes variance as E[x²]−mean², which
+			// cancels catastrophically when |mu| ≫ sigma: its own error is
+			// ~ulp(mu²), and the quadrature (which integrates (x−m)² directly)
+			// is the more accurate side there.
+			vtol := 1e-10*math.Max(1, wv) + 4e-16*(mu*mu+sigma*sigma)
+			if math.Abs(gv-wv) > vtol {
+				t.Errorf("mu=%v sigma=%v: quad var %v, closed form %v", mu, sigma, gv, wv)
+			}
+		}
+	}
+}
+
+// TestActMomentsVsErfClosedForms is the central cross-validation: quadrature
+// moments of the 7-piece tanh and sigmoid PWL fits must agree with the
+// erf/exp closed forms (core.ActivationMoments, eqs. 23–25) to quadrature
+// precision across a (μ, σ) grid that covers saturated tails, knot-straddling
+// bulks, and near-point-mass inputs.
+func TestActMomentsVsErfClosedForms(t *testing.T) {
+	tanh7, err := piecewise.Tanh(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig7, err := piecewise.Sigmoid(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*piecewise.Func{tanh7, sig7, piecewise.ReLU(), piecewise.Identity()} {
+		eval := scanEval(f.Pieces())
+		var breaks []float64
+		for _, k := range f.Knots() {
+			if !math.IsInf(k, 0) {
+				breaks = append(breaks, k)
+			}
+		}
+		for _, mu := range []float64{-30, -8, -2, -0.3, 0, 0.3, 2, 8, 30} {
+			for _, sigma := range []float64{1e-9, 0.01, 0.5, 1, 3, 20} {
+				gm, gv := ActMoments(eval, breaks, mu, sigma*sigma)
+				wm, wv := core.ActivationMoments(mu, sigma*sigma, f)
+				scale := math.Max(1, math.Abs(wm))
+				if math.Abs(gm-wm) > 1e-12*scale {
+					t.Errorf("%s mu=%v sigma=%v: quad mean %v, erf %v", f.Name(), mu, sigma, gm, wm)
+				}
+				vscale := math.Max(1, wv)
+				if math.Abs(gv-wv) > 1e-11*vscale {
+					t.Errorf("%s mu=%v sigma=%v: quad var %v, erf %v", f.Name(), mu, sigma, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+// TestActMomentsPointMassCutoff pins the shared point-mass contract: at and
+// below core.SigmaFloor the oracle takes the same shortcut as the fast
+// paths, so the two sides agree exactly at the threshold.
+func TestActMomentsPointMassCutoff(t *testing.T) {
+	f := func(x float64) float64 { return math.Max(0, x) }
+	mu := 2.0
+	floor := core.SigmaFloor * (1 + mu)
+	m, v := ActMoments(f, []float64{0}, mu, floor*floor)
+	if m != mu || v != 0 {
+		t.Errorf("at floor: got (%v, %v), want point mass (%v, 0)", m, v, mu)
+	}
+}
+
+func testLayer(t *testing.T, seed int64, in, out int, keep float64, act nn.Activation) *nn.Layer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.NewMatrix(in, out)
+	w.RandomNormal(rng, 0, 0.5)
+	b := tensor.NewVector(out)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 0.1
+	}
+	return &nn.Layer{W: w, B: b, Act: act, KeepProb: keep}
+}
+
+// TestDenseMomentsBitIdenticalToCore: the naive ascending-order dense loops
+// must reproduce core.DenseMoments (MulVecInto + pre-squared W²) bit for
+// bit — same formulas, same accumulation order, so zero tolerance.
+func TestDenseMomentsBitIdenticalToCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range [][2]int{{1, 1}, {3, 7}, {64, 33}, {130, 5}} {
+		l := testLayer(t, 77, shape[0], shape[1], 0.8, nn.ActReLU)
+		g := core.NewGaussianVec(shape[0])
+		for i := range g.Mean {
+			g.Mean[i] = rng.NormFloat64() * 3
+			g.Var[i] = rng.Float64()
+		}
+		want, err := core.DenseMoments(g, l, l.W.Square())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DenseMoments(g, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Mean {
+			if math.Float64bits(got.Mean[j]) != math.Float64bits(want.Mean[j]) {
+				t.Fatalf("shape %v: mean[%d] %v != core %v", shape, j, got.Mean[j], want.Mean[j])
+			}
+			if math.Float64bits(got.Var[j]) != math.Float64bits(want.Var[j]) {
+				t.Fatalf("shape %v: var[%d] %v != core %v", shape, j, got.Var[j], want.Var[j])
+			}
+		}
+	}
+}
+
+// TestDenseMomentsKahanCloseToPlain bounds the summation error of the plain
+// ascending accumulation: the compensated sum may differ only within the
+// classic n·ε·Σ|terms| envelope.
+func TestDenseMomentsKahanCloseToPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in, out := 300, 40
+	l := testLayer(t, 78, in, out, 0.9, nn.ActTanh)
+	g := core.NewGaussianVec(in)
+	for i := range g.Mean {
+		g.Mean[i] = rng.NormFloat64()
+		g.Var[i] = rng.Float64()
+	}
+	plain, err := DenseMoments(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kahan, err := DenseMomentsKahan(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ|terms| ≲ in·max|μ·w| ≈ in·4; envelope with generous headroom.
+	envelope := float64(in) * 4 * float64(in) * 2.3e-16
+	for j := range plain.Mean {
+		if d := math.Abs(plain.Mean[j] - kahan.Mean[j]); d > envelope {
+			t.Errorf("mean[%d]: plain/kahan differ by %v (> %v)", j, d, envelope)
+		}
+		if d := math.Abs(plain.Var[j] - kahan.Var[j]); d > envelope {
+			t.Errorf("var[%d]: plain/kahan differ by %v (> %v)", j, d, envelope)
+		}
+	}
+}
+
+// TestErrorBudgetBoundsObservedModelError: the a-priori budget must dominate
+// the actually observed distance between the fast path and the exact-
+// activation reference on seeded tanh and sigmoid networks — the soundness
+// check of the tolerance contract itself.
+func TestErrorBudgetBoundsObservedModelError(t *testing.T) {
+	for _, act := range []nn.Activation{nn.ActTanh, nn.ActSigmoid} {
+		net, err := nn.New(nn.Config{
+			InputDim: 6, Hidden: []int{16, 12}, OutputDim: 3,
+			Activation: act, OutputActivation: nn.ActIdentity,
+			KeepProb: 0.85, Seed: 41,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewRef(net, core.Options{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget, err := ref.ErrorBudget()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if budget.Mean <= 0 || budget.Var <= 0 || math.IsInf(budget.Mean, 0) {
+			t.Fatalf("%v: degenerate budget %+v", act, budget)
+		}
+		prop, err := core.NewPropagator(net, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for trial := 0; trial < 5; trial++ {
+			x := make(tensor.Vector, 6)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			fast, err := prop.Propagate(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := ref.ForwardTrue(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range fast.Mean {
+				if d := math.Abs(fast.Mean[j] - exact.Mean[j]); d > budget.Mean {
+					t.Errorf("%v trial %d: |Δmean[%d]| = %v exceeds budget %v", act, trial, j, d, budget.Mean)
+				}
+				if d := math.Abs(fast.Var[j] - exact.Var[j]); d > budget.Var {
+					t.Errorf("%v trial %d: |Δvar[%d]| = %v exceeds budget %v", act, trial, j, d, budget.Var)
+				}
+			}
+		}
+	}
+}
+
+// TestErrorBudgetRejectsReLUHidden: ReLU hidden layers have no bounded range
+// for the variance sensitivities; the budget must refuse rather than return
+// an unsound number.
+func TestErrorBudgetRejectsReLUHidden(t *testing.T) {
+	net, err := nn.New(nn.Config{
+		InputDim: 4, Hidden: []int{8}, OutputDim: 2,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewRef(net, core.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.ErrorBudget(); err == nil {
+		t.Error("ErrorBudget accepted a ReLU hidden network")
+	}
+}

@@ -78,6 +78,31 @@ func (f *Func) Pieces() []Piece {
 // per-element moment propagation). i must be in [0, NumPieces()).
 func (f *Func) Piece(i int) Piece { return f.pieces[i] }
 
+// Knots returns the P+1 piece boundaries in ascending order, including the
+// ±Inf endpoints. Quadrature references integrate piece by piece, so they
+// need the breakpoints (the integrand has a kink at each interior knot).
+func (f *Func) Knots() []float64 {
+	out := make([]float64, len(f.pieces)+1)
+	for i, p := range f.pieces {
+		out[i] = p.A
+	}
+	out[len(f.pieces)] = f.pieces[len(f.pieces)-1].B
+	return out
+}
+
+// MaxAbsSlope returns max_p |k_p|, the Lipschitz constant of the PWL
+// function. Error-budget propagation (internal/oracle) uses it to bound how a
+// mean perturbation amplifies through the activation step.
+func (f *Func) MaxAbsSlope() float64 {
+	var m float64
+	for _, p := range f.pieces {
+		if a := math.Abs(p.K); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
 // Eval evaluates the PWL function at x using binary search over the
 // breakpoints.
 func (f *Func) Eval(x float64) float64 {

@@ -1,0 +1,137 @@
+package proptest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/oracle"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// fuzzScale maps an arbitrary fuzzed float64 into the harness input domain
+// [0, 1] (a multiplier on GenInput, whose own extreme class already reaches
+// 1e6). Unbounded scales would push intermediate moments into overflow and
+// the closed forms past any fixed tolerance — that is the documented domain
+// boundary of the contract, not territory where disagreement means a bug.
+func fuzzScale(raw float64) float64 {
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		return 1
+	}
+	return math.Abs(math.Mod(raw, 1))
+}
+
+// finite reports whether every moment in g is finite — the precondition for
+// a tolerance comparison to be meaningful.
+func finite(g core.GaussianVec) bool {
+	for i := range g.Mean {
+		if math.IsNaN(g.Mean[i]) || math.IsInf(g.Mean[i], 0) ||
+			math.IsNaN(g.Var[i]) || math.IsInf(g.Var[i], 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzPropagateVsOracle drives the per-sample fast path and the Gaussian-
+// input path against the quadrature oracle on fuzzer-chosen random networks
+// (bounded widths so the worst-case tolerance amplification through depth
+// stays provably inside the contract for every reachable input — a fuzz
+// target must never flake legitimately). Every crash or tolerance violation
+// this finds is a real closed-form or kernel defect.
+func FuzzPropagateVsOracle(f *testing.F) {
+	f.Add(uint64(1), 1.0)
+	f.Add(uint64(2), 0.0)
+	f.Add(uint64(3), 0.5)
+	f.Add(uint64(7), 1.0)
+	f.Add(uint64(11), 0.25)
+	f.Add(uint64(20260806), 1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, rawScale float64) {
+		scale := fuzzScale(rawScale)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		net := GenNetworkBounded(rng)
+		prop, err := core.NewPropagator(net, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := oracle.NewRef(net, core.Options{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		x := GenInput(rng, net.InputDim())
+		for i := range x {
+			x[i] *= scale
+		}
+		got, err := prop.Propagate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, cond, err := ref.ForwardCond(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !finite(want) {
+			t.Skip("oracle output not finite: outside the comparison domain")
+		}
+		if err := CompareVec(got, want, RelTight, cond); err != nil {
+			t.Errorf("seed %d scale %v: Propagate vs oracle: %v\nnet %s", seed, scale, err, net.Summary())
+		}
+
+		g := GenGaussian(rng, net.InputDim())
+		gotFrom, err := prop.PropagateFrom(g.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFrom, condFrom, err := ref.ForwardFromCond(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !finite(wantFrom) {
+			t.Skip("oracle output not finite: outside the comparison domain")
+		}
+		if err := CompareVec(gotFrom, wantFrom, RelTight, condFrom); err != nil {
+			t.Errorf("seed %d: PropagateFrom vs oracle: %v\nnet %s", seed, err, net.Summary())
+		}
+	})
+}
+
+// FuzzBatchVsSequential fuzzes the bit-identity contract: for any network,
+// batch size, and worker count, every row of PropagateBatch must reproduce
+// the sequential Propagate result bit for bit. No oracle pass is needed, so
+// this target is cheap and explores shapes quickly.
+func FuzzBatchVsSequential(f *testing.F) {
+	f.Add(uint64(1), uint64(1), uint64(0))
+	f.Add(uint64(2), uint64(7), uint64(1))
+	f.Add(uint64(3), uint64(16), uint64(3))
+	f.Add(uint64(5), uint64(4), uint64(4))
+	f.Add(uint64(20260806), uint64(11), uint64(2))
+	f.Fuzz(func(t *testing.T, seed, batchRaw, workersRaw uint64) {
+		b := int(batchRaw%17) + 1
+		workers := int(workersRaw % 5) // 0 selects the GOMAXPROCS default
+		rng := rand.New(rand.NewSource(int64(seed)))
+		net := GenNetworkBounded(rng)
+		prop, err := core.NewPropagator(net, core.Options{}, core.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]tensor.Vector, b)
+		for k := range xs {
+			xs[k] = GenInput(rng, net.InputDim())
+		}
+		gb, err := prop.PropagateBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range xs {
+			seq, err := prop.Propagate(xs[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CompareBits(gb.Row(k), seq); err != nil {
+				t.Errorf("seed %d batch %d workers %d row %d: %v\nnet %s", seed, b, workers, k, err, net.Summary())
+			}
+		}
+	})
+}

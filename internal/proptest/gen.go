@@ -1,0 +1,122 @@
+package proptest
+
+import (
+	"math/rand"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// GenNetwork draws a random network from the full space the harness covers:
+// depth 1–6 dense layers, widths 1–300 (biased toward small so one run
+// exercises many shapes, with occasional wide layers hitting the blocked
+// kernels' full tiles), hidden activations relu/tanh/sigmoid, output
+// identity/tanh/sigmoid, keep probability in [0.5, 1] with both dropout-free
+// and input-dropout corners. Construction cannot fail for generated
+// configurations, so errors panic: they are generator bugs, not findings.
+func GenNetwork(rng *rand.Rand) *nn.Network {
+	return genNetwork(rng, 300, 6)
+}
+
+// GenNetworkBounded is GenNetwork capped at width ≤ 64. The fuzz targets use
+// it so the worst-case error amplification through depth (the product of
+// per-layer weight norms) stays provably below the RelTight contract for
+// every reachable network — a fuzz target must never flake on a legitimate
+// input. The uncapped generator is exercised by the deterministic property
+// tests instead.
+func GenNetworkBounded(rng *rand.Rand) *nn.Network {
+	return genNetwork(rng, 64, 6)
+}
+
+func genNetwork(rng *rand.Rand, maxWidth, maxDepth int) *nn.Network {
+	width := func() int {
+		if rng.Intn(8) == 0 {
+			return 1 + rng.Intn(maxWidth)
+		}
+		w := 1 + rng.Intn(32)
+		if w > maxWidth {
+			w = maxWidth
+		}
+		return w
+	}
+	depth := 1 + rng.Intn(maxDepth)
+	hidden := make([]int, depth-1)
+	for i := range hidden {
+		hidden[i] = width()
+	}
+	hiddenActs := []nn.Activation{nn.ActReLU, nn.ActTanh, nn.ActSigmoid}
+	outActs := []nn.Activation{nn.ActIdentity, nn.ActIdentity, nn.ActTanh, nn.ActSigmoid}
+	keep := 0.5 + 0.5*rng.Float64()
+	if rng.Intn(4) == 0 {
+		keep = 1
+	}
+	net, err := nn.New(nn.Config{
+		InputDim:         width(),
+		Hidden:           hidden,
+		OutputDim:        width(),
+		Activation:       hiddenActs[rng.Intn(len(hiddenActs))],
+		OutputActivation: outActs[rng.Intn(len(outActs))],
+		KeepProb:         keep,
+		DropInput:        rng.Intn(4) == 0,
+		Seed:             rng.Int63(),
+	})
+	if err != nil {
+		panic("proptest: generator produced invalid config: " + err.Error())
+	}
+	return net
+}
+
+// GenInput draws an input vector mixing moderate values with the corners the
+// closed forms must survive: exact zeros (the kernels' zero-skip paths),
+// huge |x| driving every activation deep into saturation (extreme
+// standardized |z| in eqs. 23–25), and tiny magnitudes near the point-mass
+// regime.
+func GenInput(rng *rand.Rand, dim int) tensor.Vector {
+	x := tensor.NewVector(dim)
+	for i := range x {
+		switch rng.Intn(8) {
+		case 0:
+			x[i] = 0
+		case 1:
+			x[i] = (rng.Float64()*2 - 1) * 1e6
+		case 2:
+			x[i] = (rng.Float64()*2 - 1) * 1e-9
+		default:
+			x[i] = rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+// GenGaussian draws an already-Gaussian input for the PropagateFrom paths,
+// covering degenerate variances on both sides of the core.SigmaFloor
+// point-mass cutoff (exact zero, far below the floor, just above it) and
+// very wide distributions, alongside ordinary O(1) spreads.
+func GenGaussian(rng *rand.Rand, dim int) core.GaussianVec {
+	g := core.NewGaussianVec(dim)
+	for i := 0; i < dim; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			g.Mean[i] = 0
+		case 1:
+			g.Mean[i] = (rng.Float64()*2 - 1) * 1e6
+		default:
+			g.Mean[i] = rng.NormFloat64()
+		}
+		switch rng.Intn(6) {
+		case 0:
+			g.Var[i] = 0
+		case 1:
+			g.Var[i] = 1e-30 // sigma 1e-15: below the point-mass floor
+		case 2:
+			g.Var[i] = 1e-18 // sigma 1e-9: just above it for O(1) means
+		case 3:
+			g.Var[i] = 1e8
+		default:
+			v := rng.NormFloat64()
+			g.Var[i] = v * v
+		}
+	}
+	return g
+}

@@ -1,0 +1,112 @@
+// Package proptest is the property-based differential test harness tying
+// every fast inference path — per-sample Propagate, the blocked
+// PropagateBatch, the WithWorkers fan-out, and the serving coalescer — to the
+// numerical oracle in internal/oracle under explicit tolerance contracts.
+//
+// The harness rests on two facts the packages under test document:
+//
+//  1. The oracle's dense step reproduces the fast dense step's floating-point
+//     semantics exactly (same formulas, same ascending accumulation order),
+//     so a fast path and the oracle differ only through the activation
+//     moments — closed erf/exp forms versus adaptive quadrature. That
+//     difference is quadrature + rounding noise, orders of magnitude below
+//     RelTight, for every activation and any finite input. This is what
+//     makes a tight tolerance safe under fuzzing: there is no input that
+//     legitimately widens the gap.
+//
+//  2. The batched, multi-worker, and coalesced paths are documented
+//     bit-identical to the sequential path, so those comparisons use exact
+//     equality (CompareBits), the strongest contract available.
+//
+// For tanh/sigmoid networks a third, model-level contract applies: the
+// distance between a fast path and the exact-activation reference
+// (oracle.Ref.ForwardTrue) must stay within the a-priori sup-norm budget
+// oracle.Ref.ErrorBudget derives from the measured PWL fit errors.
+package proptest
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/oracle"
+)
+
+// RelTight is the fast-path-versus-oracle relative agreement contract:
+// mean and variance must match within 1e-9 relative to max(1, |oracle
+// value|), plus the absolute conditioning budget the oracle derives for the
+// specific input (oracle.CondBudget). The relative term covers quadrature
+// and ascending-summation noise; the budget term covers the one legitimate
+// scale-dependent divergence — the closed forms assemble variances from
+// μ²-scale second moments and means from erf differences between knots, so
+// at extreme interior moment scales they round away error proportional to
+// those scales, which the oracle's centered, standardized formulation does
+// not share. Splitting the contract this way keeps 1e-9 binding on every
+// ordinary input while staying fuzz-safe on adversarial ones.
+const RelTight = 1e-9
+
+// RelKahan is the contract between the plain and Neumaier-compensated oracle
+// passes. Their distance bounds how much of a fast-versus-oracle difference
+// plain ascending summation could explain; it must stay far inside RelTight
+// for the differential verdicts to be attributable to real kernel bugs.
+const RelKahan = 1e-9
+
+// Close reports whether got agrees with want within tol relative to
+// max(1, |want|). NaN on either side never agrees with anything.
+func Close(got, want, tol float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	if got == want { // covers ±Inf agreeing with itself
+		return true
+	}
+	return math.Abs(got-want) <= tol*math.Max(1, math.Abs(want))
+}
+
+// CompareVec checks got against want element-wise: each mean within
+// rel·max(1, |want|) + cond.Mean, each variance within
+// rel·max(1, want) + cond.Var. The first violation is reported with enough
+// context (hex bits, relative error, the budget in force) to act on. Pass a
+// zero CondBudget for a pure relative check.
+func CompareVec(got, want core.GaussianVec, rel float64, cond oracle.CondBudget) error {
+	if got.Dim() != want.Dim() {
+		return fmt.Errorf("dim %d, want %d", got.Dim(), want.Dim())
+	}
+	for i := range want.Mean {
+		if math.IsNaN(got.Mean[i]) || math.IsNaN(got.Var[i]) {
+			return fmt.Errorf("element %d: got NaN (mean %v, var %v)", i, got.Mean[i], got.Var[i])
+		}
+		if d := math.Abs(got.Mean[i] - want.Mean[i]); !(d <= rel*math.Max(1, math.Abs(want.Mean[i]))+cond.Mean) {
+			return fmt.Errorf("mean[%d] = %v (%#x), want %v (%#x): |Δ| = %.3g > %.3g·max(1,|want|) + %.3g",
+				i, got.Mean[i], math.Float64bits(got.Mean[i]), want.Mean[i], math.Float64bits(want.Mean[i]),
+				d, rel, cond.Mean)
+		}
+		if d := math.Abs(got.Var[i] - want.Var[i]); !(d <= rel*math.Max(1, want.Var[i])+cond.Var) {
+			return fmt.Errorf("var[%d] = %v (%#x), want %v (%#x): |Δ| = %.3g > %.3g·max(1,|want|) + %.3g",
+				i, got.Var[i], math.Float64bits(got.Var[i]), want.Var[i], math.Float64bits(want.Var[i]),
+				d, rel, cond.Var)
+		}
+	}
+	return nil
+}
+
+// CompareBits checks got against want for bit-for-bit equality — the
+// contract between the sequential path and the batched/worker/coalesced
+// paths. Distinguishes +0 from −0 and would flag NaN payload changes: any
+// drift in bits means the paths no longer share floating-point semantics.
+func CompareBits(got, want core.GaussianVec) error {
+	if got.Dim() != want.Dim() {
+		return fmt.Errorf("dim %d, want %d", got.Dim(), want.Dim())
+	}
+	for i := range want.Mean {
+		if math.Float64bits(got.Mean[i]) != math.Float64bits(want.Mean[i]) {
+			return fmt.Errorf("mean[%d] = %v (%#x), want bit-identical %v (%#x)",
+				i, got.Mean[i], math.Float64bits(got.Mean[i]), want.Mean[i], math.Float64bits(want.Mean[i]))
+		}
+		if math.Float64bits(got.Var[i]) != math.Float64bits(want.Var[i]) {
+			return fmt.Errorf("var[%d] = %v (%#x), want bit-identical %v (%#x)",
+				i, got.Var[i], math.Float64bits(got.Var[i]), want.Var[i], math.Float64bits(want.Var[i]))
+		}
+	}
+	return nil
+}

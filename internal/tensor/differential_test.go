@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveMul is the obviously-correct reference: one scalar accumulator per
+// output element, shared dimension traversed in ascending order. That is the
+// exact rounding sequence MulInto documents for every kernel variant, so the
+// blocked/SIMD results must reproduce it bit for bit — not approximately.
+func naiveMul(m, n *Matrix) *Matrix {
+	dst := NewMatrix(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < n.Cols; j++ {
+			var sum float64
+			for k := 0; k < m.Cols; k++ {
+				sum += m.Data[i*m.Cols+k] * n.Data[k*n.Cols+j]
+			}
+			dst.Data[i*dst.Cols+j] = sum
+		}
+	}
+	return dst
+}
+
+// raggedShapes crosses the shapes that historically break blocked kernels:
+// single elements, single rows/columns (the 4-row register block's remainder
+// loop), odd widths, and shared dimensions straddling the mulKBlock=64 tile
+// boundary.
+var raggedShapes = []struct{ r, k, c int }{
+	{1, 1, 1},
+	{1, 1, 17},
+	{1, 33, 1},
+	{17, 1, 1},
+	{3, 7, 5},
+	{4, 64, 8},
+	{5, 65, 9},
+	{6, 63, 2},
+	{7, 128, 11},
+	{8, 129, 3},
+	{31, 300, 13},
+}
+
+// fillStress populates a matrix with values that stress bit-level agreement:
+// sign mixes, exact zeros (the kernels' zero-skip), huge magnitudes, and
+// subnormal-range values whose products underflow (including to −0).
+func fillStress(m *Matrix, rng *rand.Rand) {
+	for i := range m.Data {
+		switch rng.Intn(8) {
+		case 0:
+			m.Data[i] = 0
+		case 1:
+			m.Data[i] = (rng.Float64()*2 - 1) * 1e300
+		case 2:
+			m.Data[i] = (rng.Float64()*2 - 1) * 1e-200
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// kernelVariants enumerates the reachable dispatch configurations on this
+// machine: forced scalar always, the AVX axpy kernel when the CPU has it,
+// and the AVX-512 kernel when that is available too.
+func kernelVariants() []struct {
+	name     string
+	avx, zmm bool
+} {
+	vs := []struct {
+		name     string
+		avx, zmm bool
+	}{{"scalar", false, false}}
+	if hasAVX {
+		vs = append(vs, struct {
+			name     string
+			avx, zmm bool
+		}{"avx", true, false})
+	}
+	if hasAVX512 {
+		vs = append(vs, struct {
+			name     string
+			avx, zmm bool
+		}{"avx512", true, true})
+	}
+	return vs
+}
+
+// TestMulIntoDifferential checks every kernel variant against the naive
+// triple-loop reference, bit for bit, over the ragged shape grid and
+// stress-valued inputs.
+func TestMulIntoDifferential(t *testing.T) {
+	savedAVX, saved512 := hasAVX, hasAVX512
+	defer func() { hasAVX, hasAVX512 = savedAVX, saved512 }()
+
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range raggedShapes {
+		m := NewMatrix(sh.r, sh.k)
+		n := NewMatrix(sh.k, sh.c)
+		fillStress(m, rng)
+		fillStress(n, rng)
+		want := naiveMul(m, n)
+
+		for _, kr := range kernelVariants() {
+			hasAVX, hasAVX512 = kr.avx, kr.zmm
+			dst := NewMatrix(sh.r, sh.c)
+			if err := m.MulInto(n, dst); err != nil {
+				t.Fatalf("%s %dx%dx%d: %v", kr.name, sh.r, sh.k, sh.c, err)
+			}
+			for i := range dst.Data {
+				if math.Float64bits(dst.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Errorf("%s %dx%dx%d: elem %d = %v (%#x), naive %v (%#x)",
+						kr.name, sh.r, sh.k, sh.c, i,
+						dst.Data[i], math.Float64bits(dst.Data[i]),
+						want.Data[i], math.Float64bits(want.Data[i]))
+					break
+				}
+			}
+		}
+		hasAVX, hasAVX512 = savedAVX, saved512
+	}
+}
+
+// TestMulVecIntoDifferential pins the per-sample gemv against the same naive
+// reference: xᵀM for each ragged shape, bit-identical. Together with
+// TestMulIntoDifferential this closes the triangle naive = gemv = gemm that
+// the propagation paths' bit-identity contract stands on.
+func TestMulVecIntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, sh := range raggedShapes {
+		w := NewMatrix(sh.k, sh.c)
+		fillStress(w, rng)
+		x := NewMatrix(1, sh.k)
+		fillStress(x, rng)
+		want := naiveMul(x, w)
+
+		dst := NewVector(sh.c)
+		w.MulVecInto(Vector(x.Data), dst)
+		for j := range dst {
+			if math.Float64bits(dst[j]) != math.Float64bits(want.Data[j]) {
+				t.Errorf("%dx%d: elem %d = %v (%#x), naive %v (%#x)",
+					sh.k, sh.c, j, dst[j], math.Float64bits(dst[j]),
+					want.Data[j], math.Float64bits(want.Data[j]))
+				break
+			}
+		}
+	}
+}
+
+// TestMulIntoRowsMatchMulVecInto checks the documented row contract of the
+// batched kernel directly: row i of MulInto equals row i of the matrix
+// pushed through MulVecInto, bit for bit, under every dispatch variant.
+func TestMulIntoRowsMatchMulVecInto(t *testing.T) {
+	savedAVX, saved512 := hasAVX, hasAVX512
+	defer func() { hasAVX, hasAVX512 = savedAVX, saved512 }()
+
+	rng := rand.New(rand.NewSource(44))
+	for _, sh := range raggedShapes {
+		m := NewMatrix(sh.r, sh.k)
+		n := NewMatrix(sh.k, sh.c)
+		fillStress(m, rng)
+		fillStress(n, rng)
+
+		for _, kr := range kernelVariants() {
+			hasAVX, hasAVX512 = kr.avx, kr.zmm
+			dst := NewMatrix(sh.r, sh.c)
+			if err := m.MulInto(n, dst); err != nil {
+				t.Fatal(err)
+			}
+			row := NewVector(sh.c)
+			for i := 0; i < sh.r; i++ {
+				n.MulVecInto(Vector(m.Data[i*sh.k:(i+1)*sh.k]), row)
+				for j := range row {
+					if math.Float64bits(dst.Data[i*sh.c+j]) != math.Float64bits(row[j]) {
+						t.Errorf("%s %dx%dx%d row %d col %d: gemm %v != gemv %v",
+							kr.name, sh.r, sh.k, sh.c, i, j, dst.Data[i*sh.c+j], row[j])
+					}
+				}
+			}
+		}
+		hasAVX, hasAVX512 = savedAVX, saved512
+	}
+}

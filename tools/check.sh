@@ -2,8 +2,10 @@
 # check.sh — the repo's pre-merge gate, also reachable as `make check`:
 # vet, build, race-test the numeric hot paths AND the observability/serving
 # path (the metrics registry, hooks, the request coalescer, and stream gating
-# are explicitly concurrent), then record the batched propagation benchmark
-# with its metrics snapshot (results/BENCH_batch.json +
+# are explicitly concurrent), run the oracle-backed differential harness, give
+# each fuzz target a short smoke budget (seed corpora always replay; the extra
+# seconds of mutation catch shallow regressions), then record the batched
+# propagation benchmark with its metrics snapshot (results/BENCH_batch.json +
 # results/BENCH_obs.prom) and a smoke run of the serving benchmark. The smoke
 # serve run writes to a scratch directory so short cells never clobber the
 # committed results/BENCH_serve.json (regenerate that with `make bench-serve`).
@@ -22,6 +24,14 @@ go test -race ./internal/core/... ./internal/tensor/...
 
 echo "== go test -race (observability + serving path)"
 go test -race ./internal/obs/... ./internal/stream/... ./internal/serve/... ./examples/server/...
+
+echo "== go test -race (oracle + differential harness)"
+go test -race ./internal/oracle/... ./internal/proptest/...
+
+echo "== fuzz smoke (10s per target)"
+go test -run NONE -fuzz 'FuzzPropagateVsOracle' -fuzztime 10s ./internal/proptest
+go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 10s ./internal/proptest
+go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 10s ./internal/nn
 
 echo "== apds-bench -batch -obs"
 go run ./cmd/apds-bench -batch -obs -results results
