@@ -5,7 +5,7 @@
 # (results/BENCH_batch.json, results/BENCH_obs.prom) + a smoke run of the
 # serving benchmark.
 
-.PHONY: check test fuzz bench bench-hooks bench-serve build
+.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry build
 
 check:
 	./tools/check.sh
@@ -38,3 +38,9 @@ bench-hooks:
 # artifact; EXPERIMENTS.md documents the recorded run).
 bench-serve:
 	go run ./cmd/apds-bench -serve -results results
+
+# The registry benchmark: serving through the model registry while route
+# tables swap, versions hot-reload, and shadow traffic duplicates to a
+# candidate, recorded as results/BENCH_registry.json (the committed artifact).
+bench-registry:
+	go run ./cmd/apds-bench -registry -results results

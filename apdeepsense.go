@@ -29,6 +29,7 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/obs"
 	"github.com/apdeepsense/apdeepsense/internal/quantize"
 	"github.com/apdeepsense/apdeepsense/internal/rdeepsense"
+	"github.com/apdeepsense/apdeepsense/internal/registry"
 	"github.com/apdeepsense/apdeepsense/internal/rnn"
 	"github.com/apdeepsense/apdeepsense/internal/serve"
 	"github.com/apdeepsense/apdeepsense/internal/stream"
@@ -218,6 +219,67 @@ var (
 	ErrServeQueueFull = serve.ErrQueueFull
 	// ErrServeClosed marks requests arriving after shutdown began.
 	ErrServeClosed = serve.ErrClosed
+)
+
+// Model-registry re-exports (internal/registry): multi-model serving with
+// versioned atomic hot-swap, shadow/canary traffic policies, and per-version
+// coalescer pools. The "Model" prefix keeps these distinct from the metrics
+// ObsRegistry above.
+type (
+	// ModelRegistry maps model names to ordered, individually-poolable
+	// versions and routes requests through atomic route-table snapshots.
+	ModelRegistry = registry.Registry
+	// ModelRegistryConfig configures a ModelRegistry (shared serve/propagator
+	// options, shadow pool sizing, metrics).
+	ModelRegistryConfig = registry.Config
+	// ModelRegistryMetrics is the registry's observability surface.
+	ModelRegistryMetrics = registry.Metrics
+	// ModelVersion is one immutable loaded version of a model.
+	ModelVersion = registry.Version
+	// ModelServed tags a response with the model/version/route that served it.
+	ModelServed = registry.Served
+	// ModelManifest is the on-disk description of models, versions, and
+	// traffic policy.
+	ModelManifest = registry.Manifest
+	// ModelManifestModel is one model entry in a manifest.
+	ModelManifestModel = registry.ManifestModel
+	// ModelManifestVersion names one serialized model file in a manifest.
+	ModelManifestVersion = registry.ManifestVersion
+	// ModelManifestCanary is a manifest's weighted candidate split.
+	ModelManifestCanary = registry.ManifestCanary
+	// ModelManifestLoader ties a registry to a manifest file: explicit
+	// reloads plus a poll-based watch loop.
+	ModelManifestLoader = registry.Loader
+	// ModelStatus reports one model's routing and versions.
+	ModelStatus = registry.ModelStatus
+	// ModelVersionStatus reports one registered version.
+	ModelVersionStatus = registry.VersionStatus
+)
+
+// Model-registry constructors, routes, and error classes.
+var (
+	// NewModelRegistry builds an empty registry.
+	NewModelRegistry = registry.New
+	// NewModelRegistryMetrics registers the registry metric families.
+	NewModelRegistryMetrics = registry.NewMetrics
+	// NewModelManifestLoader builds a manifest loader for a registry.
+	NewModelManifestLoader = registry.NewLoader
+	// LoadModelManifest reads and validates a manifest file.
+	LoadModelManifest = registry.LoadManifest
+	// ModelRouteCurrent labels responses served by the current version.
+	ModelRouteCurrent = registry.RouteCurrent
+	// ModelRouteCanary labels responses served by the canary split.
+	ModelRouteCanary = registry.RouteCanary
+	// ErrModelNotFound marks requests for unknown models or versions (404).
+	ErrModelNotFound = registry.ErrNotFound
+	// ErrModelNotReady marks models with no routable current version (503).
+	ErrModelNotReady = registry.ErrNotReady
+	// ErrModelRegistry marks invalid registry operations.
+	ErrModelRegistry = registry.ErrRegistry
+	// ErrModelRegistryClosed marks requests after registry shutdown began.
+	ErrModelRegistryClosed = registry.ErrClosed
+	// ErrModelManifest marks unreadable or inconsistent manifests.
+	ErrModelManifest = registry.ErrManifest
 )
 
 // Convolutional extension re-exports (paper §VI future work, internal/conv).

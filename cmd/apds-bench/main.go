@@ -12,6 +12,7 @@
 //	apds-bench -batch                    # batched-vs-sequential propagation benchmark
 //	apds-bench -batch -obs               # same, plus a metrics snapshot (BENCH_obs.prom)
 //	apds-bench -serve                    # coalesced-vs-per-request serving benchmark
+//	apds-bench -registry                 # registry serving under continuous hot-swap
 package main
 
 import (
@@ -47,6 +48,8 @@ func run(args []string) error {
 	batch := fs.Bool("batch", false, "benchmark batched vs per-sample moment propagation (writes BENCH_batch.json)")
 	serveBench := fs.Bool("serve", false, "benchmark coalesced vs per-request serving under closed-loop load (writes BENCH_serve.json)")
 	serveCell := fs.Duration("serve-duration", 2*time.Second, "with -serve: measured wall time per (concurrency, mode) cell")
+	registryBench := fs.Bool("registry", false, "benchmark registry serving under continuous hot-swap/reload/shadow (writes BENCH_registry.json)")
+	registryCell := fs.Duration("registry-duration", 2*time.Second, "with -registry: measured wall time per mode cell")
 	obsMode := fs.Bool("obs", false, "with -batch: attach propagator observability hooks and dump the metrics registry snapshot (BENCH_obs.prom)")
 	verbose := fs.Bool("v", false, "log progress")
 	if err := fs.Parse(args); err != nil {
@@ -57,8 +60,8 @@ func run(args []string) error {
 		// observe, so imply -batch rather than fail.
 		*batch = true
 	}
-	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, or -obs")
+	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, or -obs")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -127,6 +130,11 @@ func run(args []string) error {
 	}
 	if *serveBench {
 		if err := emitServeBench(*resultDir, *serveCell); err != nil {
+			return err
+		}
+	}
+	if *registryBench {
+		if err := emitRegistryBench(*resultDir, *registryCell); err != nil {
 			return err
 		}
 	}

@@ -1,34 +1,46 @@
 // Server example: an HTTP inference microservice exposing uncertainty-aware
-// predictions, the shape of an IoT-gateway deployment. It trains a small
-// model at startup (for a self-contained demo; production would load one
-// with -model), then serves:
+// predictions, the shape of an IoT-gateway deployment. All serving flows
+// through a model registry (internal/registry): every model version gets its
+// own propagator and request-coalescer pool, versions hot-swap atomically
+// (in-flight requests finish on the version that admitted them; old versions
+// drain in the background), and traffic policy per model supports a weighted
+// canary split and shadow comparison against a candidate version.
 //
-//	POST /predict        {"input": [..]}        → {"mean": [...], "std": [...], ...}
-//	POST /predict        {"inputs": [[..],..]}  → {"results": [{"mean":..}, ...], ...}
-//	GET  /healthz                               → model summary + modeled device cost
-//	GET  /metrics                               → Prometheus text exposition
-//	GET  /debug/pprof/                          → runtime profiling endpoints
+//	POST /predict                        legacy single-model endpoint → model "default"
+//	POST /v1/models/{name}/predict       {"input": [..]} or {"inputs": [[..],..]}
+//	GET  /v1/models                      registered models, routes, fingerprints
+//	POST /v1/models/{name}/reload        admin: force a manifest reload
+//	GET  /livez                          process liveness (always 200)
+//	GET  /readyz                         200 once a model has a routable version
+//	GET  /healthz                        alias for /readyz (fingerprint as ETag)
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /debug/pprof/                   runtime profiling endpoints
 //
-// Both /predict forms feed ONE flush pipeline: a request coalescer
-// (internal/serve) enqueues every row and flushes the queue as a single
-// matrix-level PropagateBatch pass when it reaches -max-batch rows, when the
-// oldest row has waited -max-wait, or immediately when a flush worker is
-// idle. Single-row requests arriving concurrently therefore share a batched
-// pass — same results bit-for-bit, far higher throughput — and a full queue
-// rejects with 429 instead of buffering unboundedly. SIGINT/SIGTERM drains
-// the queue before exiting, so accepted requests still get answers.
+// The model set comes from one of three sources: -manifest points at a
+// registry.json describing models, version files, and routes (polled for
+// changes every -watch-interval, so edits hot-reload without restarts);
+// -model serves one serialized network as model "default"; with neither, a
+// small demo model is trained at startup.
+//
+// Both /predict forms feed the admitted version's flush pipeline: a request
+// coalescer (internal/serve) enqueues every row and flushes the queue as a
+// single matrix-level PropagateBatch pass. Responses are tagged with the
+// model, version, fingerprint, and route that served them — and are
+// bit-identical to a direct Predict on that version. A full queue rejects
+// with 429 instead of buffering unboundedly. SIGINT/SIGTERM drains every
+// pool before exiting, so accepted requests still get answers.
 //
 // Every route is wrapped by the observability middleware (examples/server
 // obs.go): request IDs, per-route latency/status metrics, per-request trace
-// spans, and one structured JSON access-log line per request. The
-// propagator's hooks feed per-layer timing and scratch-pool metrics into
-// the same /metrics registry.
+// spans, and one structured JSON access-log line per request. The registry
+// adds swap/reload/shadow-drift metrics on the same /metrics page.
 //
 // Run with:
 //
 //	go run ./examples/server            # listens on :8080
 //	curl -s localhost:8080/predict -d '{"input":[0.3]}'
-//	curl -s localhost:8080/predict -d '{"inputs":[[0.3],[-1.2]]}'
+//	curl -s localhost:8080/v1/models
+//	curl -s localhost:8080/v1/models/default/predict -d '{"inputs":[[0.3],[-1.2]]}'
 //	curl -s localhost:8080/metrics
 package main
 
@@ -53,13 +65,16 @@ import (
 	apds "github.com/apdeepsense/apdeepsense"
 )
 
-// service bundles the estimator with the metadata handlers report and the
-// observability state (metrics registry, structured logger). All prediction
-// traffic flows through coal, the shared request coalescer.
+// defaultModel is the registry name the legacy /predict endpoint and the
+// -model / demo startup modes use.
+const defaultModel = "default"
+
+// service bundles the model registry with the observability state (metrics
+// registry, structured logger). All prediction traffic flows through reg,
+// which owns one coalescer pool per model version.
 type service struct {
-	est     apds.Estimator
-	coal    *apds.PredictCoalescer
-	net     *apds.Network
+	reg     *apds.ModelRegistry
+	loader  *apds.ModelManifestLoader // nil unless -manifest is set
 	device  *apds.Device
 	metrics *serverMetrics
 	logger  *slog.Logger
@@ -67,7 +82,9 @@ type service struct {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	modelPath := flag.String("model", "", "serialized model to serve (trains a demo model if empty)")
+	modelPath := flag.String("model", "", "serialized model to serve as \"default\" (trains a demo model if empty)")
+	manifestPath := flag.String("manifest", "", "registry manifest (registry.json) describing models, versions, and routes")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "manifest poll interval (0 disables hot-reload)")
 	maxBatch := flag.Int("max-batch", 64, "coalescer: max rows per flush")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "coalescer: latency budget of the oldest queued row")
 	queueDepth := flag.Int("queue-depth", 0, "coalescer: queued-row bound before 429s (0 = 4x max-batch)")
@@ -76,7 +93,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("apds-server: ")
 
-	svc, err := newService(*modelPath, apds.ServeConfig{
+	svc, err := newService(*modelPath, *manifestPath, apds.ServeConfig{
 		MaxBatch:   *maxBatch,
 		MaxWait:    *maxWait,
 		QueueDepth: *queueDepth,
@@ -93,10 +110,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if svc.loader != nil && *watchInterval > 0 {
+		go svc.loader.Watch(ctx, *watchInterval, log.Printf)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %s on %s (max-batch %d, max-wait %v)",
-		svc.net.Summary(), *addr, *maxBatch, *maxWait)
+	for _, st := range svc.reg.Models() {
+		log.Printf("serving model %q version %s (%s) on %s", st.Name, st.Current, st.Summary, *addr)
+	}
 
 	select {
 	case err := <-errc:
@@ -106,8 +128,8 @@ func main() {
 	stop() // a second signal kills immediately instead of re-draining
 
 	// Graceful drain: stop accepting connections, let in-flight handlers
-	// finish, then drain the coalescer queue so every accepted request is
-	// answered before the process exits.
+	// finish, then drain every version's coalescer pool so every accepted
+	// request is answered before the process exits.
 	log.Print("shutdown signal: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -115,53 +137,61 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	if err := svc.close(drainCtx); err != nil {
-		log.Printf("coalescer drain: %v", err)
+		log.Printf("registry drain: %v", err)
 	}
 	log.Print("drained")
 }
 
-func newService(modelPath string, serveCfg apds.ServeConfig) (*service, error) {
+func newService(modelPath, manifestPath string, serveCfg apds.ServeConfig) (*service, error) {
+	m := newServerMetrics()
+	serveCfg.Metrics = apds.NewServeMetrics(m.reg)
+	reg := apds.NewModelRegistry(apds.ModelRegistryConfig{
+		Serve:   serveCfg,
+		Metrics: apds.NewModelRegistryMetrics(m.reg),
+		// Every version's propagator reports per-layer wall time, batch
+		// sizes, and scratch reuse straight into the /metrics registry.
+		Hooks: m.hooks(),
+	})
+	svc := &service{
+		reg:     reg,
+		device:  apds.NewEdison(),
+		metrics: m,
+		logger:  slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}
+
+	if manifestPath != "" {
+		if modelPath != "" {
+			return nil, errors.New("set -manifest or -model, not both")
+		}
+		svc.loader = apds.NewModelManifestLoader(reg, manifestPath)
+		if _, err := svc.loader.Reload(true); err != nil {
+			return nil, err
+		}
+		return svc, nil
+	}
+
 	var net *apds.Network
 	var err error
 	if modelPath != "" {
 		net, err = apds.LoadModel(modelPath)
-		if err != nil {
-			return nil, err
-		}
 	} else {
 		net, err = trainDemoModel()
-		if err != nil {
-			return nil, err
-		}
 	}
-	est, err := apds.New(net, apds.Options{})
 	if err != nil {
 		return nil, err
 	}
-	m := newServerMetrics()
-	m.params.Set(float64(net.Params()))
-	// The propagator reports per-layer wall time, batch sizes, and scratch
-	// reuse straight into the /metrics registry; the coalescer adds its
-	// batch-size/queue-wait histograms and flush-reason counters alongside.
-	est.Propagator().SetHooks(m.hooks())
-	serveCfg.Metrics = apds.NewServeMetrics(m.reg)
-	coal, err := apds.NewPredictCoalescer(est, serveCfg)
-	if err != nil {
+	if _, err := reg.AddVersion(defaultModel, "v1", net); err != nil {
 		return nil, err
 	}
-	return &service{
-		est:     est,
-		coal:    coal,
-		net:     net,
-		device:  apds.NewEdison(),
-		metrics: m,
-		logger:  slog.New(slog.NewJSONHandler(os.Stderr, nil)),
-	}, nil
+	if err := reg.SetRoutes(defaultModel, "v1", "", 0, ""); err != nil {
+		return nil, err
+	}
+	return svc, nil
 }
 
-// close drains the coalescer: intake stops, queued requests flush, and the
-// call returns when the pipeline is empty (or ctx expires).
-func (s *service) close(ctx context.Context) error { return s.coal.Close(ctx) }
+// close drains the registry: intake stops, every version's queued requests
+// flush, and the call returns when the pools are empty (or ctx expires).
+func (s *service) close(ctx context.Context) error { return s.reg.Close(ctx) }
 
 // mux assembles the route table with every route instrumented. The pprof
 // endpoints come from net/http/pprof, wired explicitly because the server
@@ -169,7 +199,15 @@ func (s *service) close(ctx context.Context) error { return s.coal.Close(ctx) }
 func (s *service) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.instrument("/predict", s.handlePredict))
-	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /v1/models", s.instrument("/v1/models", s.handleModels))
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.instrument("/v1/models/{name}/predict", s.handleModelPredict))
+	mux.HandleFunc("POST /v1/models/{name}/reload", s.instrument("/v1/models/{name}/reload", s.handleModelReload))
+	mux.HandleFunc("GET /livez", s.instrument("/livez", s.handleLivez))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	// /healthz predates the livez/readyz split and aliases readiness: a
+	// load balancer probing it keeps exactly the old semantics (200 when
+	// the service can answer predictions).
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -225,6 +263,12 @@ type predictResponse struct {
 	Std  []float64 `json:"std,omitempty"`
 	// Results holds per-sample outputs for batch ("inputs") requests.
 	Results []sampleResult `json:"results,omitempty"`
+	// Model/Version/Fingerprint/Route identify which registered version
+	// served this request (the hot-swap audit trail).
+	Model       string `json:"model"`
+	Version     string `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Route       string `json:"route"`
 	// ModeledEdisonMs is the device model's per-inference latency estimate.
 	ModeledEdisonMs float64 `json:"modeled_edison_ms"`
 	// HostMicros is the actual service-side inference time.
@@ -282,7 +326,28 @@ func decodePredict(body io.Reader) (predictRequest, error) {
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
+// handlePredict is the legacy single-model endpoint: it serves the model
+// named "default" through the registry.
 func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.servePredict(w, r, defaultModel)
+}
+
+// handleModelPredict serves POST /v1/models/{name}/predict.
+func (s *service) handleModelPredict(w http.ResponseWriter, r *http.Request) {
+	s.servePredict(w, r, r.PathValue("name"))
+}
+
+// requestKey is the canary-split key: deterministic per request ID, so a
+// caller that retries with the same X-Request-ID lands on the same route.
+func requestKey(w http.ResponseWriter, r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	// instrument stores the assigned ID on the response header.
+	return w.Header().Get("X-Request-ID")
+}
+
+func (s *service) servePredict(w http.ResponseWriter, r *http.Request, modelName string) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -297,46 +362,61 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := predictResponse{ModeledEdisonMs: s.device.TimeMillis(s.est.Cost())}
+	// Validate dimensions against the current version before enqueueing: a
+	// wrong-size row must fail alone with a 400, not poison the co-batched
+	// rows it would flush with.
+	st, err := s.reg.Model(modelName)
+	if err != nil {
+		http.Error(w, err.Error(), predictStatus(err))
+		return
+	}
+	if st.InputDim > 0 {
+		if req.Input != nil && len(req.Input) != st.InputDim {
+			http.Error(w, fmt.Sprintf("input has %d values, model expects %d: %v",
+				len(req.Input), st.InputDim, errBadRequest), http.StatusBadRequest)
+			return
+		}
+		for i, x := range req.Inputs {
+			if len(x) != st.InputDim {
+				http.Error(w, fmt.Sprintf("inputs[%d] has %d values, model expects %d: %v",
+					i, len(x), st.InputDim, errBadRequest), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+
+	var resp predictResponse
+	var served apds.ModelServed
+	key := requestKey(w, r)
 	span = tr.StartSpan("predict")
 	start := time.Now()
 	if req.Input != nil {
-		if len(req.Input) != s.net.InputDim() {
-			span.End()
-			http.Error(w, fmt.Sprintf("input has %d values, model expects %d: %v",
-				len(req.Input), s.net.InputDim(), errBadRequest), http.StatusBadRequest)
-			return
-		}
-		// The coalescer merges this row with concurrently arriving requests
-		// into one batched propagation pass; the result is bit-identical to
-		// s.est.Predict(req.Input).
-		g, err := s.coal.Do(r.Context(), req.Input)
+		// The admitted version's coalescer merges this row with concurrently
+		// arriving requests into one batched propagation pass; the result is
+		// bit-identical to that version's direct Predict.
+		g, sv, err := s.reg.Predict(r.Context(), modelName, key, req.Input)
 		if err != nil {
 			span.End()
 			http.Error(w, err.Error(), predictStatus(err))
 			return
 		}
+		served = sv
 		resp.Mean, resp.Std = g.Mean, stds(g)
 	} else {
 		inputs := make([]apds.Vector, len(req.Inputs))
 		for i, x := range req.Inputs {
-			if len(x) != s.net.InputDim() {
-				span.End()
-				http.Error(w, fmt.Sprintf("inputs[%d] has %d values, model expects %d: %v",
-					i, len(x), s.net.InputDim(), errBadRequest), http.StatusBadRequest)
-				return
-			}
 			inputs[i] = x
 		}
 		// Batch requests share the same flush pipeline: rows enter the queue
-		// together (admitted all-or-nothing) and may merge with other
-		// requests' rows into the same matrix-level pass.
-		gs, err := s.coal.DoBatch(r.Context(), inputs)
+		// together (admitted all-or-nothing, all on one version) and may
+		// merge with other requests' rows into the same matrix-level pass.
+		gs, sv, err := s.reg.PredictBatch(r.Context(), modelName, key, inputs)
 		if err != nil {
 			span.End()
 			http.Error(w, err.Error(), predictStatus(err))
 			return
 		}
+		served = sv
 		resp.Results = make([]sampleResult, len(gs))
 		for i, g := range gs {
 			resp.Results[i] = sampleResult{Mean: g.Mean, Std: stds(g)}
@@ -344,6 +424,11 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.HostMicros = time.Since(start).Microseconds()
 	span.End()
+	resp.Model, resp.Version = served.Model, served.Version
+	resp.Fingerprint, resp.Route = served.Fingerprint, served.Route
+	if v, err := s.reg.Version(served.Model, served.Version); err == nil {
+		resp.ModeledEdisonMs = s.device.TimeMillis(v.Estimator().Cost())
+	}
 
 	span = tr.StartSpan("encode")
 	defer span.End()
@@ -353,15 +438,20 @@ func (s *service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// predictStatus maps coalescer failures to HTTP semantics: a full queue is
-// overload (429, retryable after backoff), a closed coalescer or abandoned
-// request context is the service going away mid-request (503), anything else
-// is an internal fault (500).
+// predictStatus maps registry and coalescer failures to HTTP semantics: an
+// unknown model is 404, a full queue is overload (429, retryable after
+// backoff), a model with no routable version, a closing registry, or an
+// abandoned request context is the service (or model) going away (503), and
+// anything else is an internal fault (500).
 func predictStatus(err error) int {
 	switch {
+	case errors.Is(err, apds.ErrModelNotFound):
+		return http.StatusNotFound
 	case errors.Is(err, apds.ErrServeQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, apds.ErrServeClosed),
+		errors.Is(err, apds.ErrModelNotReady),
+		errors.Is(err, apds.ErrModelRegistryClosed),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
@@ -379,15 +469,87 @@ func stds(g apds.GaussianVec) []float64 {
 	return out
 }
 
-func (s *service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// fingerprintETag condenses every model's current fingerprint into one
+// ETag-style header value: probes and caches can watch for version swaps
+// without parsing the body.
+func fingerprintETag(models []apds.ModelStatus) string {
+	tag := ""
+	for _, st := range models {
+		if st.CurrentFingerprint == "" {
+			continue
+		}
+		if tag != "" {
+			tag += ","
+		}
+		tag += st.Name + ":" + st.CurrentFingerprint
+	}
+	return `"` + tag + `"`
+}
+
+// handleModels serves GET /v1/models: every registered model's routing state,
+// versions, and fingerprints.
+func (s *service) handleModels(w http.ResponseWriter, _ *http.Request) {
+	models := s.reg.Models()
 	w.Header().Set("Content-Type", "application/json")
-	err := json.NewEncoder(w).Encode(map[string]any{
-		"model":             s.net.Summary(),
-		"estimator":         s.est.Name(),
-		"params":            s.net.Params(),
-		"modeled_edison_ms": s.device.TimeMillis(s.est.Cost()),
-	})
+	w.Header().Set("ETag", fingerprintETag(models))
+	if err := json.NewEncoder(w).Encode(map[string]any{"models": models}); err != nil {
+		log.Printf("encode models: %v", err)
+	}
+}
+
+// handleLivez is pure process liveness: the handler running is the check.
+func (s *service) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports routable readiness: 200 once at least one model has a
+// routable current version, 503 before the first route lands and after
+// shutdown begins. /healthz aliases this handler.
+func (s *service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	models := s.reg.Models()
+	ready := s.reg.Ready()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", fingerprintETag(models))
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if err := json.NewEncoder(w).Encode(map[string]any{
+		"ready":  ready,
+		"models": models,
+	}); err != nil {
+		log.Printf("encode readyz: %v", err)
+	}
+}
+
+// handleModelReload serves POST /v1/models/{name}/reload: force a manifest
+// reload (the whole manifest re-applies; content fingerprints make unchanged
+// versions no-ops) and report the named model's resulting state.
+func (s *service) handleModelReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.loader == nil {
+		http.Error(w, "no manifest configured (-manifest): reload unavailable", http.StatusConflict)
+		return
+	}
+	changed, err := s.loader.Reload(true)
 	if err != nil {
-		log.Printf("encode health: %v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, apds.ErrModelManifest) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	st, err := s.reg.Model(name)
+	if err != nil {
+		http.Error(w, err.Error(), predictStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(map[string]any{
+		"reloaded": changed,
+		"model":    st,
+	}); err != nil {
+		log.Printf("encode reload: %v", err)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -15,40 +17,39 @@ import (
 	apds "github.com/apdeepsense/apdeepsense"
 )
 
-// testService builds a service around a small untrained network so handler
-// tests don't pay the demo-training cost. The full stack (metrics registry,
-// propagator hooks, request coalescer, discard logger) is wired exactly as
-// in newService; trailing config overrides the coalescer defaults.
-func testService(t *testing.T, cfgs ...apds.ServeConfig) *service {
+func testNetwork(t *testing.T, seed int64) *apds.Network {
+	t.Helper()
+	net, err := apds.NewNetwork(apds.NetworkConfig{
+		InputDim: 2, Hidden: []int{8}, OutputDim: 1,
+		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
+		KeepProb: 0.9, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// emptyTestService wires the full registry-backed stack (metrics registry,
+// propagator hooks, coalescer pools, discard logger) exactly as newService,
+// but registers no model — readiness tests add their own. Warmup is skipped
+// so metric counts stay exact.
+func emptyTestService(t *testing.T, cfgs ...apds.ServeConfig) *service {
 	t.Helper()
 	var cfg apds.ServeConfig
 	if len(cfgs) > 0 {
 		cfg = cfgs[0]
 	}
-	net, err := apds.NewNetwork(apds.NetworkConfig{
-		InputDim: 2, Hidden: []int{8}, OutputDim: 1,
-		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
-		KeepProb: 0.9, Seed: 3,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	est, err := apds.New(net, apds.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
 	m := newServerMetrics()
-	m.params.Set(float64(net.Params()))
-	est.Propagator().SetHooks(m.hooks())
 	cfg.Metrics = apds.NewServeMetrics(m.reg)
-	coal, err := apds.NewPredictCoalescer(est, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	reg := apds.NewModelRegistry(apds.ModelRegistryConfig{
+		Serve:      cfg,
+		Metrics:    apds.NewModelRegistryMetrics(m.reg),
+		Hooks:      m.hooks(),
+		SkipWarmup: true,
+	})
 	svc := &service{
-		est:     est,
-		coal:    coal,
-		net:     net,
+		reg:     reg,
 		device:  apds.NewEdison(),
 		metrics: m,
 		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
@@ -60,6 +61,20 @@ func testService(t *testing.T, cfgs ...apds.ServeConfig) *service {
 			t.Errorf("close: %v", err)
 		}
 	})
+	return svc
+}
+
+// testService is emptyTestService plus a routable "default" model, the shape
+// most handler tests need.
+func testService(t *testing.T, cfgs ...apds.ServeConfig) *service {
+	t.Helper()
+	svc := emptyTestService(t, cfgs...)
+	if _, err := svc.reg.AddVersion(defaultModel, "v1", testNetwork(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.reg.SetRoutes(defaultModel, "v1", "", 0, ""); err != nil {
+		t.Fatal(err)
+	}
 	return svc
 }
 
@@ -82,6 +97,9 @@ func TestHandlePredictSingle(t *testing.T) {
 	}
 	if len(resp.Mean) != 1 || len(resp.Std) != 1 || resp.Results != nil {
 		t.Errorf("unexpected single response shape: %+v", resp)
+	}
+	if resp.Model != defaultModel || resp.Version != "v1" || resp.Fingerprint == "" || resp.Route != apds.ModelRouteCurrent {
+		t.Errorf("missing serving tag: %+v", resp)
 	}
 }
 
@@ -111,8 +129,9 @@ func TestHandlePredictBatch(t *testing.T) {
 }
 
 // TestCoalescedMatchesDirect is the serving-path bit-identity contract at the
-// handler level: a /predict response produced through the coalescer carries
-// exactly the moments est.Predict returns for the same input.
+// handler level: a /predict response produced through the registry's
+// coalescer pool carries exactly the moments the served version's estimator
+// returns for the same input.
 func TestCoalescedMatchesDirect(t *testing.T) {
 	svc := testService(t)
 	rec := post(t, svc, `{"input":[0.5,-1]}`)
@@ -123,7 +142,14 @@ func TestCoalescedMatchesDirect(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	want, err := svc.est.Predict(apds.Vector{0.5, -1})
+	v, err := svc.reg.Version(resp.Model, resp.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Fingerprint != resp.Fingerprint {
+		t.Fatalf("response fingerprint %s != version fingerprint %s", resp.Fingerprint, v.Fingerprint)
+	}
+	want, err := v.Estimator().Predict(apds.Vector{0.5, -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +161,7 @@ func TestCoalescedMatchesDirect(t *testing.T) {
 
 // blockingEstimator wraps an estimator so every Predict stalls until release
 // closes, signalling started first — the lever that deterministically wedges
-// the coalescer's flush worker for overload tests.
+// a version pool's flush worker for overload tests.
 type blockingEstimator struct {
 	apds.Estimator
 	started chan struct{}
@@ -153,14 +179,7 @@ func (b *blockingEstimator) Predict(x apds.Vector) (apds.GaussianVec, error) {
 // (not a hang, not a 500), and queued requests still complete once the worker
 // frees up.
 func TestHandlePredictQueueFull(t *testing.T) {
-	net, err := apds.NewNetwork(apds.NetworkConfig{
-		InputDim: 2, Hidden: []int{8}, OutputDim: 1,
-		Activation: apds.ActReLU, OutputActivation: apds.ActIdentity,
-		KeepProb: 0.9, Seed: 3,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	net := testNetwork(t, 3)
 	inner, err := apds.New(net, apds.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -170,17 +189,13 @@ func TestHandlePredictQueueFull(t *testing.T) {
 		started:   make(chan struct{}, 8),
 		release:   make(chan struct{}),
 	}
-	m := newServerMetrics()
-	coal, err := apds.NewPredictCoalescer(est, apds.ServeConfig{
-		MaxBatch: 1, QueueDepth: 1, Metrics: apds.NewServeMetrics(m.reg),
-	})
+	svc := emptyTestService(t, apds.ServeConfig{MaxBatch: 1, QueueDepth: 1})
+	v, err := svc.reg.AddVersionEstimator(defaultModel, "v1", net, est)
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := &service{
-		est: est, coal: coal, net: net,
-		device: apds.NewEdison(), metrics: m,
-		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	if err := svc.reg.SetRoutes(defaultModel, "v1", "", 0, ""); err != nil {
+		t.Fatal(err)
 	}
 
 	// Request 1 flushes immediately (idle worker) and wedges on the blocking
@@ -192,7 +207,7 @@ func TestHandlePredictQueueFull(t *testing.T) {
 			<-est.started // flush worker is now wedged
 		} else {
 			deadline := time.Now().Add(5 * time.Second)
-			for coal.Depth() != 1 {
+			for v.QueueDepth() != 1 {
 				if time.Now().After(deadline) {
 					t.Fatal("request 2 never queued")
 				}
@@ -232,6 +247,9 @@ func TestPredictStatus(t *testing.T) {
 	}{
 		{apds.ErrServeQueueFull, http.StatusTooManyRequests},
 		{apds.ErrServeClosed, http.StatusServiceUnavailable},
+		{apds.ErrModelNotReady, http.StatusServiceUnavailable},
+		{apds.ErrModelRegistryClosed, http.StatusServiceUnavailable},
+		{apds.ErrModelNotFound, http.StatusNotFound},
 		{context.Canceled, http.StatusServiceUnavailable},
 		{context.DeadlineExceeded, http.StatusServiceUnavailable},
 		{io.ErrUnexpectedEOF, http.StatusInternalServerError},
@@ -288,9 +306,279 @@ func do(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.R
 	return rec
 }
 
+// TestModelPredictEndpoint drives the per-model route: the named model
+// serves, an unknown model 404s, and responses are tagged with the serving
+// version.
+func TestModelPredictEndpoint(t *testing.T) {
+	svc := testService(t)
+	mux := svc.mux()
+
+	rec := do(t, mux, http.MethodPost, "/v1/models/default/predict", `{"input":[0.5,-1]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != defaultModel || resp.Version != "v1" || resp.Fingerprint == "" {
+		t.Errorf("missing serving tag: %+v", resp)
+	}
+
+	if rec := do(t, mux, http.MethodPost, "/v1/models/nope/predict", `{"input":[0.5,-1]}`); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown model status %d, want 404 (%s)", rec.Code, rec.Body)
+	}
+	if rec := do(t, mux, http.MethodPost, "/v1/models/default/predict", `{"inputs":[[0.5,-1],[2,0.25]]}`); rec.Code != http.StatusOK {
+		t.Errorf("batch status %d (%s)", rec.Code, rec.Body)
+	}
+}
+
+// TestModelsEndpoint checks the listing carries routes and fingerprints and
+// sets the fingerprint ETag.
+func TestModelsEndpoint(t *testing.T) {
+	svc := testService(t)
+	mux := svc.mux()
+
+	rec := do(t, mux, http.MethodGet, "/v1/models", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var listing struct {
+		Models []apds.ModelStatus `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Models) != 1 {
+		t.Fatalf("listing has %d models, want 1: %s", len(listing.Models), rec.Body)
+	}
+	st := listing.Models[0]
+	if st.Name != defaultModel || st.Current != "v1" || st.CurrentFingerprint == "" || len(st.Versions) != 1 {
+		t.Errorf("unexpected model status: %+v", st)
+	}
+	etag := rec.Header().Get("ETag")
+	if !strings.Contains(etag, st.CurrentFingerprint) {
+		t.Errorf("ETag %q does not carry fingerprint %s", etag, st.CurrentFingerprint)
+	}
+	if rec := do(t, mux, http.MethodPost, "/v1/models", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/models status %d, want 405", rec.Code)
+	}
+}
+
+// TestReadinessLifecycle pins the probe semantics across the service's life:
+// /livez is always 200; /readyz (and its /healthz alias) is 503 before the
+// first version routes, 200 once one does, stays 200 across a hot-swap with
+// traffic in flight, and drops back to 503 after shutdown.
+func TestReadinessLifecycle(t *testing.T) {
+	svc := emptyTestService(t)
+	mux := svc.mux()
+
+	if rec := do(t, mux, http.MethodGet, "/livez", ""); rec.Code != http.StatusOK {
+		t.Errorf("livez before model: %d", rec.Code)
+	}
+	for _, path := range []string{"/readyz", "/healthz"} {
+		if rec := do(t, mux, http.MethodGet, path, ""); rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s before model: status %d, want 503", path, rec.Code)
+		}
+	}
+
+	// A registered-but-unrouted version is not ready yet (the startup
+	// window: loaded, warmed, awaiting its first SetRoutes).
+	if _, err := svc.reg.AddVersion(defaultModel, "v1", testNetwork(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, mux, http.MethodGet, "/readyz", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz with unrouted version: status %d, want 503", rec.Code)
+	}
+	if err := svc.reg.SetRoutes(defaultModel, "v1", "", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, mux, http.MethodGet, "/readyz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz after route: status %d (%s)", rec.Code, rec.Body)
+	}
+	var ready struct {
+		Ready  bool               `json:"ready"`
+		Models []apds.ModelStatus `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || len(ready.Models) != 1 {
+		t.Errorf("unexpected readyz body: %s", rec.Body)
+	}
+	oldETag := rec.Header().Get("ETag")
+
+	// Hot-swap under load: predictions and readiness must hold through the
+	// entire swap — zero not-ready (or failed) responses.
+	if _, err := svc.reg.AddVersion(defaultModel, "v2", testNetwork(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	stopTraffic := make(chan struct{})
+	var trafficWG sync.WaitGroup
+	trafficWG.Add(1)
+	go func() {
+		defer trafficWG.Done()
+		for {
+			select {
+			case <-stopTraffic:
+				return
+			default:
+			}
+			if rec := do(t, mux, http.MethodPost, "/predict", `{"input":[0.5,-1]}`); rec.Code != http.StatusOK {
+				t.Errorf("predict during swap: status %d (%s)", rec.Code, rec.Body)
+				return
+			}
+			if rec := do(t, mux, http.MethodGet, "/readyz", ""); rec.Code != http.StatusOK {
+				t.Errorf("readyz during swap: status %d", rec.Code)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		target := "v1"
+		if i%2 == 1 {
+			target = "v2" // the loop ends on v2: a net version change
+		}
+		if err := svc.reg.SetRoutes(defaultModel, target, "", 0, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stopTraffic)
+	trafficWG.Wait()
+	if rec := do(t, mux, http.MethodGet, "/healthz", ""); rec.Header().Get("ETag") == oldETag {
+		t.Error("ETag unchanged after hot-swap to a different version")
+	}
+
+	// After shutdown the probes must go not-ready (while /livez still
+	// answers: the process is alive, just not serving).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, mux, http.MethodGet, "/readyz", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after close: status %d, want 503", rec.Code)
+	}
+	if rec := do(t, mux, http.MethodGet, "/livez", ""); rec.Code != http.StatusOK {
+		t.Errorf("livez after close: status %d, want 200", rec.Code)
+	}
+}
+
+// writeTestManifest writes man as JSON to path.
+func writeTestManifest(t *testing.T, path string, man apds.ModelManifest) {
+	t.Helper()
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManifestReloadSmoke is the hot-reload walkthrough as a test: start from
+// a manifest, serve, rewrite the model file and manifest on disk, hit the
+// admin reload endpoint, and observe the new fingerprint serving — zero
+// downtime, same process. tools/check.sh runs this by name as the reload
+// smoke test.
+func TestManifestReloadSmoke(t *testing.T) {
+	dir := t.TempDir()
+	if err := testNetwork(t, 3).SaveFile(filepath.Join(dir, "a.model")); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "registry.json")
+	writeTestManifest(t, manPath, apds.ModelManifest{Models: []apds.ModelManifestModel{{
+		Name:     "demo",
+		Versions: []apds.ModelManifestVersion{{ID: "v1", Path: "a.model"}},
+		Current:  "v1",
+	}}})
+
+	svc, err := newService("", manPath, apds.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := svc.close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	mux := svc.mux()
+
+	rec := do(t, mux, http.MethodPost, "/v1/models/demo/predict", `{"input":[0.5,-1]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("initial predict: status %d (%s)", rec.Code, rec.Body)
+	}
+	var before predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &before); err != nil {
+		t.Fatal(err)
+	}
+
+	// New weights under a new version id land on disk; the manifest flips
+	// current to it.
+	if err := testNetwork(t, 99).SaveFile(filepath.Join(dir, "b.model")); err != nil {
+		t.Fatal(err)
+	}
+	writeTestManifest(t, manPath, apds.ModelManifest{Models: []apds.ModelManifestModel{{
+		Name: "demo",
+		Versions: []apds.ModelManifestVersion{
+			{ID: "v1", Path: "a.model"},
+			{ID: "v2", Path: "b.model"},
+		},
+		Current: "v2",
+		Shadow:  "v1",
+	}}})
+
+	rec = do(t, mux, http.MethodPost, "/v1/models/demo/reload", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: status %d (%s)", rec.Code, rec.Body)
+	}
+	var reload struct {
+		Reloaded bool             `json:"reloaded"`
+		Model    apds.ModelStatus `json:"model"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reload); err != nil {
+		t.Fatal(err)
+	}
+	if !reload.Reloaded || reload.Model.Current != "v2" || reload.Model.Shadow != "v1" {
+		t.Fatalf("unexpected reload result: %s", rec.Body)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/v1/models/demo/predict", `{"input":[0.5,-1]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-reload predict: status %d (%s)", rec.Code, rec.Body)
+	}
+	var after predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Version != "v2" || after.Fingerprint == before.Fingerprint {
+		t.Errorf("reload did not swap serving version: before %s/%s after %s/%s",
+			before.Version, before.Fingerprint, after.Version, after.Fingerprint)
+	}
+
+	// Reload for a model the manifest doesn't declare is a 404.
+	if rec := do(t, mux, http.MethodPost, "/v1/models/nope/reload", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("reload unknown model: status %d, want 404", rec.Code)
+	}
+}
+
+// TestReloadWithoutManifest pins the admin endpoint's answer when the server
+// was started from -model or the demo path: 409, not a crash.
+func TestReloadWithoutManifest(t *testing.T) {
+	svc := testService(t)
+	rec := do(t, svc.mux(), http.MethodPost, "/v1/models/default/reload", "")
+	if rec.Code != http.StatusConflict {
+		t.Errorf("reload without manifest: status %d, want 409 (%s)", rec.Code, rec.Body)
+	}
+}
+
 // TestMetricsEndpoint drives traffic through the mux and checks /metrics
-// renders valid Prometheus exposition including request histograms and the
-// per-layer propagation timings the hooks feed.
+// renders valid Prometheus exposition including request histograms, the
+// per-layer propagation timings the hooks feed, and the registry families.
 func TestMetricsEndpoint(t *testing.T) {
 	svc := testService(t)
 	mux := svc.mux()
@@ -332,6 +620,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"apds_serve_queue_wait_seconds_count 4",
 		"# TYPE apds_serve_flushes_total counter",
 		"apds_serve_queue_depth 0",
+		// Registry instrumentation: both successful requests routed current.
+		`apds_registry_requests_total{model="default",route="current"} 2`,
+		`apds_registry_versions{model="default"} 1`,
+		"apds_registry_swaps_total",
 		// The scrape itself is in flight while the registry renders.
 		"apds_http_inflight_requests 1",
 	} {

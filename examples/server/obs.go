@@ -93,6 +93,13 @@ func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Hot-swaps change the served parameter count at any time; refresh the
+	// gauge from the model registry at scrape time.
+	var params int64
+	for _, st := range s.reg.Models() {
+		params += st.Params
+	}
+	s.metrics.params.Set(float64(params))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.reg.WriteText(w); err != nil {
 		s.logger.Error("write metrics", "err", err)

@@ -1,0 +1,200 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/serve"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// TestHotSwapHammer is the swap-correctness contract under load: N goroutines
+// predict continuously while a swapper loops route swaps — including
+// replace-under-the-same-ID reloads — and every single response must be
+// (a) successful (zero requests dropped by swaps; only deliberate
+// queue-full/backpressure failures are tolerated, and the queue is sized so
+// none occur) and (b) bit-identical (math.Float64bits) to a direct Predict
+// on the version identified by the response's fingerprint tag.
+func TestHotSwapHammer(t *testing.T) {
+	r := New(Config{
+		Serve: serve.Config{MaxBatch: 32, QueueDepth: 4096},
+	})
+	defer closeRegistry(t, r)
+
+	// estByFP maps fingerprint → estimator for post-hoc bit-identity checks.
+	// The swapper registers every version here BEFORE it becomes routable.
+	var estByFP sync.Map
+	addVersion := func(id string, seed int64) *Version {
+		v, err := r.AddVersion("m", id, testNet(t, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		estByFP.Store(v.Fingerprint, v)
+		return v
+	}
+	addVersion("v1", 1)
+	addVersion("v2", 2)
+	if err := r.SetRoutes("m", "v1", "", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 8
+		swaps   = 120
+	)
+	inputs := make([]tensor.Vector, 16)
+	for i := range inputs {
+		inputs[i] = tensor.Vector{float64(i) * 0.25, -1 + float64(i)*0.1, float64(i%3) - 1}
+	}
+
+	var (
+		done      = make(chan struct{})
+		requests  atomic.Int64
+		queueFull atomic.Int64
+		failures  = make(chan string, workers)
+	)
+	fail := func(format string, args ...any) {
+		select {
+		case failures <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				x := inputs[(w+i)%len(inputs)]
+				key := fmt.Sprintf("w%d-%d", w, i)
+				g, served, err := r.Predict(ctx, "m", key, x)
+				if err != nil {
+					if errors.Is(err, serve.ErrQueueFull) {
+						queueFull.Add(1)
+						continue
+					}
+					fail("worker %d req %d: %v", w, i, err)
+					return
+				}
+				requests.Add(1)
+				vAny, ok := estByFP.Load(served.Fingerprint)
+				if !ok {
+					fail("worker %d: response tagged with unknown fingerprint %s", w, served.Fingerprint)
+					return
+				}
+				want, err := vAny.(*Version).Estimator().Predict(x)
+				if err != nil {
+					fail("worker %d: direct predict: %v", w, err)
+					return
+				}
+				for d := range want.Mean {
+					if math.Float64bits(g.Mean[d]) != math.Float64bits(want.Mean[d]) ||
+						math.Float64bits(g.Var[d]) != math.Float64bits(want.Var[d]) {
+						fail("worker %d req %d dim %d: served (%x, %x) != direct (%x, %x) on %s",
+							w, i, d,
+							math.Float64bits(g.Mean[d]), math.Float64bits(g.Var[d]),
+							math.Float64bits(want.Mean[d]), math.Float64bits(want.Var[d]),
+							served.Version)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// The swapper alternates three mutation styles: flip current between the
+	// two standing versions, hot-replace a version under a constant ID (the
+	// manifest-reload shape), and add/route/remove a transient version.
+	for s := 0; s < swaps; s++ {
+		switch s % 4 {
+		case 0:
+			if err := r.SetRoutes("m", "v2", "", 0, ""); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := r.SetRoutes("m", "v1", "v2", 0.3, ""); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			addVersion("hot", int64(100+s)) // replaces prior "hot" content
+			if err := r.SetRoutes("m", "hot", "", 0, ""); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := r.SetRoutes("m", "v1", "", 0, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	select {
+	case msg := <-failures:
+		t.Fatal(msg)
+	default:
+	}
+	if n := requests.Load(); n < int64(workers*swaps) {
+		t.Errorf("only %d successful requests across %d swaps — hammer barely ran", n, swaps)
+	}
+	if q := queueFull.Load(); q != 0 {
+		t.Logf("note: %d deliberate queue-full rejections (allowed)", q)
+	}
+	t.Logf("hammer: %d requests bit-identical across %d swaps", requests.Load(), swaps)
+}
+
+// TestHammerDrainsEverything: after the hammer pattern, Close returns with
+// no version still draining — the refcount lifecycle leaks nothing.
+func TestHammerDrainsEverything(t *testing.T) {
+	r := New(Config{Serve: serve.Config{QueueDepth: 1024}})
+	if _, err := r.AddVersion("m", "v1", testNet(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddVersion("m", "v2", testNet(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetRoutes("m", "v1", "", 0, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, _, err := r.Predict(context.Background(), "m", fmt.Sprint(w, i), tensor.Vector{1, 2, 3})
+				if err != nil && !errors.Is(err, serve.ErrQueueFull) && !errors.Is(err, ErrClosed) {
+					t.Errorf("predict: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	swapTo := []string{"v2", "v1"}
+	for i := 0; i < 20; i++ {
+		if err := r.SetRoutes("m", swapTo[i%2], "", 0, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Close(ctx); err != nil {
+		t.Fatalf("close after hammer: %v", err)
+	}
+}

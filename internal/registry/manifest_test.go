@@ -1,0 +1,263 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+func writeModel(t *testing.T, dir, name string, seed int64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := testNet(t, seed).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeManifest(t *testing.T, path string, man Manifest) {
+	t.Helper()
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	ok := Manifest{Models: []ManifestModel{{
+		Name:     "m",
+		Versions: []ManifestVersion{{ID: "v1", Path: "a.model"}, {ID: "v2", Path: "b.model"}},
+		Current:  "v1",
+		Canary:   &ManifestCanary{ID: "v2", Weight: 0.2},
+		Shadow:   "v2",
+	}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"empty model name", func(m *Manifest) { m.Models[0].Name = "" }},
+		{"duplicate model", func(m *Manifest) { m.Models = append(m.Models, m.Models[0]) }},
+		{"negative obs_var", func(m *Manifest) { m.Models[0].ObsVar = -1 }},
+		{"no versions", func(m *Manifest) { m.Models[0].Versions = nil }},
+		{"empty version id", func(m *Manifest) { m.Models[0].Versions[0].ID = "" }},
+		{"empty version path", func(m *Manifest) { m.Models[0].Versions[1].Path = "" }},
+		{"duplicate version", func(m *Manifest) { m.Models[0].Versions[1].ID = "v1" }},
+		{"current undeclared", func(m *Manifest) { m.Models[0].Current = "nope" }},
+		{"canary undeclared", func(m *Manifest) { m.Models[0].Canary.ID = "nope" }},
+		{"canary weight zero", func(m *Manifest) { m.Models[0].Canary.Weight = 0 }},
+		{"canary weight >1", func(m *Manifest) { m.Models[0].Canary.Weight = 1.5 }},
+		{"shadow undeclared", func(m *Manifest) { m.Models[0].Shadow = "nope" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			man := Manifest{Models: []ManifestModel{{
+				Name:     "m",
+				Versions: []ManifestVersion{{ID: "v1", Path: "a.model"}, {ID: "v2", Path: "b.model"}},
+				Current:  "v1",
+				Canary:   &ManifestCanary{ID: "v2", Weight: 0.2},
+				Shadow:   "v2",
+			}}}
+			tc.mutate(&man)
+			if err := man.Validate(); !errors.Is(err, ErrManifest) {
+				t.Fatalf("want ErrManifest, got %v", err)
+			}
+		})
+	}
+}
+
+func TestLoadManifestErrors(t *testing.T) {
+	if _, err := LoadManifest(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("want error for missing manifest")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(bad); !errors.Is(err, ErrManifest) {
+		t.Fatalf("want ErrManifest for bad JSON, got %v", err)
+	}
+}
+
+func TestLoaderReloadLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	writeModel(t, dir, "a.model", 1)
+	writeModel(t, dir, "b.model", 2)
+	manPath := filepath.Join(dir, "registry.json")
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:     "demo",
+		Versions: []ManifestVersion{{ID: "v1", Path: "a.model"}, {ID: "v2", Path: "b.model"}},
+		Current:  "v1",
+	}}})
+
+	r := New(Config{})
+	defer closeRegistry(t, r)
+	l := NewLoader(r, manPath)
+	if l.Registry() != r {
+		t.Fatal("Registry() accessor broken")
+	}
+
+	changed, err := l.Reload(true)
+	if err != nil || !changed {
+		t.Fatalf("initial reload: changed=%v err=%v", changed, err)
+	}
+	x := tensor.Vector{1, 2, 3}
+	_, served, err := r.Predict(context.Background(), "demo", "k", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Version != "v1" {
+		t.Fatalf("serving %q, want v1", served.Version)
+	}
+
+	// No disk change → no reload.
+	if changed, err := l.Reload(false); err != nil || changed {
+		t.Fatalf("unchanged poll: changed=%v err=%v", changed, err)
+	}
+
+	// Flip routing in the manifest: the poll must pick it up via the stamp.
+	time.Sleep(5 * time.Millisecond) // ensure a distinct mtime even on coarse clocks
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:     "demo",
+		Versions: []ManifestVersion{{ID: "v1", Path: "a.model"}, {ID: "v2", Path: "b.model"}},
+		Current:  "v2",
+		Shadow:   "v1",
+	}}})
+	if changed, err := l.Reload(false); err != nil || !changed {
+		t.Fatalf("route-change poll: changed=%v err=%v", changed, err)
+	}
+	_, served, err = r.Predict(context.Background(), "demo", "k", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Version != "v2" {
+		t.Fatalf("serving %q after reload, want v2", served.Version)
+	}
+
+	// Rewrite a model file with new weights under the same path: the stamp
+	// changes, Apply replaces the version in place, requests pick up the new
+	// fingerprint.
+	oldFP := served.Fingerprint
+	time.Sleep(5 * time.Millisecond)
+	writeModel(t, dir, "b.model", 99)
+	if changed, err := l.Reload(false); err != nil || !changed {
+		t.Fatalf("model-file poll: changed=%v err=%v", changed, err)
+	}
+	_, served, err = r.Predict(context.Background(), "demo", "k", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Version != "v2" || served.Fingerprint == oldFP {
+		t.Fatalf("hot-replace not picked up: version=%q fp changed=%v", served.Version, served.Fingerprint != oldFP)
+	}
+
+	// A broken manifest on disk must fail the reload and keep serving.
+	time.Sleep(5 * time.Millisecond)
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:     "demo",
+		Versions: []ManifestVersion{{ID: "v2", Path: "b.model"}},
+		Current:  "missing",
+	}}})
+	if _, err := l.Reload(false); !errors.Is(err, ErrManifest) {
+		t.Fatalf("want ErrManifest from broken manifest, got %v", err)
+	}
+	if _, _, err := r.Predict(context.Background(), "demo", "k", x); err != nil {
+		t.Fatalf("previous config must keep serving after failed reload: %v", err)
+	}
+
+	// Dropping the model from the manifest removes it from the registry.
+	writeModel(t, dir, "c.model", 3)
+	time.Sleep(5 * time.Millisecond)
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:     "other",
+		Versions: []ManifestVersion{{ID: "v1", Path: "c.model"}},
+		Current:  "v1",
+	}}})
+	if changed, err := l.Reload(false); err != nil || !changed {
+		t.Fatalf("model-drop poll: changed=%v err=%v", changed, err)
+	}
+	if _, _, err := r.Predict(context.Background(), "demo", "k", x); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dropped model must be gone, got %v", err)
+	}
+	if _, _, err := r.Predict(context.Background(), "other", "k", x); err != nil {
+		t.Fatalf("new model must serve: %v", err)
+	}
+}
+
+func TestLoaderWatch(t *testing.T) {
+	dir := t.TempDir()
+	writeModel(t, dir, "a.model", 1)
+	writeModel(t, dir, "b.model", 2)
+	manPath := filepath.Join(dir, "registry.json")
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:     "demo",
+		Versions: []ManifestVersion{{ID: "v1", Path: "a.model"}},
+		Current:  "v1",
+	}}})
+
+	r := New(Config{})
+	defer closeRegistry(t, r)
+	l := NewLoader(r, manPath)
+	if _, err := l.Reload(true); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		l.Watch(ctx, 2*time.Millisecond, t.Logf)
+	}()
+
+	time.Sleep(5 * time.Millisecond)
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:     "demo",
+		Versions: []ManifestVersion{{ID: "v1", Path: "a.model"}, {ID: "v2", Path: "b.model"}},
+		Current:  "v2",
+	}}})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, served, err := r.Predict(context.Background(), "demo", "k", tensor.Vector{1, 2, 3})
+		if err == nil && served.Version == "v2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch loop never applied the new manifest (err=%v, served=%+v)", err, served)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-watchDone:
+	case <-time.After(time.Second):
+		t.Fatal("Watch did not exit on context cancellation")
+	}
+}
+
+func TestApplyRejectsUnreadableModelFile(t *testing.T) {
+	dir := t.TempDir()
+	man := &Manifest{Models: []ManifestModel{{
+		Name:     "demo",
+		Versions: []ManifestVersion{{ID: "v1", Path: "absent.model"}},
+		Current:  "v1",
+	}}}
+	r := New(Config{})
+	defer closeRegistry(t, r)
+	if err := r.Apply(man, dir); err == nil {
+		t.Fatal("want error applying manifest with missing model file")
+	}
+}

@@ -6,9 +6,10 @@
 # each fuzz target a short smoke budget (seed corpora always replay; the extra
 # seconds of mutation catch shallow regressions), then record the batched
 # propagation benchmark with its metrics snapshot (results/BENCH_batch.json +
-# results/BENCH_obs.prom) and a smoke run of the serving benchmark. The smoke
-# serve run writes to a scratch directory so short cells never clobber the
-# committed results/BENCH_serve.json (regenerate that with `make bench-serve`).
+# results/BENCH_obs.prom) and smoke runs of the serving and registry
+# benchmarks. The smoke bench runs write to a scratch directory so short cells
+# never clobber the committed results/BENCH_serve.json / BENCH_registry.json
+# (regenerate those with `make bench-serve` / `make bench-registry`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,6 +26,12 @@ go test -race ./internal/core/... ./internal/tensor/...
 echo "== go test -race (observability + serving path)"
 go test -race ./internal/obs/... ./internal/stream/... ./internal/serve/... ./examples/server/...
 
+echo "== go test -race (model registry: hot-swap, shadow, manifest reload)"
+go test -race ./internal/registry/...
+
+echo "== manifest hot-reload smoke (end-to-end through the HTTP server)"
+go test -race -run 'TestManifestReloadSmoke|TestReadinessLifecycle' ./examples/server/
+
 echo "== go test -race (oracle + differential harness)"
 go test -race ./internal/oracle/... ./internal/proptest/...
 
@@ -40,5 +47,8 @@ echo "== apds-bench -serve (smoke)"
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
 go run ./cmd/apds-bench -serve -serve-duration 200ms -results "$smokedir"
+
+echo "== apds-bench -registry (smoke)"
+go run ./cmd/apds-bench -registry -registry-duration 200ms -results "$smokedir"
 
 echo "check: ok"
