@@ -2,10 +2,11 @@
 # race tests over the numeric hot paths, the observability/serving path, and
 # the oracle-backed differential harness + a fuzz smoke pass over every fuzz
 # target + the batched propagation benchmark with its metrics snapshot
-# (results/BENCH_batch.json, results/BENCH_obs.prom) + a smoke run of the
-# serving benchmark.
+# (results/BENCH_batch.json, results/BENCH_obs.prom) + smoke runs of the
+# serving, registry, and compiled-propagator benchmarks (the last diffed
+# against the committed trajectory with tools/benchdiff).
 
-.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry build
+.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile build
 
 check:
 	./tools/check.sh
@@ -21,6 +22,7 @@ test:
 fuzz:
 	go test -run NONE -fuzz 'FuzzPropagateVsOracle' -fuzztime 2m ./internal/proptest
 	go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 2m ./internal/proptest
+	go test -run NONE -fuzz 'FuzzCompiledVsInterpreted' -fuzztime 2m ./internal/proptest
 	go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 2m ./internal/nn
 
 bench:
@@ -44,3 +46,10 @@ bench-serve:
 # candidate, recorded as results/BENCH_registry.json (the committed artifact).
 bench-registry:
 	go run ./cmd/apds-bench -registry -results results
+
+# The compiled-propagator benchmark: the load-time specialized program vs the
+# interpreted path at batch 1/8/64 plus a hot-reload-while-serving
+# measurement, recorded as results/BENCH_compile.json (the committed
+# artifact). `tools/benchdiff` diffs a fresh run against it in check.sh.
+bench-compile:
+	go run ./cmd/apds-bench -compile -results results

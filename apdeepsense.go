@@ -19,6 +19,7 @@ package apdeepsense
 import (
 	"io"
 
+	"github.com/apdeepsense/apdeepsense/internal/compile"
 	"github.com/apdeepsense/apdeepsense/internal/conv"
 	"github.com/apdeepsense/apdeepsense/internal/core"
 	"github.com/apdeepsense/apdeepsense/internal/datasets"
@@ -190,6 +191,28 @@ var (
 	// NewGaussianBatch allocates a zero batch of b Gaussians of dimension d.
 	NewGaussianBatch = core.NewGaussianBatch
 )
+
+// Compiled-propagator re-exports (internal/compile): load-time specialization
+// of the whole network into fused per-layer closures — weights and their
+// squares pre-packed into cache-blocked panels, activation knots baked in,
+// scratch sized once. A compiled program's outputs are bit-identical to the
+// interpreted propagator (Warm proves it before installation); batch
+// propagation dispatches to it transparently once installed. The model
+// registry compiles versions automatically; direct users do:
+//
+//	prog, _ := CompileProgram(est.Propagator(), 64)
+//	_ = prog.Warm(est.Propagator()) // bit-identity self-check
+//	est.Propagator().SetCompiled(prog)
+type (
+	// CompiledProgram is a network specialized at load time for a max batch.
+	CompiledProgram = compile.Program
+	// CompiledBatch is the interface batch dispatch accepts via SetCompiled.
+	CompiledBatch = core.CompiledBatch
+)
+
+// CompileProgram specializes p's network into a compiled program covering
+// batches of 1..maxBatch rows.
+var CompileProgram = compile.Compile
 
 // Serving re-exports (internal/serve): the dynamic micro-batching layer that
 // coalesces concurrent single-row predict requests onto the batched

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/compile"
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/obs"
+	"github.com/apdeepsense/apdeepsense/internal/registry"
+	"github.com/apdeepsense/apdeepsense/internal/report"
+	"github.com/apdeepsense/apdeepsense/internal/serve"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// compileBenchBatches is the sweep recorded by -compile: the latency point
+// (1), the coalescer's typical partial flush (8), and the full flush (64).
+var compileBenchBatches = []int{1, 8, 64}
+
+// compileBenchEntry is one batch-size row of BENCH_compile.json. Both paths
+// produce bit-identical outputs (proven by the proptest gate), so the row is
+// purely a performance comparison.
+type compileBenchEntry struct {
+	Batch                 int     `json:"batch"`
+	InterpretedNsPerOp    float64 `json:"interpreted_ns_per_sample"`
+	CompiledNsPerOp       float64 `json:"compiled_ns_per_sample"`
+	Speedup               float64 `json:"speedup"`
+	CompiledSamplesPerSec float64 `json:"compiled_samples_per_sec"`
+}
+
+// compileReloadStats records the registry hot-reload measurement: a new
+// version (fresh weights, so a real compile) is added while batch-1 requests
+// stream against the routed current version. Compilation happening off the
+// serving path shows up as serving latency during the reload staying at its
+// steady-state scale rather than the reload's.
+type compileReloadStats struct {
+	ReloadMillis          float64 `json:"reload_millis"`
+	RequestsDuringReload  int64   `json:"requests_during_reload"`
+	MaxServeMicrosDuring  float64 `json:"max_serve_micros_during_reload"`
+	SteadyP50ServeMicros  float64 `json:"steady_p50_serve_micros"`
+	CompilesOK            float64 `json:"compiles_ok"`
+	CompilesCacheHit      float64 `json:"compiles_cache_hit"`
+	ReloadVsServeP50Ratio float64 `json:"reload_vs_serve_p50_ratio"`
+}
+
+type compileBenchReport struct {
+	Network    string              `json:"network"`
+	KeepProb   float64             `json:"keep_prob"`
+	MaxBatch   int                 `json:"max_batch"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Timestamp  string              `json:"timestamp"`
+	Entries    []compileBenchEntry `json:"entries"`
+	Reload     compileReloadStats  `json:"reload"`
+}
+
+// emitCompileBench measures the load-time-compiled propagator against the
+// interpreted one on the reference network at batch 1/8/64, then measures a
+// registry hot-reload (which compiles the incoming version) under live
+// traffic. Results print as a table and land in BENCH_compile.json under dir.
+func emitCompileBench(dir string) error {
+	const maxBatch = 64
+	rep := compileBenchReport{
+		Network:    "5-256-256-1",
+		KeepProb:   0.9,
+		MaxBatch:   maxBatch,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	net, err := nn.New(nn.Config{
+		InputDim: 5, Hidden: []int{256, 256}, OutputDim: 1,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: rep.KeepProb, Seed: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("compile bench: %w", err)
+	}
+	prop, err := core.NewPropagator(net, core.Options{})
+	if err != nil {
+		return fmt.Errorf("compile bench: %w", err)
+	}
+	prog, err := compile.Compile(prop, maxBatch)
+	if err != nil {
+		return fmt.Errorf("compile bench: %w", err)
+	}
+	if err := prog.Warm(prop); err != nil {
+		return fmt.Errorf("compile bench warm: %w", err)
+	}
+	prop.SetCompiled(prog)
+
+	tbl := &report.Table{
+		Title:   "Compiled vs interpreted moment propagation (5-256-256-1)",
+		Headers: []string{"batch", "interp µs/sample", "compiled µs/sample", "speedup", "compiled samples/s"},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, b := range compileBenchBatches {
+		in := core.NewGaussianBatch(b, net.InputDim())
+		for i := range in.Mean.Data {
+			in.Mean.Data[i] = rng.NormFloat64()
+			in.Var.Data[i] = rng.Float64()
+		}
+		interp := timePerBatch(func() error {
+			_, err := prop.PropagateBatchReference(in)
+			return err
+		})
+		compiled := timePerBatch(func() error {
+			_, err := prop.PropagateBatchFrom(in) // dispatches the compiled program
+			return err
+		})
+		e := compileBenchEntry{
+			Batch:                 b,
+			InterpretedNsPerOp:    interp / float64(b),
+			CompiledNsPerOp:       compiled / float64(b),
+			Speedup:               interp / compiled,
+			CompiledSamplesPerSec: float64(b) * 1e9 / compiled,
+		}
+		rep.Entries = append(rep.Entries, e)
+		tbl.AddRow(fmt.Sprint(b),
+			fmt.Sprintf("%.1f", e.InterpretedNsPerOp/1e3),
+			fmt.Sprintf("%.1f", e.CompiledNsPerOp/1e3),
+			fmt.Sprintf("%.2fx", e.Speedup),
+			fmt.Sprintf("%.0f", e.CompiledSamplesPerSec),
+		)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"interpreted = PropagateBatchReference; compiled = the load-time specialized program (bit-identical outputs)")
+
+	reload, err := measureCompileReload()
+	if err != nil {
+		return err
+	}
+	rep.Reload = reload
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"hot reload (compile included): %.1f ms while serving; max in-reload request latency %.0f µs (steady p50 %.0f µs)",
+		reload.ReloadMillis, reload.MaxServeMicrosDuring, reload.SteadyP50ServeMicros))
+
+	text, err := tbl.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_compile.json"), append(js, '\n'), 0o644)
+}
+
+// measureCompileReload serves batch-1 requests through a registry while a
+// new version — fresh weights, so a genuine compile + warm — loads and takes
+// the route. The request loop never pauses; the max latency it observes
+// during the reload window bounds how much of the compile leaked onto the
+// serving path.
+func measureCompileReload() (compileReloadStats, error) {
+	mkNet := func(seed int64) (*nn.Network, error) {
+		return nn.New(nn.Config{
+			InputDim: 5, Hidden: []int{256, 256}, OutputDim: 1,
+			Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+			KeepProb: 0.9, Seed: seed,
+		})
+	}
+	obsReg := obs.NewRegistry()
+	met := registry.NewMetrics(obsReg)
+	r := registry.New(registry.Config{
+		Serve:   serve.Config{MaxBatch: 64, MaxWait: time.Millisecond, QueueDepth: 1024},
+		Metrics: met,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = r.Close(ctx)
+	}()
+
+	netA, err := mkNet(1)
+	if err != nil {
+		return compileReloadStats{}, err
+	}
+	if _, err := r.AddVersion("m", "v1", netA); err != nil {
+		return compileReloadStats{}, err
+	}
+	if err := r.SetRoutes("m", "v1", "", 0, ""); err != nil {
+		return compileReloadStats{}, err
+	}
+
+	x := make(tensor.Vector, netA.InputDim())
+	for i := range x {
+		x[i] = 0.5
+	}
+	ctx := context.Background()
+
+	// Steady-state p50 over a short warm window.
+	var steady []time.Duration
+	for i := 0; i < 200; i++ {
+		t0 := time.Now()
+		if _, _, err := r.Predict(ctx, "m", "bench", x); err != nil {
+			return compileReloadStats{}, err
+		}
+		steady = append(steady, time.Since(t0))
+	}
+	p50 := percentileDur(steady, 50)
+
+	// Serve continuously while the reload runs; record the worst latency and
+	// how many requests completed inside the reload window.
+	var reloading atomic.Bool
+	var maxDuring atomic.Int64
+	var during atomic.Int64
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			t0 := time.Now()
+			if _, _, err := r.Predict(ctx, "m", "bench", x); err != nil {
+				done <- err
+				return
+			}
+			if d := time.Since(t0); reloading.Load() {
+				during.Add(1)
+				for {
+					cur := maxDuring.Load()
+					if int64(d) <= cur || maxDuring.CompareAndSwap(cur, int64(d)) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	// Several back-to-back reloads: each loads fresh weights (a genuine
+	// compile, never a cache hit) and takes the route. Multiple rounds give
+	// the serving goroutine scheduler slices inside the reload window even on
+	// a single-core box, so the in-reload latency bound is backed by real
+	// requests.
+	const reloads = 5
+	reloading.Store(true)
+	t0 := time.Now()
+	for i := 0; i < reloads; i++ {
+		id := fmt.Sprintf("v%d", i+2)
+		netB, err := mkNet(int64(i + 2))
+		if err != nil {
+			return compileReloadStats{}, err
+		}
+		if _, err := r.AddVersion("m", id, netB); err != nil {
+			return compileReloadStats{}, err
+		}
+		if err := r.SetRoutes("m", id, "", 0, ""); err != nil {
+			return compileReloadStats{}, err
+		}
+	}
+	reloadDur := time.Since(t0) / reloads
+	reloading.Store(false)
+	close(stop)
+	if err := <-done; err != nil {
+		return compileReloadStats{}, err
+	}
+
+	maxD := time.Duration(maxDuring.Load())
+	st := compileReloadStats{
+		ReloadMillis:         float64(reloadDur.Nanoseconds()) / 1e6,
+		RequestsDuringReload: during.Load(),
+		MaxServeMicrosDuring: float64(maxD.Nanoseconds()) / 1e3,
+		SteadyP50ServeMicros: float64(p50.Nanoseconds()) / 1e3,
+		CompilesOK:           met.Compiles("ok"),
+		CompilesCacheHit:     met.Compiles("cache_hit"),
+	}
+	if p50 > 0 {
+		st.ReloadVsServeP50Ratio = float64(reloadDur) / float64(p50)
+	}
+	return st, nil
+}
+
+// percentileDur returns the pth percentile of ds (nearest-rank, ds reordered).
+func percentileDur(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	// insertion sort: n is small and this avoids pulling in sort for one call
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	idx := (p*len(ds) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return ds[idx]
+}

@@ -49,6 +49,7 @@ func run(args []string) error {
 	serveBench := fs.Bool("serve", false, "benchmark coalesced vs per-request serving under closed-loop load (writes BENCH_serve.json)")
 	serveCell := fs.Duration("serve-duration", 2*time.Second, "with -serve: measured wall time per (concurrency, mode) cell")
 	registryBench := fs.Bool("registry", false, "benchmark registry serving under continuous hot-swap/reload/shadow (writes BENCH_registry.json)")
+	compileBench := fs.Bool("compile", false, "benchmark the load-time compiled propagator vs the interpreted one, plus a hot-reload-while-serving measurement (writes BENCH_compile.json)")
 	registryCell := fs.Duration("registry-duration", 2*time.Second, "with -registry: measured wall time per mode cell")
 	obsMode := fs.Bool("obs", false, "with -batch: attach propagator observability hooks and dump the metrics registry snapshot (BENCH_obs.prom)")
 	verbose := fs.Bool("v", false, "log progress")
@@ -60,8 +61,8 @@ func run(args []string) error {
 		// observe, so imply -batch rather than fail.
 		*batch = true
 	}
-	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, or -obs")
+	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench && !*compileBench {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, -compile, or -obs")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -135,6 +136,11 @@ func run(args []string) error {
 	}
 	if *registryBench {
 		if err := emitRegistryBench(*resultDir, *registryCell); err != nil {
+			return err
+		}
+	}
+	if *compileBench {
+		if err := emitCompileBench(*resultDir); err != nil {
 			return err
 		}
 	}

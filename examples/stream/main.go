@@ -104,8 +104,8 @@ func run() error {
 		return err
 	}
 
-	a, e := gate.Stats()
-	fmt.Printf("\ngate: %d accepted, %d escalated\n", a, e)
+	a, e, nf := gate.Stats()
+	fmt.Printf("\ngate: %d accepted, %d escalated (%d non-finite)\n", a, e, nf)
 	return nil
 }
 

@@ -1,0 +1,348 @@
+package compile
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/proptest"
+)
+
+func mustPropagator(t testing.TB, net *nn.Network, extra ...core.Option) *core.Propagator {
+	t.Helper()
+	p, err := core.NewPropagator(net, core.Options{}, extra...)
+	if err != nil {
+		t.Fatalf("propagator: %v", err)
+	}
+	return p
+}
+
+func mustProgram(t testing.TB, p *core.Propagator, maxBatch int) *Program {
+	t.Helper()
+	pg, err := Compile(p, maxBatch)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := pg.Warm(p); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	return pg
+}
+
+func genBatch(rng *rand.Rand, b, dim int) core.GaussianBatch {
+	in := core.NewGaussianBatch(b, dim)
+	for r := 0; r < b; r++ {
+		g := proptest.GenGaussian(rng, dim)
+		copy(in.Mean.Row(r), g.Mean)
+		copy(in.Var.Row(r), g.Var)
+	}
+	return in
+}
+
+func requireBitIdentical(t *testing.T, got, want core.GaussianBatch, ctx string) {
+	t.Helper()
+	for i := range want.Mean.Data {
+		if math.Float64bits(got.Mean.Data[i]) != math.Float64bits(want.Mean.Data[i]) {
+			t.Fatalf("%s: mean[%d] = %v (%x), interpreted %v (%x)", ctx, i,
+				got.Mean.Data[i], math.Float64bits(got.Mean.Data[i]),
+				want.Mean.Data[i], math.Float64bits(want.Mean.Data[i]))
+		}
+		if math.Float64bits(got.Var.Data[i]) != math.Float64bits(want.Var.Data[i]) {
+			t.Fatalf("%s: var[%d] = %v (%x), interpreted %v (%x)", ctx, i,
+				got.Var.Data[i], math.Float64bits(got.Var.Data[i]),
+				want.Var.Data[i], math.Float64bits(want.Var.Data[i]))
+		}
+	}
+}
+
+// TestCompiledBitIdenticalRandomNets is the core gate at the package level:
+// over random networks (full generator space: depths 1–6, widths to 300, all
+// activations, dropout corners) and corner-heavy Gaussian batches, the
+// compiled path must match the interpreted path bit for bit at every batch
+// size class. internal/proptest extends the same gate with hostile inputs
+// and a fuzz corpus.
+func TestCompiledBitIdenticalRandomNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		net := proptest.GenNetwork(rng)
+		p := mustPropagator(t, net)
+		maxBatch := 1 + rng.Intn(64)
+		pg := mustProgram(t, p, maxBatch)
+		p.SetCompiled(pg)
+		for _, b := range []int{1, (maxBatch + 1) / 2, maxBatch} {
+			in := genBatch(rng, b, net.InputDim())
+			got, err := p.PropagateBatchFrom(in) // dispatches compiled
+			if err != nil {
+				t.Fatalf("trial %d: compiled: %v", trial, err)
+			}
+			want, err := p.PropagateBatchReference(in)
+			if err != nil {
+				t.Fatalf("trial %d: reference: %v", trial, err)
+			}
+			requireBitIdentical(t, got, want, "trial")
+		}
+	}
+}
+
+// TestCompiledHostileInputs pushes non-finite moments through both paths:
+// NaN and ±Inf means, Inf variances, and exact zeros sharing 4-row register
+// blocks with them (the configuration where a zero-skip discrepancy would
+// show, if there were one).
+func TestCompiledHostileInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	net := proptest.GenNetworkBounded(rng)
+	p := mustPropagator(t, net)
+	pg := mustProgram(t, p, 16)
+	p.SetCompiled(pg)
+
+	dim := net.InputDim()
+	hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, 1e300, -1e300}
+	in := genBatch(rng, 16, dim)
+	for r := 0; r < 16; r++ {
+		in.Mean.Row(r)[rng.Intn(dim)] = hostile[r%len(hostile)]
+		if r%2 == 0 {
+			in.Var.Row(r)[rng.Intn(dim)] = hostile[rng.Intn(3)] // NaN or ±Inf
+		}
+	}
+	got, err := p.PropagateBatchFrom(in)
+	if err != nil {
+		t.Fatalf("compiled: %v", err)
+	}
+	want, err := p.PropagateBatchReference(in)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	requireBitIdentical(t, got, want, "hostile")
+}
+
+// TestCompiledChunkPlanInvariance pins the freedom the package doc claims:
+// the chunk plan (fixed at compile time from the worker bound) does not
+// affect output bits, because blocked accumulators starting at +0 cannot be
+// steered to different values by row grouping when the weight panels are
+// finite.
+func TestCompiledChunkPlanInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	net := proptest.GenNetwork(rng)
+	in := genBatch(rng, 48, net.InputDim())
+
+	var ref core.GaussianBatch
+	for i, workers := range []int{1, 2, 5, 16} {
+		p := mustPropagator(t, net, core.WithWorkers(workers))
+		pg := mustProgram(t, p, 48)
+		out := core.NewGaussianBatch(48, net.OutputDim())
+		pg.RunBatch(in, out, nil)
+		if i == 0 {
+			ref = out
+			continue
+		}
+		requireBitIdentical(t, out, ref, "workers")
+	}
+}
+
+// countingProgram wraps a Program to make dispatch directly observable: the
+// propagator routes through the CompiledBatch interface, so a wrapper counts
+// exactly the batches that took the compiled path.
+type countingProgram struct {
+	*Program
+	runs atomic.Int64
+}
+
+func (c *countingProgram) RunBatch(in, out core.GaussianBatch, h *core.Hooks) {
+	c.runs.Add(1)
+	c.Program.RunBatch(in, out, h)
+}
+
+// TestCompiledDispatch verifies the routing contract: batches within
+// MaxBatch hit the compiled program, larger batches fall back to the
+// interpreted path, SetCompiled(nil) restores it entirely — and the hooks
+// contract is path-independent: BatchStart fires once per batch and
+// LayerTime once per layer on the compiled path too, so per-layer
+// observability doesn't go dark when a program is installed.
+func TestCompiledDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	net := proptest.GenNetworkBounded(rng)
+	p := mustPropagator(t, net, core.WithWorkers(1))
+	cp := &countingProgram{Program: mustProgram(t, p, 8)}
+	p.SetCompiled(cp)
+
+	var batches, layerCalls atomic.Int64
+	p.SetHooks(&core.Hooks{
+		BatchStart: func(rows int) { batches.Add(1) },
+		LayerTime:  func(layer, rows int, d time.Duration) { layerCalls.Add(1) },
+	})
+
+	if _, err := p.PropagateBatchFrom(genBatch(rng, 4, net.InputDim())); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.runs.Load(); got != 1 {
+		t.Errorf("compiled program ran %d times for an in-range batch, want 1", got)
+	}
+	if got := batches.Load(); got != 1 {
+		t.Errorf("BatchStart fired %d times on compiled path, want 1", got)
+	}
+	// WithWorkers(1) pins a single-chunk plan, so exactly one LayerTime call
+	// per layer.
+	if got, want := layerCalls.Load(), int64(len(net.Layers())); got != want {
+		t.Errorf("LayerTime fired %d times on compiled path, want %d (one per layer)", got, want)
+	}
+
+	if _, err := p.PropagateBatchFrom(genBatch(rng, 9, net.InputDim())); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.runs.Load(); got != 1 {
+		t.Errorf("compiled program ran %d times after an over-MaxBatch batch, want still 1", got)
+	}
+
+	p.SetCompiled(nil)
+	if _, err := p.PropagateBatchFrom(genBatch(rng, 4, net.InputDim())); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.runs.Load(); got != 1 {
+		t.Errorf("compiled program ran %d times after SetCompiled(nil), want still 1", got)
+	}
+}
+
+// TestWarmCatchesCorruption proves the warmup self-check has teeth: a
+// program whose output drifts by even one ulp must be refused.
+func TestWarmCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	net := proptest.GenNetworkBounded(rng)
+	p := mustPropagator(t, net)
+	pg := mustProgram(t, p, 4)
+
+	// Corrupt the final layer's output (post-swap curMu is what runChunk
+	// copies out) — an earlier-layer perturbation could legitimately wash
+	// out through a saturating activation, but the last one cannot.
+	lastStep := len(pg.steps) - 1
+	orig := pg.steps[lastStep]
+	pg.steps[lastStep] = func(sc *scratch, rows int) {
+		orig(sc, rows)
+		sc.curMu[0] = math.Nextafter(sc.curMu[0], math.Inf(1))
+	}
+	if err := pg.Warm(p); err == nil {
+		t.Fatal("one-ulp corrupted program passed Warm")
+	}
+}
+
+// TestWarmRejectsShapeMismatch: warming against a propagator for a different
+// network shape is an install-time error, not a runtime surprise.
+func TestWarmRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	var a, b *nn.Network
+	a = proptest.GenNetworkBounded(rng)
+	for {
+		b = proptest.GenNetworkBounded(rng)
+		if b.InputDim() != a.InputDim() || b.OutputDim() != a.OutputDim() {
+			break
+		}
+	}
+	pg := mustProgram(t, mustPropagator(t, a), 2)
+	if err := pg.Warm(mustPropagator(t, b)); err == nil {
+		t.Fatal("warm accepted a mismatched network shape")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(nil, 4); err == nil {
+		t.Error("nil propagator accepted")
+	}
+	rng := rand.New(rand.NewSource(67))
+	p := mustPropagator(t, proptest.GenNetworkBounded(rng))
+	if _, err := Compile(p, 0); err == nil {
+		t.Error("max batch 0 accepted")
+	}
+}
+
+// TestChunkPlanProperties checks the precomputed plans against the
+// interpreted path's fan-out rule for every batch size and worker bound the
+// program can see: plans tile [0, b) exactly, every chunk but the last is a
+// multiple of 4, no chunk exceeds the scratch sizing, and small batches
+// collapse to one inline chunk.
+func TestChunkPlanProperties(t *testing.T) {
+	for workers := 1; workers <= 32; workers *= 2 {
+		for b := 1; b <= 128; b++ {
+			plan := chunkPlan(b, workers)
+			next := 0
+			for i, s := range plan {
+				if s.lo != next || s.hi <= s.lo {
+					t.Fatalf("workers=%d b=%d: plan %v not a tiling", workers, b, plan)
+				}
+				if i < len(plan)-1 && (s.hi-s.lo)%4 != 0 {
+					t.Fatalf("workers=%d b=%d: interior chunk %v not a multiple of 4", workers, b, s)
+				}
+				next = s.hi
+			}
+			if next != b {
+				t.Fatalf("workers=%d b=%d: plan %v does not cover the batch", workers, b, plan)
+			}
+			if b <= core.MinRowsPerWorker && len(plan) != 1 {
+				t.Fatalf("workers=%d b=%d: small batch split into %d chunks", workers, b, len(plan))
+			}
+		}
+	}
+}
+
+// TestRunBatchSteadyStateAllocs pins the free-list contract: after warmup,
+// sequential RunBatch calls allocate nothing beyond what the caller hands
+// in.
+func TestRunBatchSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	net := proptest.GenNetworkBounded(rng)
+	p := mustPropagator(t, net, core.WithWorkers(1))
+	pg := mustProgram(t, p, 8)
+	in := genBatch(rng, 8, net.InputDim())
+	out := core.NewGaussianBatch(8, net.OutputDim())
+	pg.RunBatch(in, out, nil) // warm the free list
+	allocs := testing.AllocsPerRun(50, func() { pg.RunBatch(in, out, nil) })
+	if allocs > 0 {
+		t.Errorf("steady-state RunBatch allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func benchNet(t testing.TB) *nn.Network {
+	net, err := nn.New(nn.Config{
+		InputDim:         64,
+		Hidden:           []int{256, 256, 256},
+		OutputDim:        16,
+		Activation:       nn.ActReLU,
+		OutputActivation: nn.ActIdentity,
+		KeepProb:         0.9,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func benchmarkPath(b *testing.B, batch int, compiled bool) {
+	net := benchNet(b)
+	p := mustPropagator(b, net)
+	if compiled {
+		p.SetCompiled(mustProgram(b, p, 64))
+	}
+	rng := rand.New(rand.NewSource(9))
+	in := genBatch(rng, batch, net.InputDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PropagateBatchFrom(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpretedBatch1(b *testing.B)  { benchmarkPath(b, 1, false) }
+func BenchmarkCompiledBatch1(b *testing.B)     { benchmarkPath(b, 1, true) }
+func BenchmarkInterpretedBatch8(b *testing.B)  { benchmarkPath(b, 8, false) }
+func BenchmarkCompiledBatch8(b *testing.B)     { benchmarkPath(b, 8, true) }
+func BenchmarkInterpretedBatch64(b *testing.B) { benchmarkPath(b, 64, false) }
+func BenchmarkCompiledBatch64(b *testing.B)    { benchmarkPath(b, 64, true) }

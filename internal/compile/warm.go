@@ -1,0 +1,72 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+)
+
+// Warm exercises the program end-to-end and verifies Float64bits identity
+// against p's interpreted path (PropagateBatchReference) before the program
+// is installed. It runs deterministic pseudo-random batches at batch 1, an
+// intermediate size, and the registered maximum — covering the inline
+// single-chunk plan, the multi-chunk fan-out, the 4-row register blocks, the
+// scalar tail rows, the zero-skip paths (exact-zero means and variances are
+// sprinkled in), and the point-mass activation fast path.
+//
+// Warm doubles as the cache warmup: it touches every packed panel and cycles
+// the scratch free list, so the first production batch after install pays no
+// cold-start. It never mutates p and is safe to run while p serves traffic
+// on the interpreted path; install with p.SetCompiled only after it returns
+// nil.
+func (pg *Program) Warm(p *core.Propagator) error {
+	if got := p.Network().InputDim(); got != pg.inDim {
+		return fmt.Errorf("compile: warm against input dim %d, program compiled for %d", got, pg.inDim)
+	}
+	if got := p.Network().OutputDim(); got != pg.outDim {
+		return fmt.Errorf("compile: warm against output dim %d, program compiled for %d", got, pg.outDim)
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	sizes := []int{1}
+	if pg.maxBatch > 1 {
+		if mid := (pg.maxBatch + 1) / 2; mid > 1 && mid < pg.maxBatch {
+			sizes = append(sizes, mid)
+		}
+		sizes = append(sizes, pg.maxBatch)
+	}
+	for _, b := range sizes {
+		in := core.NewGaussianBatch(b, pg.inDim)
+		for t := range in.Mean.Data {
+			switch rng.Intn(8) {
+			case 0:
+				// Exact zeros exercise the matmul zero-skips.
+				in.Mean.Data[t], in.Var.Data[t] = 0, 0
+			case 1:
+				// Point masses exercise the activation fast path.
+				in.Mean.Data[t], in.Var.Data[t] = rng.NormFloat64(), 0
+			default:
+				in.Mean.Data[t] = rng.NormFloat64()
+				in.Var.Data[t] = math.Abs(rng.NormFloat64())
+			}
+		}
+		want, err := p.PropagateBatchReference(in)
+		if err != nil {
+			return fmt.Errorf("compile: warm reference batch %d: %w", b, err)
+		}
+		got := core.NewGaussianBatch(b, pg.outDim)
+		pg.RunBatch(in, got, nil)
+		for t := range want.Mean.Data {
+			if math.Float64bits(got.Mean.Data[t]) != math.Float64bits(want.Mean.Data[t]) {
+				return fmt.Errorf("compile: warm batch %d: mean[%d] = %x, interpreted %x",
+					b, t, math.Float64bits(got.Mean.Data[t]), math.Float64bits(want.Mean.Data[t]))
+			}
+			if math.Float64bits(got.Var.Data[t]) != math.Float64bits(want.Var.Data[t]) {
+				return fmt.Errorf("compile: warm batch %d: var[%d] = %x, interpreted %x",
+					b, t, math.Float64bits(got.Var.Data[t]), math.Float64bits(want.Var.Data[t]))
+			}
+		}
+	}
+	return nil
+}

@@ -103,14 +103,15 @@ func (p *Propagator) PropagateBatchFrom(gb GaussianBatch) (GaussianBatch, error)
 	return p.propagateBatch(gb)
 }
 
-// minRowsPerWorker is the smallest row chunk worth a goroutine: below this
-// the per-layer work is too small for fan-out overhead to pay off.
-const minRowsPerWorker = 8
+// MinRowsPerWorker is the smallest row chunk worth a goroutine: below this
+// the per-layer work is too small for fan-out overhead to pay off. Exported
+// so internal/compile can precompute chunk plans with the same fan-out rule.
+const MinRowsPerWorker = 8
 
-// propagateBatch fans the validated batch out over row chunks. Rows are
-// independent through the whole network, so the split happens once at the
-// top: each worker pushes its chunk through every layer with its own pooled
-// scratch buffers, maximizing weight-matrix reuse while it owns the cache.
+// propagateBatch routes the validated batch: to the installed compiled
+// program (SetCompiled) when the batch fits its registered maximum, otherwise
+// to the interpreted row-chunk path. Both produce Float64bits-identical
+// results; only the dispatch and scratch strategy differ.
 func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 	b := gb.Batch()
 	out := NewGaussianBatch(b, p.net.OutputDim())
@@ -121,16 +122,51 @@ func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 	if h != nil && h.BatchStart != nil {
 		h.BatchStart(b)
 	}
+	if c := p.Compiled(); c != nil && b <= c.MaxBatch() {
+		c.RunBatch(gb, out, h)
+		return out, nil
+	}
+	p.propagateInterpreted(gb, out, h)
+	return out, nil
+}
+
+// PropagateBatchReference runs the interpreted batched path unconditionally,
+// bypassing any installed compiled program. It is the reference side of the
+// bit-identity gate: internal/compile warms new programs against it, and
+// internal/proptest compares the compiled path to it over the full corpus.
+func (p *Propagator) PropagateBatchReference(gb GaussianBatch) (GaussianBatch, error) {
+	if gb.Dim() != p.net.InputDim() {
+		return GaussianBatch{}, fmt.Errorf("propagate-batch-reference: input dim %d, want %d: %w", gb.Dim(), p.net.InputDim(), ErrInput)
+	}
+	b := gb.Batch()
+	out := NewGaussianBatch(b, p.net.OutputDim())
+	if b == 0 {
+		return out, nil
+	}
+	h := p.hooks.Load()
+	if h != nil && h.BatchStart != nil {
+		h.BatchStart(b)
+	}
+	p.propagateInterpreted(gb, out, h)
+	return out, nil
+}
+
+// propagateInterpreted fans the batch out over row chunks. Rows are
+// independent through the whole network, so the split happens once at the
+// top: each worker pushes its chunk through every layer with its own pooled
+// scratch buffers, maximizing weight-matrix reuse while it owns the cache.
+func (p *Propagator) propagateInterpreted(gb, out GaussianBatch, h *Hooks) {
+	b := gb.Batch()
 	workers := p.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if max := (b + minRowsPerWorker - 1) / minRowsPerWorker; workers > max {
+	if max := (b + MinRowsPerWorker - 1) / MinRowsPerWorker; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
 		p.propagateRows(gb, out, 0, b, h)
-		return out, nil
+		return
 	}
 	chunk := (b + workers - 1) / workers
 	// Multiple-of-4 chunks keep every worker but the last on the 4-row
@@ -151,7 +187,6 @@ func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out, nil
 }
 
 // batchScratch is one worker's reusable buffers: ping-pong mean/variance
@@ -261,7 +296,7 @@ func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int, h *Hooks) 
 					if s2 < 0 {
 						s2 = 0
 					}
-					m, mv := ak.moments(o[j]+bj, s2, sc.bounds, sc.pms)
+					m, mv := ak.Moments(o[j]+bj, s2, sc.bounds, sc.pms)
 					o[j] = m * nextKeep
 					v[j] = (m*m+mv)*nextKeep - m*m*nextKeep*nextKeep
 				}
@@ -271,7 +306,7 @@ func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int, h *Hooks) 
 					if s2 < 0 {
 						s2 = 0
 					}
-					o[j], v[j] = ak.moments(o[j]+bj, s2, sc.bounds, sc.pms)
+					o[j], v[j] = ak.Moments(o[j]+bj, s2, sc.bounds, sc.pms)
 				}
 			}
 		}
@@ -289,7 +324,7 @@ func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int, h *Hooks) 
 	p.scratch.Put(sc)
 }
 
-// actKernel is the batched activation-moment kernel: the same eqs. 12–26 as
+// ActKernel is the batched activation-moment kernel: the same eqs. 12–26 as
 // ActivationMoments, restructured for a panel of elements. The per-piece
 // slopes, intercepts, and knots live in flat arrays hoisted out of the
 // per-element call, and the truncated-moment boundary terms (one erf and one
@@ -297,7 +332,7 @@ func (p *Propagator) propagateRows(in, out GaussianBatch, lo, hi int, h *Hooks) 
 // adjacent pieces share their boundary. Outputs are bit-identical to
 // ActivationMoments (stats.MomentsBetween reproduces stats.TruncatedMoments
 // exactly; see TestActivationKernelExact).
-type actKernel struct {
+type ActKernel struct {
 	f         *piecewise.Func  // point-mass fast path (f.Eval)
 	knots     []float64        // n+1 piece boundaries, ascending
 	k, c      []float64        // per-piece slope and intercept
@@ -305,9 +340,9 @@ type actKernel struct {
 	finiteIdx []int            // indices of the finite knots
 }
 
-func newActKernel(f *piecewise.Func) *actKernel {
+func NewActKernel(f *piecewise.Func) *ActKernel {
 	n := f.NumPieces()
-	ak := &actKernel{
+	ak := &ActKernel{
 		f:     f,
 		knots: make([]float64, n+1),
 		k:     make([]float64, n),
@@ -336,10 +371,10 @@ func newActKernel(f *piecewise.Func) *actKernel {
 	return ak
 }
 
-// moments pushes one scalar Gaussian through the kernel, using bounds and
+// Moments pushes one scalar Gaussian through the kernel, using bounds and
 // pms (each at least len(knots) long) as per-worker scratch — caller-owned
 // so the per-element call zeroes no stack arrays.
-func (ak *actKernel) moments(mu, variance float64, bounds []stats.Boundary, pms []stats.PartialMoments) (outMean, outVar float64) {
+func (ak *ActKernel) Moments(mu, variance float64, bounds []stats.Boundary, pms []stats.PartialMoments) (outMean, outVar float64) {
 	sigma := math.Sqrt(variance)
 	if sigma <= SigmaFloor*(1+math.Abs(mu)) {
 		// Point mass: the PWL function maps it to another point mass.

@@ -200,7 +200,7 @@ func TestActivationKernelExact(t *testing.T) {
 			check := func(mu, variance float64) {
 				t.Helper()
 				wantM, wantV := ActivationMoments(mu, variance, f)
-				gotM, gotV := ak.moments(mu, variance, bounds, pms)
+				gotM, gotV := ak.Moments(mu, variance, bounds, pms)
 				if gotM != wantM || gotV != wantV {
 					t.Fatalf("layer %d mu=%v var=%v: kernel (%v, %v) != reference (%v, %v)",
 						li, mu, variance, gotM, gotV, wantM, wantV)

@@ -27,6 +27,13 @@ type Hooks struct {
 	ScratchGet func(hit bool)
 }
 
+// Note on the compiled fast path (SetCompiled): a batch that dispatches to a
+// compiled program fires the same hooks the interpreted path would —
+// BatchStart once at dispatch, LayerTime per fused layer step per chunk, and
+// ScratchGet per free-list acquisition (hit = recycled buffer set, miss =
+// overflow allocation) — so per-layer dashboards don't go dark when a model
+// loads with a compiled propagator. Outputs remain bit-identical either way.
+
 // SetHooks attaches (or, with nil, detaches) observability hooks. It may be
 // called at any time, including while other goroutines propagate: the
 // propagator snapshots the pointer once per call, so a swap applies to

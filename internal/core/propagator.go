@@ -79,7 +79,7 @@ type Propagator struct {
 	// (sizing the ping-pong scratch), the largest knot count, and a pool of
 	// reusable scratch buffers so the hot path is allocation-free after
 	// warmup.
-	kernels   []*actKernel
+	kernels   []*ActKernel
 	maxDim    int
 	maxBounds int
 	scratch   sync.Pool
@@ -90,6 +90,11 @@ type Propagator struct {
 	// hooks holds the optional observability callbacks (see Hooks). Loaded
 	// once per propagation call; nil costs one atomic pointer load.
 	hooks atomic.Pointer[Hooks]
+
+	// compiledProg holds the optional shape-specialized batch program
+	// (SetCompiled / internal/compile). Snapshotted once per batch call;
+	// uninstalled it costs one atomic pointer load.
+	compiledProg atomic.Pointer[compiledHolder]
 }
 
 // NewPropagator prepares ApDeepSense inference for net. Optional behavior
@@ -101,7 +106,7 @@ func NewPropagator(net *nn.Network, opts Options, extra ...Option) (*Propagator,
 		net:     net,
 		acts:    make([]*piecewise.Func, len(layers)),
 		wsq:     make([]*tensor.Matrix, len(layers)),
-		kernels: make([]*actKernel, len(layers)),
+		kernels: make([]*ActKernel, len(layers)),
 		maxDim:  net.InputDim(),
 	}
 	for i, l := range layers {
@@ -126,7 +131,7 @@ func NewPropagator(net *nn.Network, opts Options, extra ...Option) (*Propagator,
 		}
 		p.acts[i] = f
 		p.wsq[i] = l.W.Square()
-		p.kernels[i] = newActKernel(f)
+		p.kernels[i] = NewActKernel(f)
 		if l.OutDim() > p.maxDim {
 			p.maxDim = l.OutDim()
 		}

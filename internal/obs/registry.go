@@ -226,19 +226,31 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // Histogram counts observations into fixed buckets (upper bounds,
 // ascending) and tracks their sum. Observe is lock-free: one bucket
 // increment plus two CAS-backed accumulations.
+//
+// Non-finite observations (NaN, ±Inf) are quarantined: a single NaN folded
+// into the running sum would turn the whole `_sum` series into NaN forever,
+// and a NaN never matches any `v <= ub` bucket test, silently skewing the
+// implicit +Inf bucket. They are counted in a separate NonFinite counter,
+// rendered as `<name>_nonfinite` in the exposition once non-zero.
 type Histogram struct {
-	upper  []float64
-	counts []atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
-	count  atomic.Uint64
+	upper     []float64
+	counts    []atomic.Uint64
+	sum       atomic.Uint64 // float64 bits
+	count     atomic.Uint64
+	nonFinite atomic.Uint64
 }
 
 func newHistogram(upper []float64) *Histogram {
 	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper))}
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values increment NonFinite and leave
+// the buckets, count, and sum untouched.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonFinite.Add(1)
+		return
+	}
 	// Linear scan: latency bucket layouts are small (~15 buckets) and the
 	// common observations land early, beating binary search in practice.
 	for i, ub := range h.upper {
@@ -257,11 +269,14 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// Count returns the number of observations.
+// Count returns the number of finite observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
-// Sum returns the sum of observed values.
+// Sum returns the sum of finite observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// NonFinite returns the number of dropped non-finite observations.
+func (h *Histogram) NonFinite() uint64 { return h.nonFinite.Load() }
 
 // ExpBuckets returns count bucket upper bounds starting at start and
 // multiplying by factor: the exponential layout used for latencies, where
@@ -432,6 +447,11 @@ func (f *family) writeText(b *strings.Builder) {
 			writeSeries(b, f.name, "_bucket", f.labels, values, "+Inf", float64(h.Count()))
 			writeSeries(b, f.name, "_sum", f.labels, values, "", h.Sum())
 			writeSeries(b, f.name, "_count", f.labels, values, "", float64(h.Count()))
+			if nf := h.NonFinite(); nf > 0 {
+				// Emitted only when present so existing scrapes are unchanged;
+				// a non-zero value flags a producer emitting NaN/±Inf.
+				writeSeries(b, f.name, "_nonfinite", f.labels, values, "", float64(nf))
+			}
 		}
 	}
 }

@@ -95,6 +95,45 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+func TestHistogramNonFinite(t *testing.T) {
+	// Regression: one NaN observation used to fold into the running sum and
+	// turn `<name>_sum` into NaN forever, while never matching a bucket —
+	// the registry's shadow-drift histograms ingest live |Δmean|/|Δσ| deltas,
+	// so a single NaN-emitting shadow candidate poisoned the whole series.
+	r := NewRegistry()
+	h := r.Histogram("drift", "shadow drift", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(2)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2 (finite observations only)", h.Count())
+	}
+	if h.Sum() != 2.5 {
+		t.Errorf("sum = %v, want 2.5 (NaN must not poison the sum)", h.Sum())
+	}
+	if h.NonFinite() != 2 {
+		t.Errorf("nonfinite = %d, want 2", h.NonFinite())
+	}
+	text := r.Snapshot()
+	for _, want := range []string{
+		`drift_bucket{le="+Inf"} 2`,
+		`drift_sum 2.5`,
+		`drift_count 2`,
+		`drift_nonfinite 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// A clean histogram's exposition is unchanged: no nonfinite line.
+	clean := NewRegistry()
+	clean.Histogram("ok", "", []float64{1}).Observe(0.5)
+	if got := clean.Snapshot(); strings.Contains(got, "nonfinite") {
+		t.Errorf("clean exposition gained a nonfinite series:\n%s", got)
+	}
+}
+
 func TestVecLabels(t *testing.T) {
 	r := NewRegistry()
 	v := r.CounterVec("http_requests_total", "by route and code", "route", "code")

@@ -1,0 +1,118 @@
+package proptest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/compile"
+	"github.com/apdeepsense/apdeepsense/internal/core"
+)
+
+// compiledProp builds a propagator with a warmed compiled program installed,
+// the way registry does it for serving pools.
+func compiledProp(t testing.TB, seed int64, maxBatch, workers int) (*core.Propagator, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := GenNetworkBounded(rng)
+	opts := []core.Option{}
+	if workers > 0 {
+		opts = append(opts, core.WithWorkers(workers))
+	}
+	p, err := core.NewPropagator(net, core.Options{}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := compile.Compile(p, maxBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Warm(p); err != nil {
+		t.Fatal(err)
+	}
+	p.SetCompiled(pg)
+	return p, net.InputDim()
+}
+
+// compiledBatch fills a batch with the generator's corner-heavy Gaussians and
+// sprinkles hostile moments (NaN, ±Inf, exact zeros) into some rows so the
+// comparison exercises the zero-skip and non-finite propagation paths.
+func compiledBatch(rng *rand.Rand, b, dim int) core.GaussianBatch {
+	in := core.NewGaussianBatch(b, dim)
+	hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0}
+	for r := 0; r < b; r++ {
+		g := GenGaussian(rng, dim)
+		copy(in.Mean.Row(r), g.Mean)
+		copy(in.Var.Row(r), g.Var)
+		if r%3 == 0 {
+			in.Mean.Row(r)[rng.Intn(dim)] = hostile[rng.Intn(len(hostile))]
+		}
+		if r%4 == 0 {
+			in.Var.Row(r)[rng.Intn(dim)] = hostile[rng.Intn(3)]
+		}
+	}
+	return in
+}
+
+// compareBatchBits holds the compiled path to the interpreted reference bit
+// for bit, row by row, using the same CompareBits contract as the
+// batch-versus-sequential gate.
+func compareBatchBits(t *testing.T, p *core.Propagator, in core.GaussianBatch, ctx string) {
+	t.Helper()
+	got, err := p.PropagateBatchFrom(in)
+	if err != nil {
+		t.Fatalf("%s: compiled: %v", ctx, err)
+	}
+	want, err := p.PropagateBatchReference(in)
+	if err != nil {
+		t.Fatalf("%s: reference: %v", ctx, err)
+	}
+	for r := 0; r < in.Batch(); r++ {
+		if err := CompareBits(got.Row(r), want.Row(r)); err != nil {
+			t.Errorf("%s: row %d: %v", ctx, r, err)
+		}
+	}
+}
+
+// TestCompiledVsInterpreted is the deterministic half of the compiled-path
+// gate at the harness level: random bounded networks, varied worker counts
+// and batch sizes, corner-heavy inputs with hostile rows — the compiled
+// propagator must reproduce the interpreted one bit for bit everywhere.
+func TestCompiledVsInterpreted(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < trials; trial++ {
+		maxBatch := 1 + rng.Intn(32)
+		workers := rng.Intn(5)
+		p, dim := compiledProp(t, int64(1000+trial), maxBatch, workers)
+		for _, b := range []int{1, (maxBatch + 1) / 2, maxBatch} {
+			in := compiledBatch(rng, b, dim)
+			compareBatchBits(t, p, in, "deterministic")
+		}
+	}
+}
+
+// FuzzCompiledVsInterpreted extends the gate to fuzzer-chosen networks,
+// batch sizes, worker counts, and compile-time max batches. Like
+// FuzzBatchVsSequential it needs no oracle pass, so it explores shapes
+// quickly; any violation is a real compile-step defect, never tolerance
+// flake.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	f.Add(uint64(1), uint64(1), uint64(0), uint64(1))
+	f.Add(uint64(2), uint64(7), uint64(1), uint64(8))
+	f.Add(uint64(3), uint64(16), uint64(3), uint64(16))
+	f.Add(uint64(5), uint64(4), uint64(2), uint64(64))
+	f.Add(uint64(20260808), uint64(11), uint64(4), uint64(32))
+	f.Fuzz(func(t *testing.T, seed, batchRaw, workersRaw, maxBatchRaw uint64) {
+		maxBatch := int(maxBatchRaw%64) + 1
+		b := int(batchRaw%uint64(maxBatch)) + 1
+		workers := int(workersRaw % 5)
+		p, dim := compiledProp(t, int64(seed), maxBatch, workers)
+		rng := rand.New(rand.NewSource(int64(seed) ^ 0x5a5a))
+		in := compiledBatch(rng, b, dim)
+		compareBatchBits(t, p, in, "fuzz")
+	})
+}

@@ -1,0 +1,185 @@
+package registry
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/compile"
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/obs"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// compiledOf digs the installed compiled program out of a version built from
+// a network (nil when compilation was disabled or never ran).
+func compiledOf(t *testing.T, v *Version) core.CompiledBatch {
+	t.Helper()
+	ap, ok := v.Estimator().(*core.ApDeepSense)
+	if !ok {
+		t.Fatalf("estimator is %T, want *core.ApDeepSense", v.Estimator())
+	}
+	return ap.Propagator().Compiled()
+}
+
+// TestVersionsCompileByDefault: a version loaded from a network gets a
+// warmed compiled program installed before it is registered, and served
+// responses stay bit-identical to direct estimator calls (the served path
+// now dispatches through the compiled propagator).
+func TestVersionsCompileByDefault(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	r := New(Config{Metrics: m})
+	defer closeRegistry(t, r)
+
+	v, err := r.AddVersion("m", "v1", testNet(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiledOf(t, v) == nil {
+		t.Fatal("version registered without a compiled program")
+	}
+	if got := m.Compiles("ok"); got != 1 {
+		t.Errorf("compiles{ok} = %v, want 1", got)
+	}
+	if err := r.SetRoutes("m", "v1", "", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	x := tensor.Vector{0.3, -1.2, 0.5}
+	g, _, err := r.Predict(context.Background(), "m", "req", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := v.Estimator().Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Mean {
+		if math.Float64bits(g.Mean[i]) != math.Float64bits(want.Mean[i]) ||
+			math.Float64bits(g.Var[i]) != math.Float64bits(want.Var[i]) {
+			t.Errorf("dim %d: served (%v, %v) != direct (%v, %v)",
+				i, g.Mean[i], g.Var[i], want.Mean[i], want.Var[i])
+		}
+	}
+}
+
+// TestDisableCompile: the knob leaves versions on the interpreted path.
+func TestDisableCompile(t *testing.T) {
+	r := New(Config{DisableCompile: true})
+	defer closeRegistry(t, r)
+	v, err := r.AddVersion("m", "v1", testNet(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiledOf(t, v) != nil {
+		t.Error("DisableCompile set, but a compiled program was installed")
+	}
+	if r.compiles.size() != 0 {
+		t.Errorf("cache size = %d, want 0", r.compiles.size())
+	}
+}
+
+// TestCompileCacheSharesAndReleases: two versions of the same network share
+// one cached program (the second load is a cache hit — the hot-reload /
+// canary-of-same-weights shape); distinct networks get distinct entries; and
+// retiring versions releases their references until the cache drains empty.
+func TestCompileCacheSharesAndReleases(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	r := New(Config{Metrics: m})
+	defer closeRegistry(t, r)
+
+	net := testNet(t, 1)
+	va, err := r.AddVersion("m", "va", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := r.AddVersion("m", "vb", net.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.Fingerprint != vb.Fingerprint {
+		t.Fatal("clone changed the fingerprint")
+	}
+	if got := r.compiles.size(); got != 1 {
+		t.Errorf("cache size after same-net loads = %d, want 1", got)
+	}
+	if got := m.Compiles("cache_hit"); got != 1 {
+		t.Errorf("compiles{cache_hit} = %v, want 1", got)
+	}
+
+	if _, err := r.AddVersion("m", "vc", testNet(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.compiles.size(); got != 2 {
+		t.Errorf("cache size after distinct-net load = %d, want 2", got)
+	}
+
+	// Retire one holder of the shared entry: the entry must survive for the
+	// other. Retire the rest: the cache must drain to empty.
+	if err := r.RemoveVersion("m", "va"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.compiles.size(); got != 2 {
+		t.Errorf("cache size after one shared holder retired = %d, want 2", got)
+	}
+	if err := r.RemoveVersion("m", "vb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveVersion("m", "vc"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.compiles.size(); got != 0 {
+		t.Errorf("cache size after all retired = %d, want 0", got)
+	}
+}
+
+// TestCompileCacheSingleflight: concurrent acquires of one key run the build
+// exactly once and all waiters get the same program.
+func TestCompileCacheSingleflight(t *testing.T) {
+	c := newCompileCache()
+	key := compileKey{fingerprint: "fp", maxBatch: 8}
+	built := make(chan int, 16)
+	start := make(chan struct{})
+	type res struct {
+		release func()
+		hit     bool
+	}
+	results := make(chan res, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			<-start
+			_, release, hit, err := c.acquire(key, func() (*compile.Program, error) {
+				built <- 1
+				return nil, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results <- res{release, hit}
+		}()
+	}
+	close(start)
+	var hits int
+	var releases []func()
+	for i := 0; i < 8; i++ {
+		r := <-results
+		if r.hit {
+			hits++
+		}
+		releases = append(releases, r.release)
+	}
+	if len(built) != 1 {
+		t.Errorf("build ran %d times, want 1", len(built))
+	}
+	if hits != 7 {
+		t.Errorf("hits = %d, want 7", hits)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if c.size() != 0 {
+		t.Errorf("cache size after all releases = %d, want 0", c.size())
+	}
+}

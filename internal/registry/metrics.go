@@ -13,6 +13,7 @@ import (
 //	apds_registry_requests_total{model,route}     served requests by route (current|canary)
 //	apds_registry_swaps_total{model}              route-table swaps applied
 //	apds_registry_reloads_total{result}           manifest reload attempts (ok|error|unchanged)
+//	apds_registry_compiles_total{result}          load-time compiles (ok|cache_hit|error)
 //	apds_registry_versions{model}                 registered (routable or draining) versions
 //	apds_registry_shadow_total{model}             shadow comparisons completed
 //	apds_registry_shadow_dropped_total{model}     shadow duplicates dropped (pool saturated)
@@ -22,6 +23,7 @@ type Metrics struct {
 	requests      *obs.CounterVec
 	swaps         *obs.CounterVec
 	reloads       *obs.CounterVec
+	compiles      *obs.CounterVec
 	versions      *obs.GaugeVec
 	shadow        *obs.CounterVec
 	shadowDropped *obs.CounterVec
@@ -42,6 +44,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Route-table swaps applied per model.", "model"),
 		reloads: reg.CounterVec("apds_registry_reloads_total",
 			"Manifest reload attempts by outcome.", "result"),
+		compiles: reg.CounterVec("apds_registry_compiles_total",
+			"Load-time propagator compiles by outcome (ok, cache_hit, error).", "result"),
 		versions: reg.GaugeVec("apds_registry_versions",
 			"Versions currently registered per model (routable or draining).", "model"),
 		shadow: reg.CounterVec("apds_registry_shadow_total",
@@ -90,6 +94,20 @@ func (m *Metrics) reloaded(result string) {
 	if m != nil {
 		m.reloads.With(result).Inc()
 	}
+}
+
+func (m *Metrics) compiled(result string) {
+	if m != nil {
+		m.compiles.With(result).Inc()
+	}
+}
+
+// Compiles returns the compile count for one outcome label (for tests).
+func (m *Metrics) Compiles(result string) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.compiles.With(result).Value()
 }
 
 func (m *Metrics) setVersions(model string, n int) {

@@ -83,6 +83,14 @@ type Config struct {
 	// SkipWarmup disables the warmup inference run before a version becomes
 	// routable. Tests use it to register deliberately slow estimators.
 	SkipWarmup bool
+	// DisableCompile turns off load-time specialization: versions then serve
+	// on the interpreted propagator only. By default every version built from
+	// a network (not an injected estimator) gets a compiled program — built
+	// or fetched from the fingerprint-keyed cache, warmed against the
+	// version's own propagator, and installed before the version is
+	// registered, so a version is routable only after its compiled propagator
+	// has passed its bit-identity self-check.
+	DisableCompile bool
 	// ShadowBuffer bounds pending shadow comparisons; beyond it duplicates
 	// are dropped (and counted) rather than ever blocking the primary path.
 	// Defaults to 256.
@@ -167,6 +175,10 @@ type Registry struct {
 	models map[string]*model
 	closed bool
 
+	// compiles shares load-time compiled programs across versions with
+	// identical networks (see compilecache.go).
+	compiles *compileCache
+
 	shadowJobs chan shadowJob
 	shadowWG   sync.WaitGroup
 	// drains counts versions registered but not yet fully drained; Close
@@ -185,6 +197,7 @@ func New(cfg Config) *Registry {
 	r := &Registry{
 		cfg:        cfg,
 		models:     make(map[string]*model),
+		compiles:   newCompileCache(),
 		shadowJobs: make(chan shadowJob, cfg.ShadowBuffer),
 	}
 	for i := 0; i < cfg.ShadowWorkers; i++ {
@@ -324,12 +337,25 @@ func (r *Registry) SetObsVar(modelName string, obsVar float64) error {
 	return err
 }
 
-// buildVersion assembles estimator + pool and runs the warmup inference.
+// buildVersion assembles estimator + pool, compiles the specialized
+// propagator, and runs the warmup inference. Everything here happens before
+// registration — off the serving path — so a hot reload compiles and warms
+// while the displaced version keeps serving.
 func (r *Registry) buildVersion(id string, net *nn.Network, obsVar float64, est core.Estimator) (*Version, error) {
+	var releaseCompiled func()
 	if est == nil {
 		ap, err := core.NewApDeepSense(net, r.cfg.Options, obsVar)
 		if err != nil {
 			return nil, fmt.Errorf("registry: version %s: %w", id, err)
+		}
+		// Compile before installing hooks: Warm's reference propagations are
+		// load-time self-checks, not serving traffic, and must not inflate
+		// batch-size or layer-timing metrics fed by the hooks.
+		if !r.cfg.DisableCompile {
+			releaseCompiled, err = r.compileFor(id, ap, net.Fingerprint())
+			if err != nil {
+				return nil, err
+			}
 		}
 		if r.cfg.Hooks != nil {
 			ap.Propagator().SetHooks(r.cfg.Hooks)
@@ -349,17 +375,28 @@ func (r *Registry) buildVersion(id string, net *nn.Network, obsVar float64, est 
 		}
 		g, err := est.Predict(ones)
 		if err != nil {
-			return nil, fmt.Errorf("registry: version %s warmup: %w", id, err)
+			return nil, failBuild(releaseCompiled, fmt.Errorf("registry: version %s warmup: %w", id, err))
 		}
 		if err := g.Validate(); err != nil {
-			return nil, fmt.Errorf("registry: version %s warmup output: %w", id, err)
+			return nil, failBuild(releaseCompiled, fmt.Errorf("registry: version %s warmup output: %w", id, err))
 		}
 	}
 	coal, err := serve.NewPredict(est, r.cfg.Serve)
 	if err != nil {
-		return nil, fmt.Errorf("registry: version %s pool: %w", id, err)
+		return nil, failBuild(releaseCompiled, fmt.Errorf("registry: version %s pool: %w", id, err))
 	}
-	return newVersion(id, net, est, coal), nil
+	v := newVersion(id, net, est, coal)
+	v.releaseCompiled = releaseCompiled
+	return v, nil
+}
+
+// failBuild releases a compiled-program cache reference a failed build would
+// otherwise leak, then passes the error through.
+func failBuild(release func(), err error) error {
+	if release != nil {
+		release()
+	}
+	return err
 }
 
 // retireVersion retires v and updates the drain accounting.

@@ -48,6 +48,13 @@ type Version struct {
 	// before closing the coalescer.
 	idle     chan struct{}
 	idleOnce sync.Once
+
+	// releaseCompiled, when non-nil, drops this version's reference on the
+	// registry's compiled-program cache. Called exactly once, at retire: the
+	// cache entry may be evicted then, but in-flight requests are unaffected —
+	// the propagator itself keeps its installed program reachable for as long
+	// as anything can run on it.
+	releaseCompiled func()
 }
 
 func newVersion(id string, net *nn.Network, est core.Estimator, coal *serve.PredictCoalescer) *Version {
@@ -105,6 +112,9 @@ func (v *Version) release() {
 func (v *Version) retire(onDrained func()) {
 	if !v.retired.CompareAndSwap(false, true) {
 		return
+	}
+	if v.releaseCompiled != nil {
+		v.releaseCompiled()
 	}
 	go func() {
 		<-v.idle

@@ -6,14 +6,23 @@ import (
 	"strings"
 )
 
-// Histogram is a fixed-width binned histogram over [Lo, Hi). Values outside
-// the range are clamped into the first/last bin so no sample is lost, which
-// is the behaviour wanted when visualizing near-Gaussian hidden-unit
-// distributions (Figure 1 of the paper).
+// Histogram is a fixed-width binned histogram over [Lo, Hi). Finite values
+// outside the range are clamped into the first/last bin so no sample is
+// lost, which is the behaviour wanted when visualizing near-Gaussian
+// hidden-unit distributions (Figure 1 of the paper).
+//
+// Non-finite samples (NaN, ±Inf) are never binned: converting NaN through
+// int(float64) is implementation-defined per the Go spec (it happens to land
+// in bin 0 on amd64 and elsewhere on other targets), so one NaN-emitting
+// producer would silently poison a bin. Add drops them into the NonFinite
+// counter instead, keeping Counts and Total about real observations only.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int64
-	total  int64
+	// NonFinite counts samples dropped because they were NaN or ±Inf. They
+	// are excluded from Total, Density, and GaussianFitError.
+	NonFinite int64
+	total     int64
 }
 
 // NewHistogram returns a histogram over [lo, hi) with bins buckets.
@@ -29,8 +38,13 @@ func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}, nil
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite x is counted in NonFinite and
+// otherwise ignored (see the type comment for why it must not be binned).
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.NonFinite++
+		return
+	}
 	n := len(h.Counts)
 	idx := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
 	if idx < 0 {
@@ -80,6 +94,9 @@ func (h *Histogram) Render(width int) string {
 			bar = int(math.Round(float64(width) * float64(c) / float64(maxC)))
 		}
 		fmt.Fprintf(&b, "%9.3f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	if h.NonFinite > 0 {
+		fmt.Fprintf(&b, "%9s | %-*s %d\n", "non-fin", width, "", h.NonFinite)
 	}
 	return b.String()
 }

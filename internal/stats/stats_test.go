@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -355,6 +356,47 @@ func TestHistogram(t *testing.T) {
 	}
 	if _, err := NewHistogram(5, 5, 3); err == nil {
 		t.Error("expected error for empty range")
+	}
+}
+
+func TestHistogramNonFinite(t *testing.T) {
+	// Regression: Add used to push NaN through int(float64), which the Go
+	// spec leaves implementation-defined (bin 0 on amd64, elsewhere on other
+	// targets) — one NaN-emitting producer silently poisoned bin 0. Non-
+	// finite samples must land in the NonFinite counter and nowhere else.
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	h.Add(math.NaN())
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	if h.NonFinite != 3 {
+		t.Errorf("NonFinite = %d, want 3", h.NonFinite)
+	}
+	if h.Total() != 0 {
+		t.Errorf("Total = %d, want 0 (non-finite samples are not observations)", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 0 {
+			t.Errorf("bin %d = %d, want 0", i, c)
+		}
+	}
+	// Finite samples still bin normally alongside dropped ones.
+	h.Add(0.5)
+	h.Add(math.NaN())
+	if h.Counts[0] != 1 || h.Total() != 1 || h.NonFinite != 4 {
+		t.Errorf("after mixed adds: bin0=%d total=%d nonfinite=%d, want 1/1/4",
+			h.Counts[0], h.Total(), h.NonFinite)
+	}
+	if got := h.Render(10); !strings.Contains(got, "non-fin") {
+		t.Errorf("Render does not surface the non-finite count:\n%s", got)
+	}
+	// A histogram with no dropped samples renders exactly as before.
+	clean, _ := NewHistogram(0, 10, 5)
+	clean.Add(1)
+	if got := clean.Render(10); strings.Contains(got, "non-fin") {
+		t.Errorf("Render shows a non-finite line with none dropped:\n%s", got)
 	}
 }
 

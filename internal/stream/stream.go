@@ -167,13 +167,21 @@ func (d Decision) String() string {
 // A Gate is safe for concurrent use: Check and Stats may be called from
 // multiple goroutines (the expected deployment shares one gate across
 // serving goroutines), and Stats always observes a consistent
-// (accepted, escalated) pair.
+// (accepted, escalated, nonFinite) triple.
+//
+// The decision contract is explicit about degenerate inputs: a zero-dim
+// prediction (whose mean std would be 0/0 = NaN) and any non-finite
+// per-dimension variance escalate — uncertainty that cannot be assessed is
+// treated as unbounded, never silently accepted — and additionally increment
+// the nonFinite counter so the condition is visible in telemetry instead of
+// masquerading as ordinary high uncertainty.
 type Gate struct {
 	maxMeanStd float64
 
 	mu        sync.Mutex
 	accepted  int64
 	escalated int64
+	nonFinite int64
 }
 
 // NewGate accepts predictions whose mean per-dimension standard deviation is
@@ -185,11 +193,29 @@ func NewGate(maxMeanStd float64) (*Gate, error) {
 	return &Gate{maxMeanStd: maxMeanStd}, nil
 }
 
-// Check classifies one predictive distribution.
+// Check classifies one predictive distribution. Zero-dim predictions and
+// predictions with any non-finite variance escalate and are counted as
+// nonFinite (see the type comment): before this contract, 0/0 = NaN mean
+// std failed the <= comparison and escalated with no signal, and a NaN
+// variance did the same — indistinguishable from a legitimately uncertain
+// prediction in the gate's statistics.
 func (g *Gate) Check(pred core.GaussianVec) Decision {
 	var s float64
+	degenerate := pred.Dim() == 0
 	for i := range pred.Var {
-		s += math.Sqrt(pred.Var[i])
+		sd := math.Sqrt(pred.Var[i])
+		if math.IsNaN(sd) || math.IsInf(sd, 0) {
+			degenerate = true
+			break
+		}
+		s += sd
+	}
+	if degenerate {
+		g.mu.Lock()
+		g.escalated++
+		g.nonFinite++
+		g.mu.Unlock()
+		return Escalate
 	}
 	if s/float64(pred.Dim()) <= g.maxMeanStd {
 		g.mu.Lock()
@@ -203,11 +229,13 @@ func (g *Gate) Check(pred core.GaussianVec) Decision {
 	return Escalate
 }
 
-// Stats returns the accept and escalate counts so far.
-func (g *Gate) Stats() (accepted, escalated int64) {
+// Stats returns the accept and escalate counts so far, plus how many of the
+// escalations were degenerate (zero-dim or non-finite σ) rather than
+// ordinary over-budget predictions.
+func (g *Gate) Stats() (accepted, escalated, nonFinite int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.accepted, g.escalated
+	return g.accepted, g.escalated, g.nonFinite
 }
 
 // Pipeline chains a windower, an optional online standardizer, an estimator,

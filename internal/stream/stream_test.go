@@ -169,9 +169,9 @@ func TestGate(t *testing.T) {
 	if d := g.Check(wide); d != Escalate {
 		t.Errorf("wide pred decision = %v, want escalate", d)
 	}
-	a, e := g.Stats()
-	if a != 1 || e != 1 {
-		t.Errorf("Stats = (%d, %d), want (1, 1)", a, e)
+	a, e, nf := g.Stats()
+	if a != 1 || e != 1 || nf != 0 {
+		t.Errorf("Stats = (%d, %d, %d), want (1, 1, 0)", a, e, nf)
 	}
 	if Accept.String() != "accept" || Escalate.String() != "escalate" {
 		t.Error("Decision strings wrong")
@@ -193,6 +193,121 @@ func buildEstimator(t *testing.T, inputDim int) core.Estimator {
 		t.Fatal(err)
 	}
 	return est
+}
+
+func TestGateNonFinite(t *testing.T) {
+	// Regression: a zero-dim prediction made Check compute s/0 = 0/0 = NaN,
+	// which fails the <= test and silently escalated; NaN variances did the
+	// same. Both must escalate AND be counted as nonFinite so telemetry can
+	// tell a broken producer from a legitimately uncertain one.
+	g, err := NewGate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		pred core.GaussianVec
+	}{
+		{"zero-dim", core.GaussianVec{}},
+		{"nan-var", core.GaussianVec{Mean: tensor.Vector{1}, Var: tensor.Vector{math.NaN()}}},
+		{"inf-var", core.GaussianVec{Mean: tensor.Vector{1}, Var: tensor.Vector{math.Inf(1)}}},
+		{"negative-var", core.GaussianVec{Mean: tensor.Vector{1}, Var: tensor.Vector{-1}}}, // sqrt(-1) = NaN
+		{"nan-after-ok-dims", core.GaussianVec{Mean: tensor.Vector{1, 2}, Var: tensor.Vector{0.01, math.NaN()}}},
+	}
+	for i, c := range cases {
+		if d := g.Check(c.pred); d != Escalate {
+			t.Errorf("%s: decision = %v, want escalate", c.name, d)
+		}
+		a, e, nf := g.Stats()
+		if a != 0 || e != int64(i+1) || nf != int64(i+1) {
+			t.Errorf("%s: Stats = (%d, %d, %d), want (0, %d, %d)", c.name, a, e, nf, i+1, i+1)
+		}
+	}
+	// Ordinary decisions do not touch the nonFinite counter.
+	ok := core.GaussianVec{Mean: tensor.Vector{1}, Var: tensor.Vector{0.01}}
+	if d := g.Check(ok); d != Accept {
+		t.Errorf("finite tight pred: decision = %v, want accept", d)
+	}
+	wide := core.GaussianVec{Mean: tensor.Vector{1}, Var: tensor.Vector{100}}
+	if d := g.Check(wide); d != Escalate {
+		t.Errorf("finite wide pred: decision = %v, want escalate", d)
+	}
+	a, e, nf := g.Stats()
+	if a != 1 || e != int64(len(cases))+1 || nf != int64(len(cases)) {
+		t.Errorf("final Stats = (%d, %d, %d), want (1, %d, %d)", a, e, nf, len(cases)+1, len(cases))
+	}
+}
+
+// TestWindowerRingProperty pins the ring-buffer reconstruction against a
+// naive reference that keeps every sample in an append-only slice and cuts
+// windows directly: for every (channels, length, stride) — including stride
+// greater than the window length, strides that do not divide count−length,
+// and windows straddling the ring's wrap boundary — the emitted windows must
+// match the reference sample-for-sample, and emissions must happen exactly
+// when (count−length) mod stride == 0.
+func TestWindowerRingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type cfg struct{ channels, length, stride int }
+	cfgs := []cfg{
+		{1, 1, 1},
+		{1, 4, 1},   // every wrap boundary exercised after the 4th push
+		{1, 4, 3},   // stride does not divide (count − length)
+		{2, 5, 7},   // stride > length: windows skip samples entirely
+		{3, 8, 8},   // stride == length: tumbling windows
+		{1, 6, 4},   // wrap-boundary windows at many offsets
+		{4, 3, 2},   // multichannel with overlapping windows
+		{2, 16, 31}, // stride ≫ length over a long run
+	}
+	// Randomized configurations widen the sweep beyond the handpicked edges.
+	for i := 0; i < 24; i++ {
+		cfgs = append(cfgs, cfg{1 + rng.Intn(4), 1 + rng.Intn(12), 1 + rng.Intn(20)})
+	}
+	for _, c := range cfgs {
+		w, err := NewWindower(c.channels, c.length, c.stride)
+		if err != nil {
+			t.Fatalf("NewWindower(%+v): %v", c, err)
+		}
+		// The reference: all samples ever pushed, flattened time-major.
+		var all []float64
+		pushes := c.length*3 + c.stride*3 + rng.Intn(40)
+		emitted := 0
+		for n := 1; n <= pushes; n++ {
+			sample := make([]float64, c.channels)
+			for j := range sample {
+				sample[j] = rng.NormFloat64()
+			}
+			all = append(all, sample...)
+			got, ready, err := w.Push(sample)
+			if err != nil {
+				t.Fatalf("%+v push %d: %v", c, n, err)
+			}
+			wantReady := n >= c.length && (n-c.length)%c.stride == 0
+			if ready != wantReady {
+				t.Fatalf("%+v push %d: ready = %v, want %v", c, n, ready, wantReady)
+			}
+			if !ready {
+				if got != nil {
+					t.Fatalf("%+v push %d: non-nil window without ready", c, n)
+				}
+				continue
+			}
+			emitted++
+			// The window is the most recent `length` samples, flattened.
+			want := all[(n-c.length)*c.channels : n*c.channels]
+			if len(got) != len(want) {
+				t.Fatalf("%+v push %d: window len %d, want %d", c, n, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%+v push %d: window[%d] = %v, want %v (ring reconstruction diverged from reference)",
+						c, n, j, got[j], want[j])
+				}
+			}
+		}
+		if wantEmitted := (pushes-c.length)/c.stride + 1; pushes >= c.length && emitted != wantEmitted {
+			t.Errorf("%+v: emitted %d windows over %d pushes, want %d", c, emitted, pushes, wantEmitted)
+		}
+	}
 }
 
 func TestPipelineEndToEnd(t *testing.T) {
@@ -310,7 +425,7 @@ func TestGateConcurrent(t *testing.T) {
 				g.Check(pred)
 				if i%64 == 0 {
 					// Interleave reads: Stats must always be consistent.
-					a, e := g.Stats()
+					a, e, _ := g.Stats()
 					if a < 0 || e < 0 || a+e > workers*perWorker {
 						t.Errorf("impossible stats (%d, %d)", a, e)
 						return
@@ -320,7 +435,7 @@ func TestGateConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	a, e := g.Stats()
+	a, e, _ := g.Stats()
 	if a+e != workers*perWorker {
 		t.Errorf("counts lost: accepted %d + escalated %d = %d, want %d",
 			a, e, a+e, workers*perWorker)

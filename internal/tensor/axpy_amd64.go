@@ -81,3 +81,51 @@ func axpy4(x0, x1, x2, x3 float64, w, d0, d1, d2, d3 []float64) {
 	}
 	axpy4AVX(x0, x1, x2, x3, &w[0], len(w), &d0[0], &d1[0], &d2[0], &d3[0])
 }
+
+// axpyDualAVX is the single-row dual-moment kernel in axpy_amd64.s:
+// dm[j] += xm * wm[j] and dv[j] += xv * wv[j] for j in 0..n-1 in one vector
+// pass. Like axpy4AVX it uses separate VMULPD and VADDPD so every lane is
+// the exact rounded multiply-then-add of the scalar loop — the compiled
+// propagator relies on that for its bit-identity contract on tail rows.
+func axpyDualAVX(xm, xv float64, wm, wv *float64, n int, dm, dv *float64)
+
+// axpyDualAVX512 is the same kernel widened to 8 doubles per step.
+func axpyDualAVX512(xm, xv float64, wm, wv *float64, n int, dm, dv *float64)
+
+// axpyDual wraps the dual-moment assembly kernels with slice bookkeeping and
+// width dispatch. wm and wv must have equal length; dm and dv must be at
+// least that long.
+func axpyDual(xm, xv float64, wm, wv, dm, dv []float64) {
+	if len(wm) == 0 {
+		return
+	}
+	if hasAVX512 {
+		axpyDualAVX512(xm, xv, &wm[0], &wv[0], len(wm), &dm[0], &dv[0])
+		return
+	}
+	axpyDualAVX(xm, xv, &wm[0], &wv[0], len(wm), &dm[0], &dv[0])
+}
+
+// axpy4DualAVX is the 4-row dual-moment kernel in axpy_amd64.s:
+// dm_r[j] += x_r * wm[j] and dv_r[j] += y_r * wv[j] for r in 0..3 in one
+// pass, loading each panel stripe once for both moments. Same separately
+// rounded multiply-then-add per lane as every other kernel here.
+func axpy4DualAVX(x0, x1, x2, x3, y0, y1, y2, y3 float64, wm, wv *float64, n int, dm0, dm1, dm2, dm3, dv0, dv1, dv2, dv3 *float64)
+
+// axpy4DualAVX512 is the same kernel widened to 8 doubles per step.
+func axpy4DualAVX512(x0, x1, x2, x3, y0, y1, y2, y3 float64, wm, wv *float64, n int, dm0, dm1, dm2, dm3, dv0, dv1, dv2, dv3 *float64)
+
+// axpy4Dual wraps the 4-row dual-moment assembly kernels with slice
+// bookkeeping and width dispatch.
+func axpy4Dual(x0, x1, x2, x3, y0, y1, y2, y3 float64, wm, wv []float64, dm0, dm1, dm2, dm3, dv0, dv1, dv2, dv3 []float64) {
+	if len(wm) == 0 {
+		return
+	}
+	if hasAVX512 {
+		axpy4DualAVX512(x0, x1, x2, x3, y0, y1, y2, y3, &wm[0], &wv[0], len(wm),
+			&dm0[0], &dm1[0], &dm2[0], &dm3[0], &dv0[0], &dv1[0], &dv2[0], &dv3[0])
+		return
+	}
+	axpy4DualAVX(x0, x1, x2, x3, y0, y1, y2, y3, &wm[0], &wv[0], len(wm),
+		&dm0[0], &dm1[0], &dm2[0], &dm3[0], &dv0[0], &dv1[0], &dv2[0], &dv3[0])
+}

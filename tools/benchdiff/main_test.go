@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func mustDoc(t *testing.T, s string) any {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func byPath(rs []metricResult) map[string]metricResult {
+	m := make(map[string]metricResult, len(rs))
+	for _, r := range rs {
+		m[r.path] = r
+	}
+	return m
+}
+
+func TestDiffDirections(t *testing.T) {
+	base := mustDoc(t, `{
+		"entries": [
+			{"batch": 1, "speedup": 2.0, "compiled_ns_per_sample": 100.0, "compiled_samples_per_sec": 10000.0}
+		],
+		"reload": {"reload_millis": 10.0},
+		"timestamp": "2026-08-08T00:00:00Z"
+	}`)
+	fresh := mustDoc(t, `{
+		"entries": [
+			{"batch": 1, "speedup": 0.5, "compiled_ns_per_sample": 120.0, "compiled_samples_per_sec": 9000.0}
+		],
+		"reload": {"reload_millis": 100.0},
+		"timestamp": "2026-08-08T01:00:00Z"
+	}`)
+	rs := byPath(diffDocs(base, fresh, 0.5))
+
+	// speedup 2.0 -> 0.5 is -75%: beyond 50% tolerance.
+	if r := rs["/entries[0]/speedup"]; !r.regressed {
+		t.Errorf("speedup drop not flagged: %+v", r)
+	}
+	// ns/sample 100 -> 120 is a 17% slowdown: within tolerance.
+	if r := rs["/entries[0]/compiled_ns_per_sample"]; r.regressed {
+		t.Errorf("mild slowdown flagged: %+v", r)
+	}
+	// per_sec 10000 -> 9000 is -10%: within tolerance.
+	if r := rs["/entries[0]/compiled_samples_per_sec"]; r.regressed {
+		t.Errorf("mild throughput dip flagged: %+v", r)
+	}
+	// reload 10ms -> 100ms is 10x slower: beyond tolerance.
+	if r := rs["/reload/reload_millis"]; !r.regressed {
+		t.Errorf("reload blowup not flagged: %+v", r)
+	}
+	// batch is a count, timestamp is a string: neither compared.
+	if _, ok := rs["/entries[0]/batch"]; ok {
+		t.Error("count key compared")
+	}
+	if _, ok := rs["/timestamp"]; ok {
+		t.Error("string leaf compared")
+	}
+}
+
+func TestDiffImprovementsPass(t *testing.T) {
+	base := mustDoc(t, `{"speedup": 1.0, "p99_micros": 500.0}`)
+	fresh := mustDoc(t, `{"speedup": 3.0, "p99_micros": 50.0}`)
+	for _, r := range diffDocs(base, fresh, 0.25) {
+		if r.regressed {
+			t.Errorf("improvement flagged as regression: %+v", r)
+		}
+		if r.delta <= 0 {
+			t.Errorf("improvement has non-positive delta: %+v", r)
+		}
+	}
+}
+
+func TestDiffShapeMismatchesSkipped(t *testing.T) {
+	base := mustDoc(t, `{"entries": [{"speedup": 2.0}], "extra": {"qps": 5.0}}`)
+	fresh := mustDoc(t, `{"entries": [{"speedup": 2.0}, {"speedup": 9.0}], "extra": "gone"}`)
+	rs := diffDocs(base, fresh, 0.5)
+	if len(rs) != 1 || rs[0].path != "/entries[0]/speedup" {
+		t.Errorf("results = %+v, want only the paired entry", rs)
+	}
+}
+
+func TestDiffZeroTimesSkipped(t *testing.T) {
+	// A zero micros cell means "did not run" (e.g. no requests landed in a
+	// measurement window); comparing against it would divide by zero or flag
+	// phantom regressions.
+	base := mustDoc(t, `{"p50_micros": 0.0, "qps": 0.0}`)
+	fresh := mustDoc(t, `{"p50_micros": 900.0, "qps": 100.0}`)
+	if rs := diffDocs(base, fresh, 0.5); len(rs) != 0 {
+		t.Errorf("results = %+v, want none (zero baselines skipped)", rs)
+	}
+}
+
+func TestDiffMaxKeysSkipped(t *testing.T) {
+	// Single-sample extremes regress by 10x between healthy runs; they are
+	// recorded for humans, not for the gate.
+	base := mustDoc(t, `{"max_serve_micros_during_reload": 100.0}`)
+	fresh := mustDoc(t, `{"max_serve_micros_during_reload": 40000.0}`)
+	if rs := diffDocs(base, fresh, 0.5); len(rs) != 0 {
+		t.Errorf("results = %+v, want none (max_ keys skipped)", rs)
+	}
+}

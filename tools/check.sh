@@ -7,9 +7,11 @@
 # seconds of mutation catch shallow regressions), then record the batched
 # propagation benchmark with its metrics snapshot (results/BENCH_batch.json +
 # results/BENCH_obs.prom) and smoke runs of the serving and registry
-# benchmarks. The smoke bench runs write to a scratch directory so short cells
-# never clobber the committed results/BENCH_serve.json / BENCH_registry.json
-# (regenerate those with `make bench-serve` / `make bench-registry`).
+# benchmarks, and finally run the compiled-propagator benchmark and diff it
+# against the committed trajectory with tools/benchdiff. The smoke bench runs
+# write to a scratch directory so short cells never clobber the committed
+# results/BENCH_serve.json / BENCH_registry.json (regenerate those with
+# `make bench-serve` / `make bench-registry` / `make bench-compile`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +23,7 @@ echo "== go build ./..."
 go build ./...
 
 echo "== go test -race (numeric hot paths)"
-go test -race ./internal/core/... ./internal/tensor/...
+go test -race ./internal/core/... ./internal/tensor/... ./internal/compile/...
 
 echo "== go test -race (observability + serving path)"
 go test -race ./internal/obs/... ./internal/stream/... ./internal/serve/... ./examples/server/...
@@ -38,6 +40,7 @@ go test -race ./internal/oracle/... ./internal/proptest/...
 echo "== fuzz smoke (10s per target)"
 go test -run NONE -fuzz 'FuzzPropagateVsOracle' -fuzztime 10s ./internal/proptest
 go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 10s ./internal/proptest
+go test -run NONE -fuzz 'FuzzCompiledVsInterpreted' -fuzztime 10s ./internal/proptest
 go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 10s ./internal/nn
 
 echo "== apds-bench -batch -obs"
@@ -50,5 +53,12 @@ go run ./cmd/apds-bench -serve -serve-duration 200ms -results "$smokedir"
 
 echo "== apds-bench -registry (smoke)"
 go run ./cmd/apds-bench -registry -registry-duration 200ms -results "$smokedir"
+
+echo "== apds-bench -compile + benchdiff vs committed trajectory"
+go run ./cmd/apds-bench -compile -results "$smokedir"
+# Loose tolerance: the committed numbers come from another box; this gate
+# catches the compiled path silently falling back to interpreted speed, not
+# scheduler noise.
+go run ./tools/benchdiff -base results/BENCH_compile.json -fresh "$smokedir/BENCH_compile.json" -tol 0.6
 
 echo "check: ok"
