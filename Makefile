@@ -3,10 +3,11 @@
 # the oracle-backed differential harness + a fuzz smoke pass over every fuzz
 # target + the batched propagation benchmark with its metrics snapshot
 # (results/BENCH_batch.json, results/BENCH_obs.prom) + smoke runs of the
-# serving, registry, and compiled-propagator benchmarks (the last diffed
-# against the committed trajectory with tools/benchdiff).
+# serving, registry, compiled-propagator, and quantized-propagator benchmarks
+# (the last two diffed against their committed trajectories with
+# tools/benchdiff).
 
-.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile build
+.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile bench-quant build
 
 check:
 	./tools/check.sh
@@ -23,6 +24,8 @@ fuzz:
 	go test -run NONE -fuzz 'FuzzPropagateVsOracle' -fuzztime 2m ./internal/proptest
 	go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 2m ./internal/proptest
 	go test -run NONE -fuzz 'FuzzCompiledVsInterpreted' -fuzztime 2m ./internal/proptest
+	go test -run NONE -fuzz 'FuzzQuantizedVsFloat' -fuzztime 2m ./internal/proptest
+	go test -run NONE -fuzz 'FuzzQMadd' -fuzztime 2m ./internal/tensor
 	go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 2m ./internal/nn
 
 bench:
@@ -53,3 +56,11 @@ bench-registry:
 # artifact). `tools/benchdiff` diffs a fresh run against it in check.sh.
 bench-compile:
 	go run ./cmd/apds-bench -compile -results results
+
+# The quantized-propagator benchmark: the int8/int16 fixed-point path vs the
+# float interpreted and compiled paths at batch 1/8/64, plus model-size and
+# Edison cost-model projections, recorded as results/BENCH_quant.json (the
+# committed artifact). `tools/benchdiff` diffs a fresh run against it in
+# check.sh.
+bench-quant:
+	go run ./cmd/apds-bench -quant -results results

@@ -28,6 +28,7 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/mcdrop"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
 	"github.com/apdeepsense/apdeepsense/internal/obs"
+	"github.com/apdeepsense/apdeepsense/internal/qprop"
 	"github.com/apdeepsense/apdeepsense/internal/quantize"
 	"github.com/apdeepsense/apdeepsense/internal/rdeepsense"
 	"github.com/apdeepsense/apdeepsense/internal/registry"
@@ -213,6 +214,30 @@ type (
 // CompileProgram specializes p's network into a compiled program covering
 // batches of 1..maxBatch rows.
 var CompileProgram = compile.Compile
+
+// Quantized propagation re-exports (internal/qprop): moment propagation run
+// directly on int8 weight codes with fixed-point accumulation — an
+// approximation held to the oracle's a-priori quantization error budget, not
+// a bit-identical specialization. The model registry builds these for
+// versions that opt in (ModelRegistryConfig.EnableQuantized, SetQuantized,
+// or "quantized": true in the manifest); direct users do:
+//
+//	qp, _, _ := QuantizeProgram(net, apdeepsense.Options{})
+//	est.Propagator().SetQuantized(qp) // takes dispatch priority everywhere
+type (
+	// QuantizedPropagator is a fixed-point propagation program.
+	QuantizedPropagator = qprop.Propagator
+	// QuantizedProgram is the interface dispatch accepts via SetQuantized.
+	QuantizedProgram = core.QuantizedProgram
+)
+
+// QuantizeProgram quantizes net to int8 and builds its fixed-point
+// propagation program (the quantized model is returned alongside); it fails
+// rather than install codes that cannot represent the weights (non-finite
+// or overflowing scales).
+func QuantizeProgram(net *Network, opts Options) (*qprop.Propagator, *quantize.Model, error) {
+	return qprop.Build(net, opts)
+}
 
 // Serving re-exports (internal/serve): the dynamic micro-batching layer that
 // coalesces concurrent single-row predict requests onto the batched

@@ -108,10 +108,12 @@ func (p *Propagator) PropagateBatchFrom(gb GaussianBatch) (GaussianBatch, error)
 // so internal/compile can precompute chunk plans with the same fan-out rule.
 const MinRowsPerWorker = 8
 
-// propagateBatch routes the validated batch: to the installed compiled
-// program (SetCompiled) when the batch fits its registered maximum, otherwise
-// to the interpreted row-chunk path. Both produce Float64bits-identical
-// results; only the dispatch and scratch strategy differ.
+// propagateBatch routes the validated batch: to the installed quantized
+// program (SetQuantized) first, else to the installed compiled program
+// (SetCompiled) when the batch fits its registered maximum, otherwise to the
+// interpreted row-chunk path. Compiled and interpreted produce
+// Float64bits-identical results; the quantized path is an approximation
+// held to the oracle's quantization error budget instead.
 func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 	b := gb.Batch()
 	out := NewGaussianBatch(b, p.net.OutputDim())
@@ -121,6 +123,10 @@ func (p *Propagator) propagateBatch(gb GaussianBatch) (GaussianBatch, error) {
 	h := p.hooks.Load()
 	if h != nil && h.BatchStart != nil {
 		h.BatchStart(b)
+	}
+	if q := p.Quantized(); q != nil && b <= q.MaxBatch() {
+		q.RunBatch(gb, out, h)
+		return out, nil
 	}
 	if c := p.Compiled(); c != nil && b <= c.MaxBatch() {
 		c.RunBatch(gb, out, h)

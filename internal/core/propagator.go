@@ -95,6 +95,11 @@ type Propagator struct {
 	// (SetCompiled / internal/compile). Snapshotted once per batch call;
 	// uninstalled it costs one atomic pointer load.
 	compiledProg atomic.Pointer[compiledHolder]
+
+	// quantizedProg holds the optional fixed-point program (SetQuantized /
+	// internal/qprop). When installed it outranks both the compiled and the
+	// interpreted paths on every propagation entry point; see quantized.go.
+	quantizedProg atomic.Pointer[quantizedHolder]
 }
 
 // NewPropagator prepares ApDeepSense inference for net. Optional behavior
@@ -180,6 +185,12 @@ func (p *Propagator) Propagate(x tensor.Vector) (GaussianVec, error) {
 func (p *Propagator) PropagateFrom(g GaussianVec) (GaussianVec, error) {
 	if g.Dim() != p.net.InputDim() {
 		return GaussianVec{}, fmt.Errorf("propagate-from: input dim %d, want %d: %w", g.Dim(), p.net.InputDim(), ErrInput)
+	}
+	// An installed quantized program answers the per-sample path too, so a
+	// served sample sees the same arithmetic whether it arrived alone or in
+	// a coalesced batch (Run is bit-identical to a RunBatch row).
+	if q := p.Quantized(); q != nil {
+		return q.Run(g), nil
 	}
 	h := p.hooks.Load()
 	timed := h != nil && h.LayerTime != nil

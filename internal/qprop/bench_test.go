@@ -1,0 +1,47 @@
+package qprop
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+// benchSetup builds the reference benchmark network (the same 5-256-256-1
+// shape apds-bench -quant measures) and a filled input batch.
+func benchSetup(b *testing.B, batch int) (*Propagator, core.GaussianBatch, core.GaussianBatch) {
+	b.Helper()
+	net, err := nn.New(nn.Config{
+		InputDim: 5, Hidden: []int{256, 256}, OutputDim: 1,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qp, _, err := Build(net, core.Options{}, WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	in := core.NewGaussianBatch(batch, net.InputDim())
+	for i := range in.Mean.Data {
+		in.Mean.Data[i] = rng.NormFloat64()
+		in.Var.Data[i] = rng.Float64()
+	}
+	out := core.NewGaussianBatch(batch, net.OutputDim())
+	return qp, in, out
+}
+
+func benchRunBatch(b *testing.B, batch int) {
+	qp, in, out := benchSetup(b, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qp.RunBatch(in, out, nil)
+	}
+}
+
+func BenchmarkRunBatch1(b *testing.B)  { benchRunBatch(b, 1) }
+func BenchmarkRunBatch8(b *testing.B)  { benchRunBatch(b, 8) }
+func BenchmarkRunBatch64(b *testing.B) { benchRunBatch(b, 64) }

@@ -1,0 +1,514 @@
+// Package qprop is the fixed-point moment propagator: ApDeepSense inference
+// (eqs. 9–10 dense moments, eqs. 12–26 PWL activation moments) run directly
+// on int8 weight codes instead of dequantized float64 weights — the speed
+// and footprint tier the paper's Edison-class targets motivate.
+//
+// # Arithmetic scheme
+//
+// Per layer, the mean matmul uses the quantized model's per-output-channel
+// int8 codes q with scales s (w_ij ≈ s_j·q_ij); the variance matmul uses the
+// derived 7-bit squared codes q2 with scales s2 (w²_ij ≈ s2_j·q2_ij, see
+// quantize.Layer.SquareCodes). Both code panels are widened to int16 and
+// packed pair-interleaved for the VPMADDWD-style kernels in internal/tensor.
+//
+// Activations are quantized per ROW and per layer, dynamically: after the
+// dropout prep (μp, (μ²+σ²)p − μ²p²) the row's max magnitudes pick symmetric
+// int16 scales, codes are round-clamped, and the dual dot products run in
+// exact integer arithmetic — int32 lanes within a tensor.QPairBlock block,
+// widened into int64 across blocks, so no accumulation step can overflow
+// (the budget is derived on tensor.QPairBlock). The totals dequantize as
+// float64(acc)·(rowScale·s_j) + bias and feed the ordinary core.ActKernel
+// moment step; the PWL/knot machinery is shared with the float paths, so
+// the quantized path differs only in the dense arithmetic.
+//
+// # Accuracy contract
+//
+// The path is an approximation with a PROVEN bound, not a tolerance: for a
+// given float network and its quantized model, internal/oracle's
+// ForwardQuantCond composes an a-priori per-layer error budget (exact
+// weight-reconstruction residuals, activation-quantization rounding at the
+// dynamic scales, float dequantization rounding, all amplified through the
+// remaining depth) and internal/proptest holds |quant − oracle| under it
+// across the random-network space, with no hand-tuned epsilons.
+//
+// Because every row is processed by one shared routine whose quantization
+// scales depend only on that row, batch rows are Float64bits-identical to
+// sequential Run calls — the same self-consistency contract the float paths
+// have, which registry hot-swap hammering relies on.
+package qprop
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/quantize"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// QAMax is the symmetric int16 ceiling for the dynamic per-row activation
+// quantization: codes live in [-QAMax, QAMax]. Products against int8-ranged
+// weight codes then fit the overflow budget documented on tensor.QPairBlock.
+const QAMax = 32767
+
+// Option configures optional Propagator behavior.
+type Option func(*Propagator)
+
+// WithWorkers bounds the number of goroutines RunBatch fans its row chunks
+// across, mirroring core.WithWorkers: n <= 0 selects GOMAXPROCS, n == 1
+// forces single-threaded batches.
+func WithWorkers(n int) Option {
+	return func(p *Propagator) { p.workers = n }
+}
+
+// qlayer is one layer's packed fixed-point state.
+type qlayer struct {
+	nIn, nOut int
+	pairs     int // ceil(nIn/2); odd nIn pads a zero row
+	// panelM / panelV are the pair-interleaved int16 panels of the mean
+	// codes and the derived squared codes (layout: tensor.QMaddPairs).
+	panelM, panelV []int16
+	// scaleM / scaleV are the per-output dequantization scales s and s2.
+	scaleM, scaleV []float64
+	bias           []float64
+	keep           float64
+}
+
+// Propagator runs fixed-point ApDeepSense inference over one quantized
+// model. It implements core.QuantizedProgram; install it on the float
+// propagator with SetQuantized. Immutable after New and safe for concurrent
+// Run/RunBatch calls.
+type Propagator struct {
+	model   *quantize.Model
+	layers  []qlayer
+	kernels []*core.ActKernel
+	acts    []*piecewise.Func
+
+	inDim, outDim int
+	maxDim        int // widest layer dimension including the input
+	maxPairs      int
+	maxBounds     int
+	workers       int
+
+	scratch  sync.Pool
+	cost     edison.Cost
+	resident int64
+}
+
+// New packs the quantized model into pair-interleaved panels and prepares
+// the activation kernels. opts carries the PWL piece counts so the
+// quantized path approximates the same activation curves as the float
+// propagator it shadows.
+func New(m *quantize.Model, opts core.Options, extra ...Option) (*Propagator, error) {
+	if m == nil {
+		return nil, fmt.Errorf("qprop: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("qprop: %w", err)
+	}
+	p := &Propagator{
+		model:  m,
+		inDim:  m.Layers[0].InDim,
+		outDim: m.Layers[len(m.Layers)-1].OutDim,
+		maxDim: m.Layers[0].InDim,
+	}
+	var optsFilled = opts
+	// Zero-valued pieces pick the same defaults as core.Options.
+	if optsFilled.TanhPieces == 0 {
+		optsFilled.TanhPieces = 7
+	}
+	if optsFilled.SigmoidPieces == 0 {
+		optsFilled.SigmoidPieces = 7
+	}
+	for li := range m.Layers {
+		q := &m.Layers[li]
+		var (
+			f   *piecewise.Func
+			err error
+		)
+		switch q.Act {
+		case nn.ActIdentity:
+			f = piecewise.Identity()
+		case nn.ActReLU:
+			f = piecewise.ReLU()
+		case nn.ActTanh:
+			f, err = piecewise.Tanh(optsFilled.TanhPieces)
+		case nn.ActSigmoid:
+			f, err = piecewise.Sigmoid(optsFilled.SigmoidPieces)
+		default:
+			err = fmt.Errorf("unsupported activation %v", q.Act)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("qprop: prepare layer %d: %w", li, err)
+		}
+		p.acts = append(p.acts, f)
+		p.kernels = append(p.kernels, core.NewActKernel(f))
+		if f.NumPieces()+1 > p.maxBounds {
+			p.maxBounds = f.NumPieces() + 1
+		}
+
+		codes2, scales2 := q.SquareCodes()
+		// A squared scale that overflowed (s² beyond float range) has no
+		// usable fixed-point representation: dequantizing against it turns
+		// zero totals into 0·Inf = NaN. Reject the model instead — the
+		// registry's opt-in path falls back to float propagation.
+		for j, s2 := range scales2 {
+			if math.IsInf(s2, 0) {
+				return nil, fmt.Errorf("qprop: layer %d squared-weight scale[%d] overflows float64: weights too large for the fixed-point scheme", li, j)
+			}
+		}
+		ql := qlayer{
+			nIn: q.InDim, nOut: q.OutDim,
+			pairs:  (q.InDim + 1) / 2,
+			scaleM: append([]float64(nil), q.Scales...),
+			scaleV: scales2,
+			bias:   append([]float64(nil), q.B...),
+			keep:   q.KeepProb,
+		}
+		ql.panelM = packPairs(q.W, q.InDim, q.OutDim)
+		ql.panelV = packPairs(codes2, q.InDim, q.OutDim)
+		p.layers = append(p.layers, ql)
+
+		if q.OutDim > p.maxDim {
+			p.maxDim = q.OutDim
+		}
+		if ql.pairs > p.maxPairs {
+			p.maxPairs = ql.pairs
+		}
+		p.resident += 2 * int64(len(ql.panelM)+len(ql.panelV))
+		p.resident += 8 * int64(len(ql.scaleM)+len(ql.scaleV)+len(ql.bias))
+	}
+	p.cost = p.computeCost()
+	p.scratch.New = func() any { return &rowScratch{} }
+	for _, o := range extra {
+		o(p)
+	}
+	return p, nil
+}
+
+// Build is the one-call path from a float network to an installable
+// program: quantize, pack, and smoke-check on an all-ones input (finite
+// moments out). The registry uses it behind the opt-in flag, falling back
+// to float on any error.
+func Build(net *nn.Network, opts core.Options, extra ...Option) (*Propagator, *quantize.Model, error) {
+	m, err := quantize.Quantize(net)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := New(m, opts, extra...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ones := make(tensor.Vector, p.inDim)
+	for i := range ones {
+		ones[i] = 1
+	}
+	g := p.Run(core.Deterministic(ones))
+	for i := 0; i < g.Dim(); i++ {
+		if m, v := g.Mean[i], g.Var[i]; m-m != 0 || v-v != 0 {
+			return nil, nil, fmt.Errorf("qprop: smoke check produced non-finite moments at output %d", i)
+		}
+	}
+	return p, m, nil
+}
+
+// packPairs lays int8 codes out as the pair-interleaved int16 panel
+// tensor.QMaddPairs consumes: element (kk, j) lands at
+// panel[(kk/2)·2·nOut + 2j + kk%2]; an odd trailing row pads with zeros.
+func packPairs(codes []int8, nIn, nOut int) []int16 {
+	pairs := (nIn + 1) / 2
+	panel := make([]int16, pairs*2*nOut)
+	for kk := 0; kk < nIn; kk++ {
+		row := codes[kk*nOut : (kk+1)*nOut]
+		dst := panel[(kk/2)*2*nOut+kk%2:]
+		for j, c := range row {
+			dst[2*j] = int16(c)
+		}
+	}
+	return panel
+}
+
+// Model returns the quantized model the program was packed from.
+func (p *Propagator) Model() *quantize.Model { return p.model }
+
+// InputDim reports the network input dimension.
+func (p *Propagator) InputDim() int { return p.inDim }
+
+// OutputDim reports the network output dimension.
+func (p *Propagator) OutputDim() int { return p.outDim }
+
+// MaxBatch implements core.QuantizedProgram: the fixed-point path is
+// batch-size-agnostic (scratch is per row), so every batch dispatches here.
+func (p *Propagator) MaxBatch() int { return math.MaxInt32 }
+
+// ResidentBytes reports the in-memory footprint of the packed panels and
+// scales — the number to compare against the float propagator's resident
+// 16 bytes/weight (W plus W², float64 each).
+func (p *Propagator) ResidentBytes() int64 { return p.resident }
+
+// FileBytes reports the serialized footprint of the underlying model
+// (int8 codes + scales + biases; the squared panel is derived, not stored).
+func (p *Propagator) FileBytes() int64 { return p.model.SizeBytes() }
+
+// Cost returns the modeled per-inference cost on the edison scale: the
+// dense work counts as integer MACs, everything else as element ops.
+func (p *Propagator) Cost() edison.Cost { return p.cost }
+
+func (p *Propagator) computeCost() edison.Cost {
+	var c edison.Cost
+	for li, l := range p.layers {
+		in, out := int64(l.nIn), int64(l.nOut)
+		// Mean and variance integer dot products.
+		c.IntMACs += 2 * in * out
+		// Dropout prep (5 passes), row max scan (2), quantization
+		// round+clamp (2×2), dequantize + bias (3 per output, twice).
+		c.ElementOps += (5+2+4)*in + 6*out
+		for _, piece := range p.acts[li].Pieces() {
+			if piece.K == 0 {
+				c.ElementOps += out * core.OpsPerConstPiece
+			} else {
+				c.ElementOps += out * core.OpsPerLinearPiece
+			}
+		}
+	}
+	return c
+}
+
+// rowScratch is one worker's buffers, sized lazily for the widest layer.
+type rowScratch struct {
+	curMu, curVar  []float64
+	nxtMu, nxtVar  []float64
+	qa, qv         []int16
+	acc32m, acc32v []int32
+	totM, totV     []int64
+	bounds         []stats.Boundary
+	pms            []stats.PartialMoments
+	warm           bool
+}
+
+func (s *rowScratch) ensure(dim, pairs, nBounds int) {
+	if len(s.curMu) < dim {
+		s.curMu = make([]float64, dim)
+		s.curVar = make([]float64, dim)
+		s.nxtMu = make([]float64, dim)
+		s.nxtVar = make([]float64, dim)
+		s.acc32m = make([]int32, dim)
+		s.acc32v = make([]int32, dim)
+		s.totM = make([]int64, dim)
+		s.totV = make([]int64, dim)
+	}
+	if len(s.qa) < 2*pairs {
+		s.qa = make([]int16, 2*pairs)
+		s.qv = make([]int16, 2*pairs)
+	}
+	if len(s.bounds) < nBounds {
+		s.bounds = make([]stats.Boundary, nBounds)
+		s.pms = make([]stats.PartialMoments, nBounds)
+	}
+}
+
+// Run implements core.QuantizedProgram for a single Gaussian. The caller
+// (core.Propagator.PropagateFrom) guarantees the input dimension.
+func (p *Propagator) Run(g core.GaussianVec) core.GaussianVec {
+	out := core.NewGaussianVec(p.outDim)
+	sc := p.scratch.Get().(*rowScratch)
+	sc.warm = true
+	sc.ensure(p.maxDim, p.maxPairs, p.maxBounds)
+	p.runRow(g.Mean, g.Var, out.Mean, out.Var, sc)
+	p.scratch.Put(sc)
+	return out
+}
+
+// RunBatch implements core.QuantizedProgram: rows fan out over workers with
+// the interpreted path's MinRowsPerWorker rule, each row running the same
+// routine as Run (bit-identical rows regardless of chunking).
+func (p *Propagator) RunBatch(in, out core.GaussianBatch, h *core.Hooks) {
+	b := in.Batch()
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (b + core.MinRowsPerWorker - 1) / core.MinRowsPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		p.runRows(in, out, 0, b, h)
+		return
+	}
+	chunk := (b + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < b; lo += chunk {
+		hi := lo + chunk
+		if hi > b {
+			hi = b
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.runRows(in, out, lo, hi, h)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (p *Propagator) runRows(in, out core.GaussianBatch, lo, hi int, h *core.Hooks) {
+	sc := p.scratch.Get().(*rowScratch)
+	if h != nil && h.ScratchGet != nil {
+		h.ScratchGet(sc.warm)
+	}
+	sc.warm = true
+	sc.ensure(p.maxDim, p.maxPairs, p.maxBounds)
+	for r := lo; r < hi; r++ {
+		g := in.Row(r)
+		o := out.Row(r)
+		p.runRow(g.Mean, g.Var, o.Mean, o.Var, sc)
+	}
+	p.scratch.Put(sc)
+}
+
+// clampQ rounds a quotient to the nearest int16 code, clamping at ±QAMax
+// (the quotient can round a hair past QAMax at the row maximum).
+func clampQ(x float64) int16 {
+	r := math.Round(x)
+	if r > QAMax {
+		return QAMax
+	}
+	if r < -QAMax {
+		return -QAMax
+	}
+	return int16(r)
+}
+
+// rowQuantScale picks the dynamic symmetric scale for a row maximum: zero
+// rows get scale 1 over all-zero codes, and a subnormal maximum whose
+// max/QAMax quotient underflows to zero falls back to the maximum itself
+// (codes in {-1, 0, 1}; the absolute error is below 1e-318 and inside the
+// oracle budget's floor).
+func rowQuantScale(max float64) float64 {
+	if max == 0 {
+		return 1
+	}
+	if s := max / QAMax; s > 0 {
+		return s
+	}
+	return max
+}
+
+// runRow pushes one Gaussian row through every layer. mu/varr are the input
+// moments (len p.inDim, not modified); outMu/outVar receive the outputs.
+// Rows with non-finite moments at any layer boundary are NaN-filled: the
+// fixed-point scheme has no meaningful encoding for Inf activations, and
+// the serving stack rejects non-finite inputs before enqueueing.
+func (p *Propagator) runRow(mu, varr, outMu, outVar []float64, sc *rowScratch) {
+	cur, curV := sc.curMu, sc.curVar
+	nxt, nxtV := sc.nxtMu, sc.nxtVar
+	copy(cur[:p.inDim], mu)
+	copy(curV[:p.inDim], varr)
+
+	for li := range p.layers {
+		l := &p.layers[li]
+		am := cur[:l.nIn]
+		av := curV[:l.nIn]
+
+		// Dropout prep (eqs. 9–10 input moments) fused with the row max
+		// scan and the finiteness check: a-a != 0 catches NaN and ±Inf.
+		keep := l.keep
+		maxA, maxV := 0.0, 0.0
+		finite := true
+		for i, m := range am {
+			s2 := av[i]
+			a := m * keep
+			v := (m*m+s2)*keep - m*m*keep*keep
+			am[i] = a
+			av[i] = v
+			if a-a != 0 || v-v != 0 {
+				finite = false
+				break
+			}
+			if a < 0 {
+				a = -a
+			}
+			if a > maxA {
+				maxA = a
+			}
+			if v < 0 {
+				v = -v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if !finite {
+			for j := range outMu {
+				outMu[j] = math.NaN()
+				outVar[j] = math.NaN()
+			}
+			return
+		}
+
+		// Dynamic per-row symmetric quantization of both moment vectors.
+		aScale := rowQuantScale(maxA)
+		vScale := rowQuantScale(maxV)
+		qa := sc.qa[:2*l.pairs]
+		qv := sc.qv[:2*l.pairs]
+		for i := 0; i < l.nIn; i++ {
+			qa[i] = clampQ(am[i] / aScale)
+			qv[i] = clampQ(av[i] / vScale)
+		}
+		for i := l.nIn; i < 2*l.pairs; i++ {
+			qa[i] = 0
+			qv[i] = 0
+		}
+
+		// Exact integer dual dot: int32 lanes inside each QPairBlock
+		// block, widened into int64 totals across blocks.
+		totM := sc.totM[:l.nOut]
+		totV := sc.totV[:l.nOut]
+		for j := range totM {
+			totM[j] = 0
+			totV[j] = 0
+		}
+		for base := 0; base < l.pairs; base += tensor.QPairBlock {
+			pb := l.pairs - base
+			if pb > tensor.QPairBlock {
+				pb = tensor.QPairBlock
+			}
+			accM := sc.acc32m[:l.nOut]
+			accV := sc.acc32v[:l.nOut]
+			for j := range accM {
+				accM[j] = 0
+				accV[j] = 0
+			}
+			tensor.QMaddPairs(qa[2*base:], l.panelM[base*2*l.nOut:], pb, l.nOut, accM)
+			tensor.QMaddPairs(qv[2*base:], l.panelV[base*2*l.nOut:], pb, l.nOut, accV)
+			for j := range totM {
+				totM[j] += int64(accM[j])
+				totV[j] += int64(accV[j])
+			}
+		}
+
+		// Dequantize at the activation: float64(total)·(rowScale·s_j) + b,
+		// variance clamp exactly like the float paths, then the shared
+		// ActKernel moment step.
+		ak := p.kernels[li]
+		for j := 0; j < l.nOut; j++ {
+			m := float64(totM[j])*(aScale*l.scaleM[j]) + l.bias[j]
+			v := float64(totV[j]) * (vScale * l.scaleV[j])
+			if v < 0 {
+				v = 0
+			}
+			nxt[j], nxtV[j] = ak.Moments(m, v, sc.bounds, sc.pms)
+		}
+		cur, nxt = nxt, cur
+		curV, nxtV = nxtV, curV
+	}
+
+	copy(outMu, cur[:p.outDim])
+	copy(outVar, curV[:p.outDim])
+}

@@ -1,0 +1,101 @@
+package qprop
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+)
+
+// TestConcurrentRunRace drives one shared Propagator from many goroutines
+// mixing Run and RunBatch — the serving shape, where every coalescer flush
+// and every direct Predict lands on the same program. Under -race this pins
+// the rowScratch pool's safety; the bit-comparison against precomputed
+// sequential results pins that concurrent reuse never leaks state between
+// rows.
+func TestConcurrentRunRace(t *testing.T) {
+	net, err := nn.New(nn.Config{
+		InputDim: 7, Hidden: []int{32, 32}, OutputDim: 3,
+		Activation: nn.ActTanh, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, _, err := Build(net, core.Options{}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	const nInputs = 16
+	inputs := make([]core.GaussianVec, nInputs)
+	want := make([]core.GaussianVec, nInputs)
+	for i := range inputs {
+		g := core.NewGaussianVec(net.InputDim())
+		for d := 0; d < net.InputDim(); d++ {
+			g.Mean[d] = rng.NormFloat64()
+			g.Var[d] = rng.Float64()
+		}
+		inputs[i] = g
+		want[i] = qp.Run(g.Clone())
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				if w%2 == 0 {
+					i := (w + iter) % nInputs
+					got := qp.Run(inputs[i].Clone())
+					if !bitEqual(got, want[i]) {
+						errs <- "concurrent Run differs from sequential"
+						return
+					}
+				} else {
+					b := 1 + (w+iter)%5
+					in := core.NewGaussianBatch(b, net.InputDim())
+					for k := 0; k < b; k++ {
+						src := inputs[(w+iter+k)%nInputs]
+						copy(in.Mean.Data[k*net.InputDim():], src.Mean)
+						copy(in.Var.Data[k*net.InputDim():], src.Var)
+					}
+					out := core.NewGaussianBatch(b, net.OutputDim())
+					qp.RunBatch(in, out, nil)
+					for k := 0; k < b; k++ {
+						if !bitEqual(out.Row(k), want[(w+iter+k)%nInputs]) {
+							errs <- "concurrent RunBatch row differs from sequential"
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func bitEqual(a, b core.GaussianVec) bool {
+	if len(a.Mean) != len(b.Mean) {
+		return false
+	}
+	for i := range a.Mean {
+		if math.Float64bits(a.Mean[i]) != math.Float64bits(b.Mean[i]) ||
+			math.Float64bits(a.Var[i]) != math.Float64bits(b.Var[i]) {
+			return false
+		}
+	}
+	return true
+}

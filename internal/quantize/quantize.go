@@ -2,10 +2,12 @@
 // the dropout networks — the standard footprint reduction for IoT-class
 // deployment targets (the Edison's 1 GB RAM and 4 GB flash motivate it; the
 // paper's DeepIoT reference [35] addresses the same pressure via structure
-// compression). Weights quantize per-layer with symmetric scaling; biases
-// stay in float64 (they are negligible in size and precision-critical).
-// Inference — including ApDeepSense moment propagation — runs on the
-// dequantized network, so the whole estimator stack composes unchanged.
+// compression). Weights quantize per-output-channel with symmetric scaling;
+// biases stay in float64 (they are negligible in size and
+// precision-critical). Inference runs either on the dequantized float
+// network (Dequantize, every estimator composes unchanged) or directly on
+// the integer codes via the fixed-point moment propagator in internal/qprop,
+// whose accuracy internal/oracle bounds a priori per model.
 package quantize
 
 import (
@@ -22,8 +24,25 @@ import (
 // ErrInput is returned (wrapped) for invalid inputs.
 var ErrInput = errors.New("quantize: invalid input")
 
-// qMax is the symmetric int8 quantization ceiling.
-const qMax = 127
+// ErrModel is returned (wrapped) whenever Load rejects serialized model
+// data: undecodable streams, wrong magic or version, inconsistent shapes,
+// or non-finite scales and biases — the same contract as nn.ErrModel, so
+// callers distinguish "this file is not a usable quantized model" from I/O
+// errors with one errors.Is check.
+var ErrModel = errors.New("quantize: invalid model data")
+
+// QMax is the symmetric int8 quantization ceiling: weight codes live in
+// [-QMax, QMax]. The derived squared-weight codes (SquareCodes) reuse the
+// same ceiling on [0, QMax].
+const QMax = 127
+
+// modelMagic and modelVersion guard the on-disk format so stale or foreign
+// files fail loudly instead of producing silently wrong codes (the
+// nn.ErrModel hardening, applied to the quantized format).
+const (
+	modelMagic   = "apds-qmodel"
+	modelVersion = 1
+)
 
 // Layer is one quantized layer.
 type Layer struct {
@@ -32,7 +51,10 @@ type Layer struct {
 	W []int8
 	// Scales holds one dequantization scale per OUTPUT column
 	// (per-channel symmetric quantization), so wide-ranged columns do not
-	// destroy narrow ones.
+	// destroy narrow ones. Scales are always finite and positive: a column
+	// whose float peak is zero stores scale 1 over all-zero codes, and a
+	// subnormal peak falls back to the peak itself rather than letting
+	// peak/QMax underflow to zero.
 	Scales []float64
 	// B is the float64 bias.
 	B []float64
@@ -46,13 +68,42 @@ type Model struct {
 	Layers []Layer
 }
 
-// Quantize converts a trained network into the int8 representation.
+// columnScale picks the symmetric per-column scale for a peak magnitude.
+// peak == 0 (all-zero column) gets scale 1 over all-zero codes; a subnormal
+// peak whose peak/QMax quotient underflows to zero gets the peak itself
+// (codes land in {-1, 0, 1} and dequantization stays exact at the peak).
+// Either way the scale is finite and strictly positive for finite peaks.
+func columnScale(peak float64) float64 {
+	if peak == 0 {
+		return 1
+	}
+	s := peak / QMax
+	if s == 0 {
+		return peak
+	}
+	// For peaks near MaxFloat64 the rounded quotient can sit a hair above
+	// peak/QMax, making the worst dequantized weight QMax·s overflow; walk
+	// the scale down an ulp until the product is finite again.
+	for math.IsInf(QMax*s, 0) {
+		s = math.Nextafter(s, 0)
+	}
+	return s
+}
+
+// Quantize converts a trained network into the int8 representation. Every
+// weight must be finite; a network with NaN or ±Inf weights is rejected
+// (wrapped ErrInput) rather than silently saturating codes.
 func Quantize(net *nn.Network) (*Model, error) {
 	if net == nil {
 		return nil, fmt.Errorf("nil network: %w", ErrInput)
 	}
 	m := &Model{}
 	for li, l := range net.Layers() {
+		for _, w := range l.W.Data {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("layer %d has non-finite weights: %w", li, ErrInput)
+			}
+		}
 		q := Layer{
 			InDim: l.InDim(), OutDim: l.OutDim(),
 			W:      make([]int8, l.InDim()*l.OutDim()),
@@ -68,41 +119,118 @@ func Quantize(net *nn.Network) (*Model, error) {
 					peak = a
 				}
 			}
-			if peak == 0 {
-				q.Scales[j] = 1
-				continue
-			}
-			q.Scales[j] = peak / qMax
+			q.Scales[j] = columnScale(peak)
 		}
 		for i := 0; i < q.InDim; i++ {
 			for j := 0; j < q.OutDim; j++ {
+				// Clamp after rounding: for a subnormal-scale fallback (or
+				// float noise at the peak) the quotient can round past QMax.
 				code := math.Round(l.W.At(i, j) / q.Scales[j])
-				if code > qMax {
-					code = qMax
+				if code > QMax {
+					code = QMax
 				}
-				if code < -qMax {
-					code = -qMax
+				if code < -QMax {
+					code = -QMax
 				}
 				q.W[i*q.OutDim+j] = int8(code)
 			}
 		}
 		m.Layers = append(m.Layers, q)
-		_ = li
 	}
 	return m, nil
+}
+
+// SquareCodes derives the squared-weight panel the variance moment needs
+// (internal/core propagates Var through W²) from the int8 mean codes alone
+// — no extra bytes in the serialized model. For column j with mean codes c
+// and mean scale s, let m2 = max_i c_i²; then
+//
+//	code2_i  = round(c_i² · QMax / m2) ∈ [0, QMax]
+//	scale2_j = s² · m2 / QMax
+//
+// so scale2·code2 ≈ (s·c)², the square of the dequantized weight. The
+// re-quantization to 7 bits is what keeps the fixed-point variance
+// accumulation inside the int32 overflow budget of tensor.QPairBlock; the
+// reconstruction error it adds is measured exactly by the oracle's
+// quantization error budget (internal/oracle), not assumed.
+func (q *Layer) SquareCodes() (codes []int8, scales []float64) {
+	codes = make([]int8, len(q.W))
+	scales = make([]float64, q.OutDim)
+	for j := 0; j < q.OutDim; j++ {
+		var m2 int
+		for i := 0; i < q.InDim; i++ {
+			c := int(q.W[i*q.OutDim+j])
+			if cc := c * c; cc > m2 {
+				m2 = cc
+			}
+		}
+		if m2 == 0 {
+			// All-zero column: zero codes reconstruct exactly with any
+			// scale; keep the mean scale's square for a finite value.
+			scales[j] = q.Scales[j] * q.Scales[j]
+			continue
+		}
+		scales[j] = q.Scales[j] * q.Scales[j] * float64(m2) / QMax
+		for i := 0; i < q.InDim; i++ {
+			c := int(q.W[i*q.OutDim+j])
+			code := math.Round(float64(c*c) * QMax / float64(m2))
+			if code > QMax {
+				code = QMax
+			}
+			codes[i*q.OutDim+j] = int8(code)
+		}
+	}
+	return codes, scales
+}
+
+// Validate checks the structural and numeric invariants of a model:
+// consistent shapes, chained layer dimensions, finite positive scales,
+// finite biases, valid activations, and keep probabilities in (0, 1]. Both
+// Load and the fixed-point propagator call it before trusting the codes.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("empty model: %w", ErrInput)
+	}
+	prevOut := -1
+	for li, q := range m.Layers {
+		if q.InDim < 1 || q.OutDim < 1 {
+			return fmt.Errorf("layer %d dims %dx%d: %w", li, q.InDim, q.OutDim, ErrInput)
+		}
+		if prevOut >= 0 && q.InDim != prevOut {
+			return fmt.Errorf("layer %d input dim %d != previous output dim %d: %w", li, q.InDim, prevOut, ErrInput)
+		}
+		prevOut = q.OutDim
+		if len(q.W) != q.InDim*q.OutDim || len(q.Scales) != q.OutDim || len(q.B) != q.OutDim {
+			return fmt.Errorf("layer %d inconsistent shapes: %w", li, ErrInput)
+		}
+		for j, s := range q.Scales {
+			if !(s > 0) || math.IsInf(s, 0) {
+				return fmt.Errorf("layer %d scale[%d] = %v, want finite > 0: %w", li, j, s, ErrInput)
+			}
+		}
+		for j, b := range q.B {
+			if math.IsNaN(b) || math.IsInf(b, 0) {
+				return fmt.Errorf("layer %d bias[%d] non-finite: %w", li, j, ErrInput)
+			}
+		}
+		if !q.Act.Valid() {
+			return fmt.Errorf("layer %d invalid activation %d: %w", li, int(q.Act), ErrInput)
+		}
+		if !(q.KeepProb > 0 && q.KeepProb <= 1) {
+			return fmt.Errorf("layer %d keep probability %v: %w", li, q.KeepProb, ErrInput)
+		}
+	}
+	return nil
 }
 
 // Dequantize reconstructs a float network from the quantized codes. The
 // result plugs into every estimator (ApDeepSense, MCDrop) unchanged.
 func (m *Model) Dequantize() (*nn.Network, error) {
-	if len(m.Layers) == 0 {
-		return nil, fmt.Errorf("empty model: %w", ErrInput)
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	layers := make([]*nn.Layer, 0, len(m.Layers))
-	for li, q := range m.Layers {
-		if len(q.W) != q.InDim*q.OutDim || len(q.Scales) != q.OutDim || len(q.B) != q.OutDim {
-			return nil, fmt.Errorf("layer %d inconsistent: %w", li, ErrInput)
-		}
+	for _, q := range m.Layers {
 		w := tensor.NewMatrix(q.InDim, q.OutDim)
 		for i := 0; i < q.InDim; i++ {
 			for j := 0; j < q.OutDim; j++ {
@@ -157,19 +285,71 @@ func MaxWeightError(net *nn.Network, m *Model) (float64, error) {
 	return worst, nil
 }
 
-// Save writes the quantized model in gob format.
+// wireLayer is the serialized form of one quantized layer.
+type wireLayer struct {
+	InDim, OutDim int
+	Codes         []int8
+	Scales        []float64
+	Bias          []float64
+	Act           int
+	KeepProb      float64
+}
+
+// wireModel is the serialized form of a quantized model.
+type wireModel struct {
+	Magic   string
+	Version int
+	Layers  []wireLayer
+}
+
+// Save writes the quantized model in the versioned gob format.
 func (m *Model) Save(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(m); err != nil {
+	wm := wireModel{Magic: modelMagic, Version: modelVersion}
+	for _, q := range m.Layers {
+		wm.Layers = append(wm.Layers, wireLayer{
+			InDim:    q.InDim,
+			OutDim:   q.OutDim,
+			Codes:    append([]int8(nil), q.W...),
+			Scales:   append([]float64(nil), q.Scales...),
+			Bias:     append([]float64(nil), q.B...),
+			Act:      int(q.Act),
+			KeepProb: q.KeepProb,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(wm); err != nil {
 		return fmt.Errorf("quantize: encode: %w", err)
 	}
 	return nil
 }
 
-// Load reads a quantized model written with Save.
+// Load reads a quantized model written with Save. Every rejection —
+// undecodable gob, wrong magic or version, or a model failing Validate —
+// wraps ErrModel.
 func Load(r io.Reader) (*Model, error) {
-	var m Model
-	if err := gob.NewDecoder(r).Decode(&m); err != nil {
-		return nil, fmt.Errorf("quantize: decode: %w", err)
+	var wm wireModel
+	if err := gob.NewDecoder(r).Decode(&wm); err != nil {
+		return nil, fmt.Errorf("quantize: decode: %v: %w", err, ErrModel)
 	}
-	return &m, nil
+	if wm.Magic != modelMagic {
+		return nil, fmt.Errorf("quantize: bad magic %q: %w", wm.Magic, ErrModel)
+	}
+	if wm.Version != modelVersion {
+		return nil, fmt.Errorf("quantize: unsupported model version %d: %w", wm.Version, ErrModel)
+	}
+	m := &Model{}
+	for _, wl := range wm.Layers {
+		m.Layers = append(m.Layers, Layer{
+			InDim:    wl.InDim,
+			OutDim:   wl.OutDim,
+			W:        wl.Codes,
+			Scales:   wl.Scales,
+			B:        wl.Bias,
+			Act:      nn.Activation(wl.Act),
+			KeepProb: wl.KeepProb,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrModel)
+	}
+	return m, nil
 }

@@ -14,6 +14,7 @@ import (
 //	apds_registry_swaps_total{model}              route-table swaps applied
 //	apds_registry_reloads_total{result}           manifest reload attempts (ok|error|unchanged)
 //	apds_registry_compiles_total{result}          load-time compiles (ok|cache_hit|error)
+//	apds_registry_quantized_total{result}         load-time quantized builds (ok|cache_hit|fallback)
 //	apds_registry_versions{model}                 registered (routable or draining) versions
 //	apds_registry_shadow_total{model}             shadow comparisons completed
 //	apds_registry_shadow_dropped_total{model}     shadow duplicates dropped (pool saturated)
@@ -24,6 +25,7 @@ type Metrics struct {
 	swaps         *obs.CounterVec
 	reloads       *obs.CounterVec
 	compiles      *obs.CounterVec
+	quantized     *obs.CounterVec
 	versions      *obs.GaugeVec
 	shadow        *obs.CounterVec
 	shadowDropped *obs.CounterVec
@@ -46,6 +48,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Manifest reload attempts by outcome.", "result"),
 		compiles: reg.CounterVec("apds_registry_compiles_total",
 			"Load-time propagator compiles by outcome (ok, cache_hit, error).", "result"),
+		quantized: reg.CounterVec("apds_registry_quantized_total",
+			"Load-time quantized-program builds by outcome (ok, cache_hit, fallback to float).", "result"),
 		versions: reg.GaugeVec("apds_registry_versions",
 			"Versions currently registered per model (routable or draining).", "model"),
 		shadow: reg.CounterVec("apds_registry_shadow_total",
@@ -108,6 +112,21 @@ func (m *Metrics) Compiles(result string) float64 {
 		return 0
 	}
 	return m.compiles.With(result).Value()
+}
+
+func (m *Metrics) quantizedBuild(result string) {
+	if m != nil {
+		m.quantized.With(result).Inc()
+	}
+}
+
+// QuantizedBuilds returns the quantized-build count for one outcome label
+// (for tests).
+func (m *Metrics) QuantizedBuilds(result string) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.quantized.With(result).Value()
 }
 
 func (m *Metrics) setVersions(model string, n int) {

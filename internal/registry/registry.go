@@ -91,6 +91,19 @@ type Config struct {
 	// registered, so a version is routable only after its compiled propagator
 	// has passed its bit-identity self-check.
 	DisableCompile bool
+	// EnableQuantized turns on the int8 fixed-point serving path for every
+	// version built from a network: the weights are quantized at load time
+	// (internal/qprop) and the quantized program — built or fetched from the
+	// fingerprint-keyed cache — takes dispatch priority over the compiled and
+	// interpreted paths. Quantization is opt-in (unlike compilation, which is
+	// opt-out) because it is an approximation, not a bit-identical
+	// specialization: its accuracy contract is the oracle's quantization
+	// error budget, not Float64bits equality with the float path. A version
+	// whose weights the fixed-point scheme rejects falls back to float
+	// serving (counted as apds_registry_quantized_total{result="fallback"});
+	// quantization never fails a load. Per-model opt-in is available through
+	// SetQuantized or the manifest's "quantized" flag.
+	EnableQuantized bool
 	// ShadowBuffer bounds pending shadow comparisons; beyond it duplicates
 	// are dropped (and counted) rather than ever blocking the primary path.
 	// Defaults to 256.
@@ -152,6 +165,9 @@ func hashFraction(key string) float64 {
 type model struct {
 	name   string
 	obsVar float64
+	// quantized opts versions of this model into the fixed-point serving
+	// path (applies to versions added from when it is set, like obsVar).
+	quantized bool
 
 	mu       sync.Mutex
 	versions map[string]*Version
@@ -178,6 +194,9 @@ type Registry struct {
 	// compiles shares load-time compiled programs across versions with
 	// identical networks (see compilecache.go).
 	compiles *compileCache
+	// quants shares load-time quantized programs the same way (see
+	// quantcache.go).
+	quants *quantCache
 
 	shadowJobs chan shadowJob
 	shadowWG   sync.WaitGroup
@@ -198,6 +217,7 @@ func New(cfg Config) *Registry {
 		cfg:        cfg,
 		models:     make(map[string]*model),
 		compiles:   newCompileCache(),
+		quants:     newQuantCache(),
 		shadowJobs: make(chan shadowJob, cfg.ShadowBuffer),
 	}
 	for i := 0; i < cfg.ShadowWorkers; i++ {
@@ -278,11 +298,12 @@ func (r *Registry) addVersion(modelName, id string, net *nn.Network, est core.Es
 		return old, nil
 	}
 	obsVar := m.obsVar
+	quantized := m.quantized || r.cfg.EnableQuantized
 	m.mu.Unlock()
 
 	// Build and warm outside the model lock: loading big models must not
 	// stall the serving path's mutations.
-	v, err := r.buildVersion(id, net, obsVar, est)
+	v, err := r.buildVersion(id, net, obsVar, quantized, est)
 	if err != nil {
 		return nil, err
 	}
@@ -337,21 +358,50 @@ func (r *Registry) SetObsVar(modelName string, obsVar float64) error {
 	return err
 }
 
-// buildVersion assembles estimator + pool, compiles the specialized
-// propagator, and runs the warmup inference. Everything here happens before
-// registration — off the serving path — so a hot reload compiles and warms
-// while the displaced version keeps serving.
-func (r *Registry) buildVersion(id string, net *nn.Network, obsVar float64, est core.Estimator) (*Version, error) {
-	var releaseCompiled func()
+// SetQuantized opts versions of the named model added from now on into (or
+// out of) the fixed-point serving path, independent of the registry-wide
+// Config.EnableQuantized default. Existing versions keep the path they were
+// built with; re-adding a version under the same ID rebuilds it on the new
+// setting only if its fingerprint changed.
+func (r *Registry) SetQuantized(modelName string, enabled bool) error {
+	m, err := r.ensureModelKeepObsVar(modelName)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.quantized = enabled
+	m.mu.Unlock()
+	return nil
+}
+
+// buildVersion assembles estimator + pool, specializes the propagator
+// (quantized and/or compiled program), and runs the warmup inference.
+// Everything here happens before registration — off the serving path — so a
+// hot reload specializes and warms while the displaced version keeps serving.
+func (r *Registry) buildVersion(id string, net *nn.Network, obsVar float64, quantized bool, est core.Estimator) (*Version, error) {
+	var releaseCompiled, releaseQuantized func()
 	if est == nil {
 		ap, err := core.NewApDeepSense(net, r.cfg.Options, obsVar)
 		if err != nil {
 			return nil, fmt.Errorf("registry: version %s: %w", id, err)
 		}
-		// Compile before installing hooks: Warm's reference propagations are
-		// load-time self-checks, not serving traffic, and must not inflate
-		// batch-size or layer-timing metrics fed by the hooks.
-		if !r.cfg.DisableCompile {
+		// Specialize before installing hooks: build-time self-checks are not
+		// serving traffic, and must not inflate batch-size or layer-timing
+		// metrics fed by the hooks.
+		if quantized {
+			releaseQuantized, err = r.quantFor(id, ap, net.Fingerprint())
+			if err != nil {
+				// Fall back to float serving: oversized weights that overflow
+				// the fixed-point scheme degrade to the slower path, they
+				// never fail the load.
+				r.cfg.Metrics.quantizedBuild("fallback")
+				releaseQuantized = nil
+			}
+		}
+		// A quantized program takes dispatch priority on every entry point,
+		// so compiling underneath it would be dead weight; compile only when
+		// the version actually serves on the float path.
+		if releaseQuantized == nil && !r.cfg.DisableCompile {
 			releaseCompiled, err = r.compileFor(id, ap, net.Fingerprint())
 			if err != nil {
 				return nil, err
@@ -368,33 +418,38 @@ func (r *Registry) buildVersion(id string, net *nn.Network, obsVar float64, est 
 		// primes the propagator's tables before traffic routes here. The
 		// input is ones, not zeros: the blocked kernels skip zero scalars, so
 		// a zero warmup would never touch (and never expose) a poisoned
-		// weight.
+		// weight. With a quantized program installed, dispatch routes this
+		// through the fixed-point path, so routability is gated on the
+		// program the version will actually serve on.
 		ones := make(tensor.Vector, net.InputDim())
 		for i := range ones {
 			ones[i] = 1
 		}
 		g, err := est.Predict(ones)
 		if err != nil {
-			return nil, failBuild(releaseCompiled, fmt.Errorf("registry: version %s warmup: %w", id, err))
+			return nil, failBuild(fmt.Errorf("registry: version %s warmup: %w", id, err), releaseCompiled, releaseQuantized)
 		}
 		if err := g.Validate(); err != nil {
-			return nil, failBuild(releaseCompiled, fmt.Errorf("registry: version %s warmup output: %w", id, err))
+			return nil, failBuild(fmt.Errorf("registry: version %s warmup output: %w", id, err), releaseCompiled, releaseQuantized)
 		}
 	}
 	coal, err := serve.NewPredict(est, r.cfg.Serve)
 	if err != nil {
-		return nil, failBuild(releaseCompiled, fmt.Errorf("registry: version %s pool: %w", id, err))
+		return nil, failBuild(fmt.Errorf("registry: version %s pool: %w", id, err), releaseCompiled, releaseQuantized)
 	}
 	v := newVersion(id, net, est, coal)
 	v.releaseCompiled = releaseCompiled
+	v.releaseQuantized = releaseQuantized
 	return v, nil
 }
 
-// failBuild releases a compiled-program cache reference a failed build would
+// failBuild releases the program-cache references a failed build would
 // otherwise leak, then passes the error through.
-func failBuild(release func(), err error) error {
-	if release != nil {
-		release()
+func failBuild(err error, releases ...func()) error {
+	for _, release := range releases {
+		if release != nil {
+			release()
+		}
 	}
 	return err
 }
@@ -670,6 +725,8 @@ type VersionStatus struct {
 	Fingerprint string `json:"fingerprint"`
 	QueueDepth  int    `json:"queue_depth"`
 	Draining    bool   `json:"draining"`
+	// Quantized reports whether the version serves on the fixed-point path.
+	Quantized bool `json:"quantized,omitempty"`
 }
 
 // ModelStatus describes one model's routing state in listings.
@@ -739,6 +796,7 @@ func (m *model) status() ModelStatus {
 			Fingerprint: v.Fingerprint,
 			QueueDepth:  v.coal.Depth(),
 			Draining:    v.retired.Load(),
+			Quantized:   v.Quantized(),
 		})
 	}
 	return st

@@ -55,6 +55,8 @@ type Version struct {
 	// the propagator itself keeps its installed program reachable for as long
 	// as anything can run on it.
 	releaseCompiled func()
+	// releaseQuantized is the same for the quantized-program cache.
+	releaseQuantized func()
 }
 
 func newVersion(id string, net *nn.Network, est core.Estimator, coal *serve.PredictCoalescer) *Version {
@@ -80,6 +82,13 @@ func (v *Version) Estimator() core.Estimator { return v.est }
 
 // QueueDepth reports how many requests wait in this version's pool.
 func (v *Version) QueueDepth() int { return v.coal.Depth() }
+
+// Quantized reports whether this version serves on the fixed-point path
+// (a quantized program is installed on its propagator).
+func (v *Version) Quantized() bool {
+	ap, ok := v.est.(*core.ApDeepSense)
+	return ok && ap.Propagator().Quantized() != nil
+}
 
 // tryAcquire takes a request reference. It fails when the version has been
 // retired or its last reference already dropped; the caller must then re-read
@@ -115,6 +124,9 @@ func (v *Version) retire(onDrained func()) {
 	}
 	if v.releaseCompiled != nil {
 		v.releaseCompiled()
+	}
+	if v.releaseQuantized != nil {
+		v.releaseQuantized()
 	}
 	go func() {
 		<-v.idle

@@ -1,0 +1,69 @@
+package tensor
+
+// Quantized integer dot kernels for the int8/int16 propagation fast path
+// (internal/qprop). The weight panel is laid out k-pair-interleaved: for
+// each pair kp of the shared dimension, the stripe
+//
+//	panel[kp*2*nOut+2j]   = w[2kp][j]
+//	panel[kp*2*nOut+2j+1] = w[2kp+1][j]
+//
+// holds two adjacent k-rows for every output j, so one 32-bit lane of a
+// VPMADDWD step consumes exactly one (activation pair) × (weight pair)
+// multiply-accumulate. Odd shared dimensions are padded with a zero row.
+//
+// Overflow budget: activation codes are int16 in [-32767, 32767] and weight
+// codes int8-ranged in [-127, 127], so one pair-sum is bounded by
+// 2·32767·127 = 8 322 818 and 2³¹−1 / 8 322 818 ≈ 258 pair-sums fit an
+// int32 lane. QPairBlock = 128 keeps a full block at ≤ 1 065 320 704 with
+// a 2× margin; callers widen each block's int32 accumulators into int64
+// totals. The int16 minimum −32768 never appears in either operand, so the
+// VPMADDWD corner case (−32768·−32768 twice overflowing its lane) is
+// unreachable by construction.
+const QPairBlock = 128
+
+// QMaddPairs accumulates one block of the pair-interleaved integer dual dot:
+//
+//	acc[j] += Σ_{kp<pairs} a[2kp]·panel[kp·2·nOut+2j] + a[2kp+1]·panel[kp·2·nOut+2j+1]
+//
+// for j in 0..nOut. a must hold 2·pairs codes, panel pairs·2·nOut, acc nOut.
+// The caller guarantees pairs ≤ QPairBlock (so int32 lanes cannot overflow)
+// and that every code is within the ranges documented on QPairBlock.
+// Integer arithmetic is exact, so the scalar and vector paths agree
+// bit-for-bit regardless of accumulation order; internal/tensor's
+// differential tests pin naive = scalar = SIMD equality anyway.
+func QMaddPairs(a, panel []int16, pairs, nOut int, acc []int32) {
+	if pairs <= 0 || nOut <= 0 {
+		return
+	}
+	_ = a[2*pairs-1]
+	_ = panel[pairs*2*nOut-1]
+	_ = acc[nOut-1]
+	if hasAVX2 {
+		j8 := nOut &^ 7
+		for j := 0; j < j8; j += 8 {
+			qmadd8AVX2(&a[0], &panel[2*j], pairs, 2*nOut, &acc[j])
+		}
+		if j8 < nOut {
+			qmaddScalarRange(a, panel, pairs, nOut, j8, nOut, acc)
+		}
+		return
+	}
+	qmaddScalarRange(a, panel, pairs, nOut, 0, nOut, acc)
+}
+
+// qmaddScalarRange is the pure-Go reference kernel over outputs [jLo, jHi).
+// It skips all-zero activation pairs (sparse rows after aggressive
+// quantization); the vector path does not, which is invisible because
+// integer accumulation is exact.
+func qmaddScalarRange(a, panel []int16, pairs, nOut, jLo, jHi int, acc []int32) {
+	for kp := 0; kp < pairs; kp++ {
+		a0, a1 := int32(a[2*kp]), int32(a[2*kp+1])
+		if a0 == 0 && a1 == 0 {
+			continue
+		}
+		row := panel[kp*2*nOut:]
+		for j := jLo; j < jHi; j++ {
+			acc[j] += a0*int32(row[2*j]) + a1*int32(row[2*j+1])
+		}
+	}
+}

@@ -1,0 +1,31 @@
+//go:build amd64
+
+package tensor
+
+// hasAVX2 gates the VPMADDWD integer dot kernel behind runtime CPU
+// detection. AVX2 shares the YMM register state with AVX, so the OS-support
+// half of the check is inherited from hasAVX; only the CPUID feature bit is
+// new. A var (not const) so tests can force the scalar path.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	if !hasAVX {
+		return false
+	}
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, ebx, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx&avx2Bit != 0
+}
+
+// qmadd8AVX2 is the vector inner kernel of QMaddPairs, implemented in
+// qdot_amd64.s: for one block of 8 adjacent outputs it accumulates
+// acc[0..8) += Σ_{kp<pairs} a[2kp]·panel[kp·stride+2j] + a[2kp+1]·panel[kp·stride+2j+1],
+// one VPBROADCASTD + VPMADDWD + VPADDD per pair row. stride is in int16
+// elements (2·nOut for the standard panel layout). Integer lanes are exact,
+// so no rounding-order caveats apply — the only contract is the caller's
+// overflow budget documented on QPairBlock.
+func qmadd8AVX2(a, panel *int16, pairs, stride int, acc *int32)

@@ -1,0 +1,41 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func qmadd8AVX2(a *int16, panel *int16, pairs int, stride int, acc *int32)
+//
+// Eight-output integer pair-madd. For kp in 0..pairs:
+//
+//	Y1 = broadcast of the dword (a[2kp] | a[2kp+1]<<16)    VPBROADCASTD
+//	Y2 = per-lane a0·w0 + a1·w1 over 16 int16 of the row   VPMADDWD
+//	Y0 += Y2                                               VPADDD
+//
+// then acc[0..8) += Y0. stride is in int16 elements; it is doubled to bytes
+// here. The caller bounds pairs by QPairBlock so lanes cannot overflow.
+TEXT ·qmadd8AVX2(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ panel+8(FP), DI
+	MOVQ pairs+16(FP), CX
+	MOVQ stride+24(FP), BX
+	SHLQ $1, BX             // stride in bytes
+	MOVQ acc+32(FP), R8
+	VPXOR Y0, Y0, Y0
+	XORQ DX, DX
+
+qloop:
+	CMPQ DX, CX
+	JGE  qdone
+	VPBROADCASTD (SI), Y1
+	VPMADDWD (DI), Y1, Y2
+	VPADDD Y2, Y0, Y0
+	ADDQ $4, SI
+	ADDQ BX, DI
+	INCQ DX
+	JMP  qloop
+
+qdone:
+	VMOVDQU (R8), Y3
+	VPADDD Y3, Y0, Y0
+	VMOVDQU Y0, (R8)
+	VZEROUPPER
+	RET

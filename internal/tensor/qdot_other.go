@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// hasAVX2 is always false off amd64; QMaddPairs uses the pure-Go kernel.
+// It is a var for symmetry with the amd64 build, where tests toggle it.
+var hasAVX2 = false
+
+// qmadd8AVX2 is never reached when hasAVX2 is false; the stub keeps the
+// cross-platform build honest.
+func qmadd8AVX2(a, panel *int16, pairs, stride int, acc *int32) {
+	panic("tensor: integer madd kernel unavailable on this architecture")
+}

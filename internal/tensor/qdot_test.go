@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// qmaddNaive is an independent re-derivation of the pair-interleaved madd
+// semantics, written j-major (the kernels are kp-major) so a layout bug in
+// either cannot cancel out.
+func qmaddNaive(a, panel []int16, pairs, nOut int, acc []int32) {
+	for j := 0; j < nOut; j++ {
+		var s int32
+		for kp := 0; kp < pairs; kp++ {
+			row := panel[kp*2*nOut:]
+			s += int32(a[2*kp])*int32(row[2*j]) + int32(a[2*kp+1])*int32(row[2*j+1])
+		}
+		acc[j] += s
+	}
+}
+
+func randCodes(rng *rand.Rand, n int, max int32) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(rng.Int31n(2*max+1) - max)
+	}
+	return out
+}
+
+// runAll runs naive, forced-scalar, and dispatching (SIMD where available)
+// kernels on identical inputs and returns the three accumulator sets. The
+// accumulators start from a shared non-zero prefix to catch a kernel that
+// overwrites instead of accumulates.
+func runAll(t *testing.T, a, panel []int16, pairs, nOut int) (naive, scalar, simd []int32) {
+	t.Helper()
+	base := make([]int32, nOut)
+	for j := range base {
+		base[j] = int32(j) - 3
+	}
+	naive = append([]int32(nil), base...)
+	scalar = append([]int32(nil), base...)
+	simd = append([]int32(nil), base...)
+
+	qmaddNaive(a, panel, pairs, nOut, naive)
+
+	saved := hasAVX2
+	hasAVX2 = false
+	QMaddPairs(a, panel, pairs, nOut, scalar)
+	hasAVX2 = saved
+	QMaddPairs(a, panel, pairs, nOut, simd)
+	return naive, scalar, simd
+}
+
+func checkEqual(t *testing.T, label string, naive, scalar, simd []int32) {
+	t.Helper()
+	for j := range naive {
+		if scalar[j] != naive[j] {
+			t.Fatalf("%s: scalar[%d] = %d, naive = %d", label, j, scalar[j], naive[j])
+		}
+		if simd[j] != naive[j] {
+			t.Fatalf("%s: simd[%d] = %d, naive = %d", label, j, simd[j], naive[j])
+		}
+	}
+}
+
+// TestQMaddPairsRaggedShapes sweeps the shape matrix the float kernels use:
+// every output width around the 8-lane vector boundary and pair counts
+// around the QPairBlock block boundary.
+func TestQMaddPairsRaggedShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, nOut := range []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100} {
+		for _, pairs := range []int{1, 2, 3, 7, 8, 63, 127, 128} {
+			a := randCodes(rng, 2*pairs, 32767)
+			panel := randCodes(rng, pairs*2*nOut, 127)
+			naive, scalar, simd := runAll(t, a, panel, pairs, nOut)
+			checkEqual(t, "ragged", naive, scalar, simd)
+		}
+	}
+}
+
+// TestQMaddPairsSaturationAdjacent drives every operand to its extreme
+// magnitude at the full block size: the block sum reaches its documented
+// maximum 128·2·32767·127 = 1 065 288 704, which must accumulate exactly
+// (no int32 lane overflow) on all three paths.
+func TestQMaddPairsSaturationAdjacent(t *testing.T) {
+	const pairs, nOut = QPairBlock, 24
+	signs := []int16{1, -1}
+	for _, sa := range signs {
+		for _, sw := range signs {
+			a := make([]int16, 2*pairs)
+			for i := range a {
+				a[i] = sa * 32767
+			}
+			panel := make([]int16, pairs*2*nOut)
+			for i := range panel {
+				panel[i] = sw * 127
+			}
+			naive, scalar, simd := runAll(t, a, panel, pairs, nOut)
+			checkEqual(t, "saturation", naive, scalar, simd)
+			want := int32(sa) * int32(sw) * 2 * 32767 * 127 * QPairBlock
+			// runAll seeds acc[j] with j-3; subtract it back out.
+			for j := range simd {
+				if got := simd[j] - (int32(j) - 3); got != want {
+					t.Fatalf("block sum at acc[%d] = %d, want %d", j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQMaddPairsZeroAndEmpty pins the degenerate shapes: zero pairs and zero
+// outputs must be no-ops, and all-zero activations must leave the
+// accumulator untouched on every path.
+func TestQMaddPairsZeroAndEmpty(t *testing.T) {
+	QMaddPairs(nil, nil, 0, 8, make([]int32, 8))
+	QMaddPairs(make([]int16, 4), make([]int16, 16), 2, 0, nil)
+
+	rng := rand.New(rand.NewSource(11))
+	panel := randCodes(rng, 9*2*13, 127)
+	a := make([]int16, 18)
+	naive, scalar, simd := runAll(t, a, panel, 9, 13)
+	checkEqual(t, "zero-activations", naive, scalar, simd)
+	for j := range simd {
+		if simd[j] != int32(j)-3 {
+			t.Fatalf("acc[%d] changed to %d on all-zero activations", j, simd[j])
+		}
+	}
+}
+
+// FuzzQMadd fuzzes shape and content together: naive, scalar, and SIMD
+// kernels must agree bit-for-bit on any in-range operands.
+func FuzzQMadd(f *testing.F) {
+	f.Add(uint64(1), uint(8), uint(16))
+	f.Add(uint64(20260808), uint(127), uint(7))
+	f.Add(uint64(42), uint(128), uint(9))
+	f.Add(uint64(3), uint(1), uint(1))
+	f.Fuzz(func(t *testing.T, seed uint64, rawPairs, rawOut uint) {
+		pairs := int(rawPairs%QPairBlock) + 1
+		nOut := int(rawOut%33) + 1
+		rng := rand.New(rand.NewSource(int64(seed)))
+		a := randCodes(rng, 2*pairs, 32767)
+		panel := randCodes(rng, pairs*2*nOut, 127)
+		naive, scalar, simd := runAll(t, a, panel, pairs, nOut)
+		checkEqual(t, "fuzz", naive, scalar, simd)
+	})
+}

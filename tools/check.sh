@@ -7,11 +7,12 @@
 # seconds of mutation catch shallow regressions), then record the batched
 # propagation benchmark with its metrics snapshot (results/BENCH_batch.json +
 # results/BENCH_obs.prom) and smoke runs of the serving and registry
-# benchmarks, and finally run the compiled-propagator benchmark and diff it
-# against the committed trajectory with tools/benchdiff. The smoke bench runs
-# write to a scratch directory so short cells never clobber the committed
-# results/BENCH_serve.json / BENCH_registry.json (regenerate those with
-# `make bench-serve` / `make bench-registry` / `make bench-compile`).
+# benchmarks, and finally run the compiled-propagator and quantized-propagator
+# benchmarks and diff each against its committed trajectory with
+# tools/benchdiff. The smoke bench runs write to a scratch directory so short
+# cells never clobber the committed results/BENCH_serve.json /
+# BENCH_registry.json (regenerate those with `make bench-serve` /
+# `make bench-registry` / `make bench-compile` / `make bench-quant`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,7 +24,7 @@ echo "== go build ./..."
 go build ./...
 
 echo "== go test -race (numeric hot paths)"
-go test -race ./internal/core/... ./internal/tensor/... ./internal/compile/...
+go test -race ./internal/core/... ./internal/tensor/... ./internal/compile/... ./internal/qprop/... ./internal/quantize/...
 
 echo "== go test -race (observability + serving path)"
 go test -race ./internal/obs/... ./internal/stream/... ./internal/serve/... ./examples/server/...
@@ -41,6 +42,8 @@ echo "== fuzz smoke (10s per target)"
 go test -run NONE -fuzz 'FuzzPropagateVsOracle' -fuzztime 10s ./internal/proptest
 go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 10s ./internal/proptest
 go test -run NONE -fuzz 'FuzzCompiledVsInterpreted' -fuzztime 10s ./internal/proptest
+go test -run NONE -fuzz 'FuzzQuantizedVsFloat' -fuzztime 10s ./internal/proptest
+go test -run NONE -fuzz 'FuzzQMadd' -fuzztime 10s ./internal/tensor
 go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 10s ./internal/nn
 
 echo "== apds-bench -batch -obs"
@@ -60,5 +63,11 @@ go run ./cmd/apds-bench -compile -results "$smokedir"
 # catches the compiled path silently falling back to interpreted speed, not
 # scheduler noise.
 go run ./tools/benchdiff -base results/BENCH_compile.json -fresh "$smokedir/BENCH_compile.json" -tol 0.6
+
+echo "== apds-bench -quant + benchdiff vs committed trajectory"
+go run ./cmd/apds-bench -quant -results "$smokedir"
+# Same loose tolerance: catches the fixed-point path silently losing its
+# integer kernels (scalar fallback) or its size advantage, not machine noise.
+go run ./tools/benchdiff -base results/BENCH_quant.json -fresh "$smokedir/BENCH_quant.json" -tol 0.6
 
 echo "check: ok"
