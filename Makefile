@@ -7,7 +7,7 @@
 # (the last two diffed against their committed trajectories with
 # tools/benchdiff).
 
-.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile bench-quant build
+.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile bench-quant bench-cluster build
 
 check:
 	./tools/check.sh
@@ -64,3 +64,11 @@ bench-compile:
 # check.sh.
 bench-quant:
 	go run ./cmd/apds-bench -quant -results results
+
+# The cluster benchmark: N replica processes behind the consistent-hash
+# router under open-loop load — replica scaling at fixed offered load, node
+# kill, rolling reload, and Zipf hot-key skew — recorded as
+# results/BENCH_cluster.json (the committed artifact). check.sh runs a
+# 2-replica smoke and diffs it against this file.
+bench-cluster:
+	go run ./cmd/apds-bench -cluster -results results

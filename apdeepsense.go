@@ -19,12 +19,14 @@ package apdeepsense
 import (
 	"io"
 
+	"github.com/apdeepsense/apdeepsense/internal/cluster"
 	"github.com/apdeepsense/apdeepsense/internal/compile"
 	"github.com/apdeepsense/apdeepsense/internal/conv"
 	"github.com/apdeepsense/apdeepsense/internal/core"
 	"github.com/apdeepsense/apdeepsense/internal/datasets"
 	"github.com/apdeepsense/apdeepsense/internal/edison"
 	"github.com/apdeepsense/apdeepsense/internal/experiments"
+	"github.com/apdeepsense/apdeepsense/internal/hashkey"
 	"github.com/apdeepsense/apdeepsense/internal/mcdrop"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
 	"github.com/apdeepsense/apdeepsense/internal/obs"
@@ -249,6 +251,9 @@ type (
 	ServeConfig = serve.Config
 	// ServeMetrics instruments a coalescer into an ObsRegistry.
 	ServeMetrics = serve.Metrics
+	// ServeQueueFullError is the typed queue-full rejection carrying the
+	// observed depth and a retry budget (matches ErrServeQueueFull).
+	ServeQueueFullError = serve.QueueFullError
 	// PredictCoalescer coalesces Predict calls onto the batched fast path.
 	PredictCoalescer = serve.PredictCoalescer
 	// ProbsCoalescer coalesces PredictProbs calls the same way.
@@ -265,6 +270,9 @@ var (
 	NewServeMetrics = serve.NewMetrics
 	// ErrServeQueueFull marks rejected requests under overload (HTTP 429).
 	ErrServeQueueFull = serve.ErrQueueFull
+	// ServeRetryAfter extracts the retry budget from a queue-full rejection
+	// anywhere in an error chain (HTTP servers render it as Retry-After).
+	ServeRetryAfter = serve.RetryAfter
 	// ErrServeClosed marks requests arriving after shutdown began.
 	ErrServeClosed = serve.ErrClosed
 )
@@ -534,4 +542,44 @@ var (
 	WithModelDir = experiments.WithModelDir
 	// WithExperimentLogf sets a Runner progress logger.
 	WithExperimentLogf = experiments.WithLogf
+)
+
+// Cluster serving-tier re-exports (internal/cluster): the scale-out layer
+// that shards request keys across replica processes behind one front door.
+type (
+	// ClusterRing is an immutable consistent-hash ring over shard names.
+	ClusterRing = cluster.Ring
+	// ClusterRouter is the front-door HTTP router: key-sharded proxying,
+	// health probing, drain/rejoin, saturation spillover, and load shedding.
+	ClusterRouter = cluster.Router
+	// ClusterRouterConfig configures a ClusterRouter.
+	ClusterRouterConfig = cluster.RouterConfig
+	// ClusterMetrics is the router's observability surface.
+	ClusterMetrics = cluster.Metrics
+	// ClusterBudget is a token-bucket admission controller with Retry-After
+	// pricing.
+	ClusterBudget = cluster.Budget
+	// ClusterZipf is a deterministic Zipf request-key generator for load
+	// testing.
+	ClusterZipf = cluster.Zipf
+)
+
+// Cluster constructors and hashing entry points.
+var (
+	// NewClusterRing builds a consistent-hash ring (vnodes <= 0 selects the
+	// default of 128 per shard).
+	NewClusterRing = cluster.NewRing
+	// NewClusterRouter builds and starts a front-door router.
+	NewClusterRouter = cluster.NewRouter
+	// NewClusterMetrics registers the cluster metric families.
+	NewClusterMetrics = cluster.NewMetrics
+	// NewClusterBudget builds a token-bucket admission budget.
+	NewClusterBudget = cluster.NewBudget
+	// NewClusterZipf builds a seedable Zipf key generator.
+	NewClusterZipf = cluster.NewZipf
+	// HashKey64 is the avalanche-finished 64-bit key hash shared by the
+	// ring and the registry's canary splitter.
+	HashKey64 = hashkey.Hash64
+	// HashKeyFraction maps a key to a uniform fraction in [0, 1).
+	HashKeyFraction = hashkey.Fraction
 )

@@ -51,19 +51,29 @@ func run(args []string) error {
 	registryBench := fs.Bool("registry", false, "benchmark registry serving under continuous hot-swap/reload/shadow (writes BENCH_registry.json)")
 	compileBench := fs.Bool("compile", false, "benchmark the load-time compiled propagator vs the interpreted one, plus a hot-reload-while-serving measurement (writes BENCH_compile.json)")
 	quantBench := fs.Bool("quant", false, "benchmark the int8 fixed-point propagator vs the float paths, plus model-size and Edison projections (writes BENCH_quant.json)")
+	clusterBench := fs.Bool("cluster", false, "benchmark the sharded multi-replica serving tier under open-loop load (writes BENCH_cluster.json)")
+	clusterReplicas := fs.Int("cluster-replicas", 4, "with -cluster: replica-count ceiling for the scale sweep (failure scenarios need 4)")
+	clusterCell := fs.Duration("cluster-duration", 2*time.Second, "with -cluster: steady-state measurement window per scenario cell")
+	clusterReplica := fs.Bool("cluster-replica", false, "internal: run as one cluster bench replica (spawned by -cluster)")
+	clusterBudget := fs.Float64("cluster-budget", 0, "internal: admission budget in requests/second for -cluster-replica (0 = unlimited)")
+	clusterListen := fs.String("cluster-listen", "127.0.0.1:0", "internal: listen address for -cluster-replica")
 	registryCell := fs.Duration("registry-duration", 2*time.Second, "with -registry: measured wall time per mode cell")
 	obsMode := fs.Bool("obs", false, "with -batch: attach propagator observability hooks and dump the metrics registry snapshot (BENCH_obs.prom)")
 	verbose := fs.Bool("v", false, "log progress")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *clusterReplica {
+		// Child mode: this process IS one replica of the cluster bench.
+		return runClusterReplica(*clusterBudget, *clusterListen)
+	}
 	if *obsMode && !*batch {
 		// -obs instruments the batch benchmark; alone it has nothing to
 		// observe, so imply -batch rather than fail.
 		*batch = true
 	}
-	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench && !*compileBench && !*quantBench {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, -compile, -quant, or -obs")
+	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench && !*compileBench && !*quantBench && !*clusterBench {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, -compile, -quant, -cluster, or -obs")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -147,6 +157,11 @@ func run(args []string) error {
 	}
 	if *quantBench {
 		if err := emitQuantBench(*resultDir); err != nil {
+			return err
+		}
+	}
+	if *clusterBench {
+		if err := emitClusterBench(*resultDir, *clusterReplicas, *clusterCell); err != nil {
 			return err
 		}
 	}

@@ -59,6 +59,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -367,7 +368,7 @@ func (s *service) servePredict(w http.ResponseWriter, r *http.Request, modelName
 	// rows it would flush with.
 	st, err := s.reg.Model(modelName)
 	if err != nil {
-		http.Error(w, err.Error(), predictStatus(err))
+		predictError(w, err)
 		return
 	}
 	if st.InputDim > 0 {
@@ -397,7 +398,7 @@ func (s *service) servePredict(w http.ResponseWriter, r *http.Request, modelName
 		g, sv, err := s.reg.Predict(r.Context(), modelName, key, req.Input)
 		if err != nil {
 			span.End()
-			http.Error(w, err.Error(), predictStatus(err))
+			predictError(w, err)
 			return
 		}
 		served = sv
@@ -413,7 +414,7 @@ func (s *service) servePredict(w http.ResponseWriter, r *http.Request, modelName
 		gs, sv, err := s.reg.PredictBatch(r.Context(), modelName, key, inputs)
 		if err != nil {
 			span.End()
-			http.Error(w, err.Error(), predictStatus(err))
+			predictError(w, err)
 			return
 		}
 		served = sv
@@ -436,6 +437,30 @@ func (s *service) servePredict(w http.ResponseWriter, r *http.Request, modelName
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("encode response: %v", err)
 	}
+}
+
+// predictError writes err with its mapped status. Overload and
+// unavailability responses (429/503) carry a Retry-After header so clients
+// and load balancers back off for the advertised budget instead of hammering
+// a saturated queue: the serve layer's drain estimate when the error carries
+// one (queue-full rejections), a 1-second floor otherwise (startup,
+// shutdown, cancelled requests).
+func predictError(w http.ResponseWriter, err error) {
+	status := predictStatus(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds(err))
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// retryAfterSeconds renders an error's retry budget as the whole seconds
+// HTTP Retry-After requires: the serve-layer hint rounded up, never below 1.
+func retryAfterSeconds(err error) string {
+	hint := time.Second
+	if d, ok := apds.ServeRetryAfter(err); ok && d > hint {
+		hint = d
+	}
+	return strconv.FormatInt(int64(math.Ceil(hint.Seconds())), 10)
 }
 
 // predictStatus maps registry and coalescer failures to HTTP semantics: an
@@ -542,7 +567,7 @@ func (s *service) handleModelReload(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.reg.Model(name)
 	if err != nil {
-		http.Error(w, err.Error(), predictStatus(err))
+		predictError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

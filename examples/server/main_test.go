@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -216,9 +217,12 @@ func TestHandlePredictQueueFull(t *testing.T) {
 		}
 	}
 
-	// Request 3 finds the queue full.
+	// Request 3 finds the queue full: 429 plus a Retry-After budget (whole
+	// seconds, at least 1) so callers back off instead of hammering.
 	if rec := post(t, svc, `{"input":[0.5,-1]}`); rec.Code != http.StatusTooManyRequests {
 		t.Errorf("over-capacity status %d, want 429 (%s)", rec.Code, rec.Body)
+	} else if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("429 Retry-After = %q, want an integer >= 1", rec.Header().Get("Retry-After"))
 	}
 
 	close(est.release)
@@ -233,9 +237,12 @@ func TestHandlePredictQueueFull(t *testing.T) {
 	if err := svc.close(ctx); err != nil {
 		t.Fatal(err)
 	}
-	// After drain, new requests are refused as unavailable.
+	// After drain, new requests are refused as unavailable — also with a
+	// Retry-After so load balancers know the rejection is retryable.
 	if rec := post(t, svc, `{"input":[0.5,-1]}`); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("post-close status %d, want 503 (%s)", rec.Code, rec.Body)
+	} else if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After header")
 	}
 }
 

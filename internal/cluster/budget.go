@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Budget is a token-bucket admission controller: a replica that can sustain
+// Rate requests/second admits at most Burst above that rate before refusing,
+// and every refusal is priced — Allow reports how long the caller must wait
+// for the next token, which the HTTP layer surfaces as a Retry-After header.
+// This is the per-replica capacity bound the cluster bench runs against: on
+// a small box the replicas share cores, so raw CPU cannot demonstrate
+// scaling, but an admission budget is a real production control (protecting
+// tail latency by refusing work early) and makes aggregate cluster
+// throughput a function of healthy replica count.
+type Budget struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for deterministic tests
+}
+
+// NewBudget returns a token bucket admitting rate requests/second with the
+// given burst (burst < 1 is raised to 1 so a fresh bucket admits at least
+// one request). rate must be positive.
+func NewBudget(rate float64, burst float64) (*Budget, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("cluster: budget rate must be positive, got %v", rate)
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Budget{rate: rate, burst: burst, tokens: burst, now: time.Now}, nil
+}
+
+// Allow consumes one token if available. When it refuses, the returned
+// retryAfter is the time until a full token accumulates — the honest
+// Retry-After price for this bucket.
+func (b *Budget) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.allowAt(b.now())
+}
+
+// allowAt is the clock-explicit core of Allow, locked by the caller.
+func (b *Budget) allowAt(now time.Time) (bool, time.Duration) {
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	wait := time.Duration(deficit / b.rate * float64(time.Second))
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Rate returns the configured sustained admission rate (requests/second).
+func (b *Budget) Rate() float64 { return b.rate }

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBudgetAllowAt drives the bucket with an explicit clock: admission,
+// refusal pricing, refill, and burst capping are all exact arithmetic.
+func TestBudgetAllowAt(t *testing.T) {
+	b, err := NewBudget(10, 2) // 10 rps, burst 2
+	if err != nil {
+		t.Fatalf("NewBudget: %v", err)
+	}
+	t0 := time.Unix(1000, 0)
+
+	// Fresh bucket admits the burst...
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allowAt(t0); !ok {
+			t.Fatalf("request %d within burst refused", i)
+		}
+	}
+	// ...then refuses, pricing the wait as one token at 10 rps = 100ms.
+	ok, wait := b.allowAt(t0)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait != 100*time.Millisecond {
+		t.Fatalf("refusal priced at %v, want 100ms (1 token at 10 rps)", wait)
+	}
+
+	// 50ms later: half a token accrued, still refused, price halves.
+	ok, wait = b.allowAt(t0.Add(50 * time.Millisecond))
+	if ok {
+		t.Fatal("half-token request admitted")
+	}
+	if wait != 50*time.Millisecond {
+		t.Fatalf("refusal priced at %v, want 50ms (half token outstanding)", wait)
+	}
+
+	// Another 50ms: the full token is there.
+	if ok, _ := b.allowAt(t0.Add(100 * time.Millisecond)); !ok {
+		t.Fatal("request refused after full refill interval")
+	}
+
+	// A long idle period caps at burst, not unlimited credit.
+	ok, _ = b.allowAt(t0.Add(10 * time.Second))
+	if !ok {
+		t.Fatal("request refused after long idle")
+	}
+	if ok, _ = b.allowAt(t0.Add(10 * time.Second)); !ok {
+		t.Fatal("second burst request refused after long idle")
+	}
+	if ok, _ = b.allowAt(t0.Add(10 * time.Second)); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	if _, err := NewBudget(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewBudget(-5, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	b, err := NewBudget(1, 0)
+	if err != nil {
+		t.Fatalf("NewBudget with burst 0: %v", err)
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Error("burst floored at 1 should admit the first request")
+	}
+	if got := b.Rate(); got != 1 {
+		t.Errorf("Rate = %v, want 1", got)
+	}
+}
+
+func TestBudgetAllowWallClock(t *testing.T) {
+	b, err := NewBudget(1000, 5)
+	if err != nil {
+		t.Fatalf("NewBudget: %v", err)
+	}
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Allow(); ok {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d of 5 burst requests", admitted)
+	}
+}

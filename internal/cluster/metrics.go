@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"github.com/apdeepsense/apdeepsense/internal/obs"
+)
+
+// Metrics is the router's observability surface. All methods are nil-safe,
+// matching the serve.Metrics convention: an unconfigured router pays one nil
+// check per event.
+//
+// Families:
+//
+//	apds_cluster_requests_total{shard,outcome}  proxied requests by first-choice shard and outcome
+//	                                            (ok|upstream_error|saturated|shed|retried)
+//	apds_cluster_spills_total{shard}            requests spilled off a saturated shard to a successor
+//	apds_cluster_retries_total{shard}           transport-error retries away from a shard
+//	apds_cluster_shed_total                     requests shed: every candidate saturated or down
+//	apds_cluster_shards_up                      shards currently in the ring
+//	apds_cluster_shard_up{shard}                per-shard health (1 in ring, 0 out)
+//	apds_cluster_probes_total{shard,result}     health probes by result (ok|fail)
+//	apds_cluster_ring_rebuilds_total            ring snapshot swaps (membership changes)
+//	apds_cluster_proxy_seconds                  end-to-end proxy latency, including spills/retries
+type Metrics struct {
+	requests *obs.CounterVec
+	spills   *obs.CounterVec
+	retries  *obs.CounterVec
+	shed     *obs.Counter
+	shardsUp *obs.Gauge
+	shardUp  *obs.GaugeVec
+	probes   *obs.CounterVec
+	rebuilds *obs.Counter
+	proxy    *obs.Histogram
+}
+
+// NewMetrics registers the cluster metric families in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		requests: reg.CounterVec("apds_cluster_requests_total",
+			"Requests proxied by the cluster router, by first-choice shard and outcome.",
+			"shard", "outcome"),
+		spills: reg.CounterVec("apds_cluster_spills_total",
+			"Requests spilled off a saturated shard to its ring successor.", "shard"),
+		retries: reg.CounterVec("apds_cluster_retries_total",
+			"Transport-error retries routed away from a shard.", "shard"),
+		shed: reg.Counter("apds_cluster_shed_total",
+			"Requests shed by the router because every candidate shard was saturated or down."),
+		shardsUp: reg.Gauge("apds_cluster_shards_up",
+			"Shards currently admitted to the routing ring."),
+		shardUp: reg.GaugeVec("apds_cluster_shard_up",
+			"Per-shard health: 1 when the shard is in the ring, 0 when ejected.", "shard"),
+		probes: reg.CounterVec("apds_cluster_probes_total",
+			"Health probes by shard and result (ok, fail).", "shard", "result"),
+		rebuilds: reg.Counter("apds_cluster_ring_rebuilds_total",
+			"Routing-ring snapshot swaps caused by shard membership changes."),
+		proxy: reg.Histogram("apds_cluster_proxy_seconds",
+			"End-to-end router proxy latency including spill and retry hops.",
+			obs.LatencyBuckets()),
+	}
+}
+
+func (m *Metrics) request(shard, outcome string) {
+	if m != nil {
+		m.requests.With(shard, outcome).Inc()
+	}
+}
+
+func (m *Metrics) spilled(shard string) {
+	if m != nil {
+		m.spills.With(shard).Inc()
+	}
+}
+
+func (m *Metrics) retried(shard string) {
+	if m != nil {
+		m.retries.With(shard).Inc()
+	}
+}
+
+func (m *Metrics) shedOne() {
+	if m != nil {
+		m.shed.Inc()
+	}
+}
+
+func (m *Metrics) setShardUp(shard string, up bool) {
+	if m != nil {
+		v := 0.0
+		if up {
+			v = 1
+		}
+		m.shardUp.With(shard).Set(v)
+	}
+}
+
+func (m *Metrics) setShardsUp(n int) {
+	if m != nil {
+		m.shardsUp.Set(float64(n))
+	}
+}
+
+func (m *Metrics) probed(shard string, ok bool) {
+	if m != nil {
+		result := "fail"
+		if ok {
+			result = "ok"
+		}
+		m.probes.With(shard, result).Inc()
+	}
+}
+
+func (m *Metrics) rebuilt() {
+	if m != nil {
+		m.rebuilds.Inc()
+	}
+}
+
+func (m *Metrics) observeProxy(seconds float64) {
+	if m != nil {
+		m.proxy.Observe(seconds)
+	}
+}
+
+// Shed returns the shed-request count (for tests).
+func (m *Metrics) Shed() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.shed.Value()
+}
+
+// Spills returns the spill count for one shard (for tests).
+func (m *Metrics) Spills(shard string) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.spills.With(shard).Value()
+}
+
+// Retries returns the transport-error retry count for one shard (for tests
+// and the cluster bench).
+func (m *Metrics) Retries(shard string) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.retries.With(shard).Value()
+}
+
+// ShardsUp returns the current in-ring shard count (for tests).
+func (m *Metrics) ShardsUp() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.shardsUp.Value()
+}

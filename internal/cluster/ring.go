@@ -1,0 +1,178 @@
+// Package cluster is the scale-out serving tier above the single-process
+// stack: a consistent-hash ring that shards request keys across replica
+// processes, a front-door HTTP router with per-shard health probing and
+// drain/rejoin lifecycle, saturation spillover for hot keys, and
+// admission-control primitives (token-bucket budgets with Retry-After
+// pricing). One box runs N replica processes of examples/server (or any
+// server speaking the same /predict + /readyz contract); the router makes
+// them look like one endpoint whose aggregate throughput scales with N.
+//
+// Design boundaries:
+//
+//   - Placement is pure: the ring is an immutable value derived from the
+//     eligible shard set, and every lookup is a binary search over
+//     avalanche-finished hashes (internal/hashkey — the same hash the
+//     registry's canary splitter uses, so placement and splits agree).
+//     Membership changes swap the whole ring atomically.
+//   - Health is observed, not declared: the router polls each replica's
+//     /readyz; a shard leaves the ring after FailAfter consecutive probe
+//     failures and re-enters after ReadmitAfter consecutive successes (the
+//     warmup that keeps a flapping replica from thrashing the ring).
+//   - Overload is explicit: a saturated shard answers 429/503 with a
+//     Retry-After budget (serve.QueueFullError through examples/server, or a
+//     cluster.Budget), the router spills the request to the next distinct
+//     ring node, and when every candidate is saturated the router sheds with
+//     the largest advertised Retry-After instead of queueing.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/apdeepsense/apdeepsense/internal/hashkey"
+)
+
+// DefaultVNodes is the virtual-node count per shard. 128 vnodes put the
+// per-shard load imbalance near 1/sqrt(128) ≈ 9% of mean (see the balance
+// property test), at a memory cost of one (hash, index) pair per vnode.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring: nodes (shard names, typically
+// base URLs) each project VNodes points onto the 64-bit hash circle, and a
+// key belongs to the first point clockwise of its hash. Immutability is the
+// concurrency story — routers swap whole rings atomically on membership
+// change — and is also what makes the movement property testable: the only
+// keys whose owner differs between a ring and ring.With(n) are those n
+// captured.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted member names
+	points []point  // sorted by hash around the circle
+}
+
+// point is one virtual node: the hash it sits at and the owning node's index
+// into nodes.
+type point struct {
+	hash uint64
+	node int32
+}
+
+// NewRing builds a ring over the given nodes (duplicates collapse; order is
+// irrelevant — two routers given the same member set in any order build
+// bit-identical rings). vnodes <= 0 selects DefaultVNodes.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, nodes: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for i, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			// The vnode key mixes node identity and vnode ordinal through the
+			// avalanche hash, so a node's points scatter over the whole circle
+			// rather than clumping near each other.
+			h := hashkey.Hash64(n + "#" + strconv.Itoa(v))
+			r.points = append(r.points, point{hash: h, node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so the ring is
+		// deterministic regardless of construction order.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the sorted member names (a copy).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns the node owning key: the first ring point clockwise of the
+// key's hash. It returns "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.nodes[r.points[r.search(key)].node]
+}
+
+// Successors returns up to n distinct nodes in ring order starting at the
+// key's owner: the owner first, then the nodes that would absorb the key if
+// the owner left — exactly the spill order the router tries when a shard
+// saturates.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	taken := make(map[int32]bool, n)
+	for i, start := 0, r.search(key); i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.node] {
+			taken[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise of key's hash.
+func (r *Ring) search(key string) int {
+	h := hashkey.Hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return i
+}
+
+// With returns a new ring with node added (or r unchanged if already a
+// member). By the consistent-hashing contract, the only keys whose owner
+// changes are those the new node captures — about K/(N+1) of them.
+func (r *Ring) With(node string) *Ring {
+	for _, n := range r.nodes {
+		if n == node {
+			return r
+		}
+	}
+	return NewRing(append(r.Nodes(), node), r.vnodes)
+}
+
+// Without returns a new ring with node removed (or r unchanged if not a
+// member). Only the keys the departing node owned move, each to its
+// clockwise successor.
+func (r *Ring) Without(node string) *Ring {
+	kept := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			kept = append(kept, n)
+		}
+	}
+	if len(kept) == len(r.nodes) {
+		return r
+	}
+	return NewRing(kept, r.vnodes)
+}
+
+// String summarizes the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d nodes, %d vnodes)", len(r.nodes), r.vnodes)
+}

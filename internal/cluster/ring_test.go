@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://127.0.0.1:%d", 8081+i)
+	}
+	return nodes
+}
+
+func testKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user-%d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 128)
+	b := NewRing([]string{"n3", "n1", "n2", "n2"}, 128)
+	for _, k := range testKeys(1000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("Lookup(%q) differs between construction orders: %q vs %q",
+				k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+	if got := a.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3 (duplicates must collapse)", b.Len())
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 128)
+	if got := empty.Lookup("k"); got != "" {
+		t.Errorf(`empty ring Lookup = %q, want ""`, got)
+	}
+	if got := empty.Successors("k", 3); got != nil {
+		t.Errorf("empty ring Successors = %v, want nil", got)
+	}
+	one := NewRing([]string{"solo"}, 128)
+	for _, k := range testKeys(100) {
+		if one.Lookup(k) != "solo" {
+			t.Fatalf("single-node ring Lookup(%q) = %q", k, one.Lookup(k))
+		}
+	}
+}
+
+// TestRingBalance is the balance property: at >= 128 vnodes, the load of the
+// most- and least-loaded node stays within a fixed band of the mean. The
+// theoretical relative deviation is ~1/sqrt(vnodes) (≈ 8.8% at 128); the
+// bound here is 4x that, far above observed values but failing loudly if
+// vnode hashing ever clumps.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(100000)
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, vnodes := range []int{128, 256} {
+			r := NewRing(ringNodes(n), vnodes)
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[r.Lookup(k)]++
+			}
+			mean := float64(len(keys)) / float64(n)
+			bound := 4 / math.Sqrt(float64(vnodes))
+			for node, c := range counts {
+				dev := math.Abs(float64(c)-mean) / mean
+				if dev > bound {
+					t.Errorf("%d nodes × %d vnodes: %s holds %d keys, mean %.0f (%.1f%% off, bound %.1f%%)",
+						n, vnodes, node, c, mean, 100*dev, 100*bound)
+				}
+			}
+			if len(counts) != n {
+				t.Errorf("%d nodes × %d vnodes: only %d nodes received keys", n, vnodes, len(counts))
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin is the consistent-hashing contract: adding a
+// node moves only the keys it captures — every moved key must now map to the
+// new node, and the moved fraction stays near K/(N+1).
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := testKeys(100000)
+	for _, n := range []int{2, 4, 8} {
+		before := NewRing(ringNodes(n), 128)
+		joined := "http://127.0.0.1:9999"
+		after := before.With(joined)
+		moved := 0
+		for _, k := range keys {
+			a, b := before.Lookup(k), after.Lookup(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != joined {
+				t.Fatalf("%d nodes: key %q moved %q → %q, not to the joining node", n, k, a, b)
+			}
+		}
+		expected := float64(len(keys)) / float64(n+1)
+		if f := float64(moved); f > 1.5*expected || f < 0.5*expected {
+			t.Errorf("%d nodes: join moved %d keys, expected ~%.0f (K/(N+1))", n, moved, expected)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave mirrors the join property: removing a node
+// moves exactly the keys it owned, each to a surviving node.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := testKeys(100000)
+	for _, n := range []int{3, 4, 8} {
+		nodes := ringNodes(n)
+		before := NewRing(nodes, 128)
+		leaving := nodes[1]
+		after := before.Without(leaving)
+		moved := 0
+		for _, k := range keys {
+			a, b := before.Lookup(k), after.Lookup(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if a != leaving {
+				t.Fatalf("%d nodes: key %q moved %q → %q but its owner did not leave", n, k, a, b)
+			}
+			if b == leaving {
+				t.Fatalf("%d nodes: key %q still maps to the departed node", n, k)
+			}
+		}
+		expected := float64(len(keys)) / float64(n)
+		if f := float64(moved); f > 1.5*expected || f < 0.5*expected {
+			t.Errorf("%d nodes: leave moved %d keys, expected ~%.0f (K/N)", n, moved, expected)
+		}
+	}
+}
+
+// TestRingSuccessors pins the spill order: distinct nodes, owner first, and
+// the second entry is where the key lands if the owner leaves — the property
+// the router's saturation spillover and the node-kill rehash both rely on.
+func TestRingSuccessors(t *testing.T) {
+	nodes := ringNodes(4)
+	r := NewRing(nodes, 128)
+	for _, k := range testKeys(2000) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 3) = %v, want 3 distinct nodes", k, succ)
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("Successors(%q)[0] = %q, Lookup = %q", k, succ[0], r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%q) = %v contains duplicates", k, succ)
+			}
+			seen[s] = true
+		}
+		if got := r.Without(succ[0]).Lookup(k); got != succ[1] {
+			t.Fatalf("key %q: successor order says %q but removal rehashes to %q", k, succ[1], got)
+		}
+	}
+	// Asking for more nodes than exist returns them all.
+	if got := r.Successors("k", 99); len(got) != 4 {
+		t.Errorf("Successors(k, 99) returned %d nodes, want 4", len(got))
+	}
+}
+
+func TestRingWithWithoutNoop(t *testing.T) {
+	r := NewRing(ringNodes(3), 128)
+	if r.With(ringNodes(3)[0]) != r {
+		t.Error("With(existing member) did not return the same ring")
+	}
+	if r.Without("http://nope") != r {
+		t.Error("Without(non-member) did not return the same ring")
+	}
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	r := NewRing(ringNodes(8), 128)
+	keys := testKeys(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,592 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Router defaults. FailAfter/ReadmitAfter of 2 means one lost probe does not
+// eject a shard and one lucky probe does not re-admit a flapping one.
+const (
+	DefaultProbeInterval   = 250 * time.Millisecond
+	DefaultProbeTimeout    = time.Second
+	DefaultFailAfter       = 2
+	DefaultReadmitAfter    = 2
+	DefaultMaxSpill        = 2
+	DefaultMaxRequestBytes = 1 << 20
+	DefaultShedRetryAfter  = time.Second
+)
+
+// RouterConfig configures a front-door Router.
+type RouterConfig struct {
+	// Replicas are the base URLs of the replica servers (e.g.
+	// "http://127.0.0.1:8081"). At least one is required.
+	Replicas []string
+	// VNodes per shard on the routing ring; <= 0 selects DefaultVNodes.
+	VNodes int
+	// ProbeInterval is the background health-probe period. Zero selects
+	// DefaultProbeInterval; negative disables the background loop entirely
+	// (tests then drive health through CheckNow).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe. Zero selects DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// FailAfter consecutive probe failures eject a shard from the ring;
+	// ReadmitAfter consecutive successes re-admit it. Zero selects the
+	// defaults (2 and 2).
+	FailAfter    int
+	ReadmitAfter int
+	// MaxSpill is how many ring successors a request may spill to after its
+	// owner refuses or fails (0 disables spillover; zero-value selects
+	// DefaultMaxSpill via <0 sentinel — pass -1 for "no spill").
+	MaxSpill int
+	// MaxRequestBytes bounds the buffered request body. Zero selects
+	// DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+	// ShedRetryAfter is the Retry-After hint used when shedding without any
+	// upstream-provided hint. Zero selects DefaultShedRetryAfter.
+	ShedRetryAfter time.Duration
+	// Metrics receives router events; nil disables instrumentation.
+	Metrics *Metrics
+	// Client performs upstream requests; nil builds one with sane pooling.
+	Client *http.Client
+	// Logf receives router lifecycle logs; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// shardState is one replica's health ledger, guarded by Router.mu.
+type shardState struct {
+	up      bool
+	drained bool
+	fails   int // consecutive probe failures
+	oks     int // consecutive probe successes while down
+}
+
+// Router is the cluster front door: an http.Handler that owns the routing
+// ring, probes replica health, proxies prediction traffic by shard key, and
+// sheds load with honest Retry-After pricing when the fleet is saturated.
+//
+// Routing contract (mirrors examples/server so the router is drop-in):
+//
+//	POST /predict                       proxy by shard key
+//	POST /v1/models/{name}/predict      proxy by shard key
+//	GET  /v1/models                     proxy to any live shard
+//	GET  /readyz                        aggregate readiness (200 iff ring non-empty)
+//	POST /cluster/drain?shard=URL       remove shard from ring, wait for in-flight
+//	POST /cluster/rejoin?shard=URL      undo a drain
+//
+// The shard key is the first of: X-Shard-Key header, X-Request-ID header,
+// client host. Keys hash through internal/hashkey — the same avalanche hash
+// the registry's canary splitter uses — so a device pinned to a canary split
+// is also pinned to a shard.
+type Router struct {
+	cfg      RouterConfig
+	client   *http.Client
+	mux      *http.ServeMux
+	ring     atomic.Pointer[Ring]
+	mu       sync.Mutex
+	states   map[string]*shardState
+	inflight map[string]*atomic.Int64
+	stop     chan struct{}
+	loopDone chan struct{}
+	closed   sync.Once
+}
+
+// NewRouter builds a router over cfg.Replicas, runs one synchronous probe
+// round so the initial ring reflects reality, and (unless cfg.ProbeInterval
+// is negative) starts the background health loop. Call Close to stop it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one replica")
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = DefaultFailAfter
+	}
+	if cfg.ReadmitAfter <= 0 {
+		cfg.ReadmitAfter = DefaultReadmitAfter
+	}
+	if cfg.MaxSpill == 0 {
+		cfg.MaxSpill = DefaultMaxSpill
+	} else if cfg.MaxSpill < 0 {
+		cfg.MaxSpill = 0
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if cfg.ShedRetryAfter <= 0 {
+		cfg.ShedRetryAfter = DefaultShedRetryAfter
+	}
+	rt := &Router{
+		cfg:      cfg,
+		client:   cfg.Client,
+		states:   make(map[string]*shardState, len(cfg.Replicas)),
+		inflight: make(map[string]*atomic.Int64, len(cfg.Replicas)),
+		stop:     make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     30 * time.Second,
+		}}
+	}
+	seen := map[string]bool{}
+	for _, rep := range cfg.Replicas {
+		if rep == "" || seen[rep] {
+			return nil, fmt.Errorf("cluster: empty or duplicate replica %q", rep)
+		}
+		seen[rep] = true
+		rt.states[rep] = &shardState{}
+		rt.inflight[rep] = &atomic.Int64{}
+	}
+	rt.ring.Store(NewRing(nil, cfg.VNodes))
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /predict", rt.handlePredict)
+	rt.mux.HandleFunc("POST /v1/models/{name}/predict", rt.handlePredict)
+	rt.mux.HandleFunc("GET /v1/models", rt.handleModels)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /healthz", rt.handleReadyz)
+	rt.mux.HandleFunc("POST /cluster/drain", rt.handleDrain)
+	rt.mux.HandleFunc("POST /cluster/rejoin", rt.handleRejoin)
+	rt.initialProbe()
+	if cfg.ProbeInterval > 0 {
+		rt.loopDone = make(chan struct{})
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+// Close stops the background probe loop. It does not close cfg.Client.
+func (rt *Router) Close() {
+	rt.closed.Do(func() { close(rt.stop) })
+	if rt.loopDone != nil {
+		<-rt.loopDone
+	}
+}
+
+// ServeHTTP dispatches to the router's route table.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	rt.mux.ServeHTTP(w, req)
+}
+
+// Ring returns the current routing ring snapshot.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// --- health -----------------------------------------------------------------
+
+func (rt *Router) probeLoop() {
+	defer close(rt.loopDone)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.CheckNow()
+		}
+	}
+}
+
+// initialProbe seeds shard health at construction: the first probe round
+// sets each shard's state directly, without the ReadmitAfter warmup — a
+// fresh router facing a healthy fleet must route immediately, and the
+// hysteresis exists to damp flapping, which cannot have happened yet.
+func (rt *Router) initialProbe() {
+	results := rt.probeAll()
+	rt.mu.Lock()
+	for rep, ok := range results {
+		rt.cfg.Metrics.probed(rep, ok)
+		rt.states[rep].up = ok
+	}
+	rt.rebuildLocked()
+	rt.mu.Unlock()
+}
+
+// CheckNow probes every replica's /readyz once, synchronously, and applies
+// the FailAfter/ReadmitAfter state machine. The background loop calls it on
+// a ticker; tests call it directly to step health deterministically.
+func (rt *Router) CheckNow() {
+	results := rt.probeAll()
+	rt.mu.Lock()
+	changed := false
+	for rep, ok := range results {
+		s := rt.states[rep]
+		rt.cfg.Metrics.probed(rep, ok)
+		if ok {
+			s.fails = 0
+			if s.up {
+				continue
+			}
+			s.oks++
+			// ReadmitAfter consecutive successes is the warmup gate: a
+			// replica mid-restart answers one probe, dies, answers another —
+			// it only rejoins once it holds readiness across the window.
+			if s.oks >= rt.cfg.ReadmitAfter {
+				s.up = true
+				s.oks = 0
+				changed = true
+				rt.logf("cluster: shard %s re-admitted", rep)
+			}
+		} else {
+			s.oks = 0
+			if !s.up {
+				continue
+			}
+			s.fails++
+			if s.fails >= rt.cfg.FailAfter {
+				s.up = false
+				s.fails = 0
+				changed = true
+				rt.logf("cluster: shard %s ejected (probe failures)", rep)
+			}
+		}
+	}
+	if changed {
+		rt.rebuildLocked()
+	}
+	rt.mu.Unlock()
+}
+
+// probeAll probes every replica concurrently and returns the result map.
+func (rt *Router) probeAll() map[string]bool {
+	results := make(map[string]bool, len(rt.cfg.Replicas))
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for _, rep := range rt.cfg.Replicas {
+		wg.Add(1)
+		go func(rep string) {
+			defer wg.Done()
+			ok := rt.probeOne(rep)
+			mu.Lock()
+			results[rep] = ok
+			mu.Unlock()
+		}(rep)
+	}
+	wg.Wait()
+	return results
+}
+
+func (rt *Router) probeOne(rep string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// rebuildLocked recomputes the ring from shards that are up and not
+// draining. Caller holds rt.mu.
+func (rt *Router) rebuildLocked() {
+	eligible := make([]string, 0, len(rt.states))
+	for rep, s := range rt.states {
+		rt.cfg.Metrics.setShardUp(rep, s.up && !s.drained)
+		if s.up && !s.drained {
+			eligible = append(eligible, rep)
+		}
+	}
+	sort.Strings(eligible)
+	rt.ring.Store(NewRing(eligible, rt.cfg.VNodes))
+	rt.cfg.Metrics.setShardsUp(len(eligible))
+	rt.cfg.Metrics.rebuilt()
+	rt.logf("cluster: ring rebuilt with %d/%d shards", len(eligible), len(rt.states))
+}
+
+// Drain removes shard from the ring (new requests stop routing to it) and
+// blocks until its in-flight requests finish or ctx expires. The shard keeps
+// being probed; Rejoin undoes the drain.
+func (rt *Router) Drain(ctx context.Context, shard string) error {
+	rt.mu.Lock()
+	s, ok := rt.states[shard]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: unknown shard %q", shard)
+	}
+	if !s.drained {
+		s.drained = true
+		rt.rebuildLocked()
+	}
+	rt.mu.Unlock()
+
+	inflight := rt.inflight[shard]
+	for inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: drain %s: %d requests still in flight: %w",
+				shard, inflight.Load(), ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	rt.logf("cluster: shard %s drained", shard)
+	return nil
+}
+
+// Rejoin clears a shard's drain mark. The shard re-enters the ring
+// immediately if it is healthy, or after its ReadmitAfter warmup otherwise.
+func (rt *Router) Rejoin(shard string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s, ok := rt.states[shard]
+	if !ok {
+		return fmt.Errorf("cluster: unknown shard %q", shard)
+	}
+	if s.drained {
+		s.drained = false
+		rt.rebuildLocked()
+	}
+	return nil
+}
+
+// --- proxying ---------------------------------------------------------------
+
+// shardKey picks the routing key: explicit X-Shard-Key, else the request ID,
+// else the client host — so unlabeled traffic from one device still pins to
+// one shard.
+func shardKey(req *http.Request) string {
+	if k := req.Header.Get("X-Shard-Key"); k != "" {
+		return k
+	}
+	if k := req.Header.Get("X-Request-ID"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(req.RemoteAddr)
+	if err != nil {
+		return req.RemoteAddr
+	}
+	return host
+}
+
+func (rt *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	defer func() { rt.cfg.Metrics.observeProxy(time.Since(start).Seconds()) }()
+
+	ring := rt.ring.Load()
+	if ring.Len() == 0 {
+		rt.shed(w, "", 0, false)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, rt.cfg.MaxRequestBytes+1))
+	if err != nil {
+		http.Error(w, "read request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxRequestBytes {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	key := shardKey(req)
+	candidates := ring.Successors(key, 1+rt.cfg.MaxSpill)
+	owner := candidates[0]
+	var maxHint time.Duration
+	sawSaturated := false
+	for i, node := range candidates {
+		resp, err := rt.forward(req, node, body)
+		if err != nil {
+			// Transport failure: prediction is idempotent, so retry on the
+			// next ring node. This is the node-kill path — the probe loop
+			// has not ejected the dead shard yet, but traffic already heals.
+			rt.cfg.Metrics.retried(node)
+			rt.logf("cluster: forward to %s failed: %v", node, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			if h := parseRetryAfter(resp.Header.Get("Retry-After")); h > maxHint {
+				maxHint = h
+			}
+			sawSaturated = true
+			drainBody(resp)
+			rt.cfg.Metrics.spilled(node)
+			continue
+		}
+		rt.relay(w, resp)
+		outcome := "ok"
+		if resp.StatusCode >= 400 {
+			outcome = "upstream_error"
+		} else if i > 0 {
+			outcome = "spilled"
+		}
+		rt.cfg.Metrics.request(owner, outcome)
+		return
+	}
+	rt.cfg.Metrics.request(owner, "shed")
+	rt.shed(w, owner, maxHint, sawSaturated)
+}
+
+// forward replays the buffered request against one replica, tracking the
+// per-shard in-flight count that Drain waits on.
+func (rt *Router) forward(req *http.Request, node string, body []byte) (*http.Response, error) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method,
+		node+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range []string{"Content-Type", "Accept", "X-Shard-Key", "X-Request-ID"} {
+		if v := req.Header.Get(h); v != "" {
+			out.Header.Set(h, v)
+		}
+	}
+	counter := rt.inflight[node]
+	if counter != nil {
+		counter.Add(1)
+		defer counter.Add(-1)
+	}
+	return rt.client.Do(out)
+}
+
+// relay copies an upstream response to the client.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Model-Version", "Etag"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// shed refuses a request the fleet cannot absorb. Saturation (somebody said
+// 429/503) sheds as 429 with the largest upstream Retry-After; a fully
+// unreachable candidate set sheds as 503 with the configured default hint.
+func (rt *Router) shed(w http.ResponseWriter, owner string, hint time.Duration, saturated bool) {
+	rt.cfg.Metrics.shedOne()
+	if hint <= 0 {
+		hint = rt.cfg.ShedRetryAfter
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(ceilSeconds(hint), 10))
+	status := http.StatusServiceUnavailable
+	msg := "cluster: no shard available"
+	if saturated {
+		status = http.StatusTooManyRequests
+		msg = "cluster: all shards saturated"
+	}
+	if owner != "" {
+		msg += " (owner " + owner + ")"
+	}
+	http.Error(w, msg, status)
+}
+
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+}
+
+// parseRetryAfter reads a Retry-After header in delay-seconds form (the only
+// form this system emits); unknown forms yield 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func ceilSeconds(d time.Duration) int64 {
+	return int64(math.Ceil(d.Seconds()))
+}
+
+// --- aggregate and admin endpoints ------------------------------------------
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	rt.mu.Lock()
+	shards := make(map[string]bool, len(rt.states))
+	up := 0
+	for rep, s := range rt.states {
+		ok := s.up && !s.drained
+		shards[rep] = ok
+		if ok {
+			up++
+		}
+	}
+	rt.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if up == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready":     up > 0,
+		"shards_up": up,
+		"shards":    shards,
+	})
+}
+
+// handleModels proxies the model catalog from any live shard: replicas serve
+// the same manifest, so the first ring member answers for the fleet.
+func (rt *Router) handleModels(w http.ResponseWriter, req *http.Request) {
+	ring := rt.ring.Load()
+	nodes := ring.Nodes()
+	if len(nodes) == 0 {
+		rt.shed(w, "", 0, false)
+		return
+	}
+	for _, node := range nodes {
+		resp, err := rt.forward(req, node, nil)
+		if err != nil {
+			continue
+		}
+		rt.relay(w, resp)
+		return
+	}
+	rt.shed(w, "", 0, false)
+}
+
+func (rt *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	shard := req.URL.Query().Get("shard")
+	if shard == "" {
+		http.Error(w, "missing shard parameter", http.StatusBadRequest)
+		return
+	}
+	if err := rt.Drain(req.Context(), shard); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintf(w, "drained %s\n", shard)
+}
+
+func (rt *Router) handleRejoin(w http.ResponseWriter, req *http.Request) {
+	shard := req.URL.Query().Get("shard")
+	if shard == "" {
+		http.Error(w, "missing shard parameter", http.StatusBadRequest)
+		return
+	}
+	if err := rt.Rejoin(shard); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "rejoined %s\n", shard)
+}

@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/obs"
+)
+
+// fakeReplica is a scriptable stand-in for examples/server: readiness and
+// predict behavior both toggle atomically so tests can step health and
+// saturation deterministically.
+type fakeReplica struct {
+	id        string
+	srv       *httptest.Server
+	ready     atomic.Bool
+	saturated atomic.Bool
+	hintSecs  atomic.Int64 // Retry-After advertised when saturated
+	served    atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, id string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{id: id}
+	f.ready.Store(true)
+	f.hintSecs.Store(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !f.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	predict := func(w http.ResponseWriter, r *http.Request) {
+		if f.saturated.Load() {
+			w.Header().Set("Retry-After", strconv.FormatInt(f.hintSecs.Load(), 10))
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		f.served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"replica":%q}`, f.id)
+	}
+	mux.HandleFunc("POST /predict", predict)
+	mux.HandleFunc("POST /v1/models/{name}/predict", predict)
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"models":["from-%s"]}`, f.id)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) url() string { return f.srv.URL }
+
+// newTestRouter builds a router over the replicas with the background probe
+// loop disabled — health advances only through CheckNow, keeping every test
+// deterministic.
+func newTestRouter(t *testing.T, m *Metrics, reps ...*fakeReplica) *Router {
+	t.Helper()
+	urls := make([]string, len(reps))
+	for i, r := range reps {
+		urls[i] = r.url()
+	}
+	rt, err := NewRouter(RouterConfig{
+		Replicas:      urls,
+		ProbeInterval: -1,
+		FailAfter:     2,
+		ReadmitAfter:  2,
+		Metrics:       m,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// keyOwnedBy finds a shard key whose ring owner is the given node.
+func keyOwnedBy(t *testing.T, r *Ring, node string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("probe-key-%d", i)
+		if r.Lookup(k) == node {
+			return k
+		}
+	}
+	t.Fatalf("no key found owned by %s", node)
+	return ""
+}
+
+func predictVia(t *testing.T, rt *Router, key string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{"input":[1,2,3,4,5]}`))
+	req.Header.Set("X-Shard-Key", key)
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	resp := rec.Result()
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func TestRouterRoutesByShardKey(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	rt := newTestRouter(t, nil, a, b, c)
+	ring := rt.Ring()
+	if ring.Len() != 3 {
+		t.Fatalf("initial ring has %d shards, want 3", ring.Len())
+	}
+	byURL := map[string]*fakeReplica{a.url(): a, b.url(): b, c.url(): c}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("device-%d", i)
+		resp, body := predictVia(t, rt, key)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("key %s: status %d, body %s", key, resp.StatusCode, body)
+		}
+		owner := byURL[ring.Lookup(key)]
+		if want := fmt.Sprintf(`{"replica":%q}`, owner.id); body != want {
+			t.Fatalf("key %s: routed to %s, ring owner is %s", key, body, owner.id)
+		}
+	}
+	// Model-scoped predict routes through the same ring.
+	req := httptest.NewRequest(http.MethodPost, "/v1/models/default/predict",
+		strings.NewReader(`{"input":[1]}`))
+	req.Header.Set("X-Shard-Key", "device-0")
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("model-scoped predict: status %d", rec.Code)
+	}
+}
+
+func TestRouterHealthEjectAndReadmit(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	m := NewMetrics(obs.NewRegistry())
+	rt := newTestRouter(t, m, a, b, c)
+	key := keyOwnedBy(t, rt.Ring(), b.url())
+
+	b.ready.Store(false)
+	rt.CheckNow()
+	if got := rt.Ring().Len(); got != 3 {
+		t.Fatalf("after 1 failed probe (FailAfter=2): ring has %d shards, want 3", got)
+	}
+	rt.CheckNow()
+	if got := rt.Ring().Len(); got != 2 {
+		t.Fatalf("after 2 failed probes: ring has %d shards, want 2", got)
+	}
+	if got := m.ShardsUp(); got != 2 {
+		t.Errorf("shards_up gauge = %v, want 2", got)
+	}
+	// b's keys now land on the survivor the ring dictates, and b itself
+	// receives nothing even though its HTTP server still answers.
+	servedBefore := b.served.Load()
+	resp, body := predictVia(t, rt, key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict with owner ejected: status %d", resp.StatusCode)
+	}
+	if want := rt.Ring().Lookup(key); !strings.Contains(body, replicaID(t, want, a, b, c)) {
+		t.Fatalf("key rehashed to %s, served by %s", want, body)
+	}
+	if b.served.Load() != servedBefore {
+		t.Error("ejected shard still received traffic")
+	}
+
+	// Recovery: one good probe is not enough (ReadmitAfter=2), two are.
+	b.ready.Store(true)
+	rt.CheckNow()
+	if got := rt.Ring().Len(); got != 2 {
+		t.Fatalf("after 1 good probe (ReadmitAfter=2): ring has %d shards, want 2", got)
+	}
+	rt.CheckNow()
+	if got := rt.Ring().Len(); got != 3 {
+		t.Fatalf("after 2 good probes: ring has %d shards, want 3", got)
+	}
+}
+
+func replicaID(t *testing.T, url string, reps ...*fakeReplica) string {
+	t.Helper()
+	for _, r := range reps {
+		if r.url() == url {
+			return r.id
+		}
+	}
+	t.Fatalf("unknown replica url %s", url)
+	return ""
+}
+
+func TestRouterSpillsHotKeyOnSaturation(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	m := NewMetrics(obs.NewRegistry())
+	rt := newTestRouter(t, m, a, b, c)
+	ring := rt.Ring()
+	key := keyOwnedBy(t, ring, a.url())
+	succ := ring.Successors(key, 2)
+
+	a.saturated.Store(true)
+	resp, body := predictVia(t, rt, key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("saturated owner with healthy successor: status %d, body %s", resp.StatusCode, body)
+	}
+	if want := fmt.Sprintf(`{"replica":%q}`, replicaID(t, succ[1], a, b, c)); body != want {
+		t.Fatalf("spill went to %s, want ring successor %s", body, want)
+	}
+	if got := m.Spills(a.url()); got != 1 {
+		t.Errorf("spills_total{%s} = %v, want 1", a.url(), got)
+	}
+}
+
+func TestRouterShedsWithRetryAfterWhenAllSaturated(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	m := NewMetrics(obs.NewRegistry())
+	rt := newTestRouter(t, m, a, b, c)
+	for _, r := range []*fakeReplica{a, b, c} {
+		r.saturated.Store(true)
+	}
+	a.hintSecs.Store(2)
+	b.hintSecs.Store(7)
+	c.hintSecs.Store(4)
+
+	resp, _ := predictVia(t, rt, "hot-device")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("all saturated: status %d, want 429", resp.StatusCode)
+	}
+	// The router surfaces the *largest* advertised hint among the candidates
+	// it tried: retrying sooner than the slowest shard's price guarantees
+	// another refusal.
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	hints := map[string]int64{a.url(): 2, b.url(): 7, c.url(): 4}
+	maxHint := int64(0)
+	for _, n := range rt.Ring().Successors("hot-device", 3) {
+		if hints[n] > maxHint {
+			maxHint = hints[n]
+		}
+	}
+	if int64(ra) != maxHint {
+		t.Errorf("Retry-After = %d, want max candidate hint %d", ra, maxHint)
+	}
+	if got := m.Shed(); got != 1 {
+		t.Errorf("shed_total = %v, want 1", got)
+	}
+}
+
+func TestRouterShedsUnavailableWhenRingEmpty(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	m := NewMetrics(obs.NewRegistry())
+	rt := newTestRouter(t, m, a)
+	a.ready.Store(false)
+	rt.CheckNow()
+	rt.CheckNow()
+	resp, _ := predictVia(t, rt, "k")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty ring: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("empty-ring shed missing Retry-After header")
+	}
+}
+
+func TestRouterRetriesTransportErrorOnSuccessor(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	rt := newTestRouter(t, nil, a, b, c)
+	ring := rt.Ring()
+	key := keyOwnedBy(t, ring, c.url())
+	succ := ring.Successors(key, 2)
+
+	// Kill c's listener without telling the router: the probe loop is off,
+	// so the ring still names c as owner — exactly the node-kill window.
+	c.srv.Close()
+	resp, body := predictVia(t, rt, key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner dead, probe window open: status %d, want 200 via retry", resp.StatusCode)
+	}
+	if want := fmt.Sprintf(`{"replica":%q}`, replicaID(t, succ[1], a, b, c)); body != want {
+		t.Fatalf("retry went to %s, want ring successor %s", body, want)
+	}
+}
+
+func TestRouterDrainAndRejoin(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt := newTestRouter(t, nil, a, b)
+	key := keyOwnedBy(t, rt.Ring(), a.url())
+
+	if err := rt.Drain(context.Background(), a.url()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := rt.Ring().Len(); got != 1 {
+		t.Fatalf("ring after drain has %d shards, want 1", got)
+	}
+	servedBefore := a.served.Load()
+	resp, body := predictVia(t, rt, key)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"b"`) {
+		t.Fatalf("drained: status %d body %s, want b to serve", resp.StatusCode, body)
+	}
+	if a.served.Load() != servedBefore {
+		t.Error("drained shard still received traffic")
+	}
+	// A drain survives probe rounds: the shard is healthy but held out.
+	rt.CheckNow()
+	if got := rt.Ring().Len(); got != 1 {
+		t.Fatalf("probe round re-admitted a drained shard (ring %d)", got)
+	}
+
+	if err := rt.Rejoin(a.url()); err != nil {
+		t.Fatalf("Rejoin: %v", err)
+	}
+	if got := rt.Ring().Len(); got != 2 {
+		t.Fatalf("ring after rejoin has %d shards, want 2", got)
+	}
+	resp, body = predictVia(t, rt, key)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"a"`) {
+		t.Fatalf("rejoined: status %d body %s, want a to serve again", resp.StatusCode, body)
+	}
+}
+
+func TestRouterAdminEndpoints(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt := newTestRouter(t, nil, a, b)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/cluster/drain?shard="+a.url(), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("drain endpoint: status %d, body %s", rec.Code, rec.Body)
+	}
+	if got := rt.Ring().Len(); got != 1 {
+		t.Fatalf("ring after HTTP drain has %d shards, want 1", got)
+	}
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/cluster/rejoin?shard="+a.url(), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rejoin endpoint: status %d, body %s", rec.Code, rec.Body)
+	}
+	if got := rt.Ring().Len(); got != 2 {
+		t.Fatalf("ring after HTTP rejoin has %d shards, want 2", got)
+	}
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/cluster/drain?shard=http://nope", nil))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("drain of unknown shard: status %d, want 409", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz: status %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, `"shards_up":2`) {
+		t.Errorf("readyz body %s missing shards_up", body)
+	}
+
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/models", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "from-") {
+		t.Errorf("models proxy: status %d body %s", rec.Code, rec.Body)
+	}
+}
+
+func TestRouterRejectsOversizedBody(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	urls := []string{a.url()}
+	rt, err := NewRouter(RouterConfig{Replicas: urls, ProbeInterval: -1, MaxRequestBytes: 64})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer rt.Close()
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(strings.Repeat("x", 200)))
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", rec.Code)
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Error("NewRouter with no replicas should fail")
+	}
+	if _, err := NewRouter(RouterConfig{Replicas: []string{"http://a", "http://a"}}); err == nil {
+		t.Error("NewRouter with duplicate replicas should fail")
+	}
+}
+
+// TestRouterShardKeyFallback pins the key-extraction precedence.
+func TestRouterShardKeyFallback(t *testing.T) {
+	mk := func(shardKey, reqID, remote string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/predict", nil)
+		if shardKey != "" {
+			r.Header.Set("X-Shard-Key", shardKey)
+		}
+		if reqID != "" {
+			r.Header.Set("X-Request-ID", reqID)
+		}
+		r.RemoteAddr = remote
+		return r
+	}
+	if got := shardKey(mk("dev-7", "req-1", "10.0.0.1:1234")); got != "dev-7" {
+		t.Errorf("explicit shard key: got %q", got)
+	}
+	if got := shardKey(mk("", "req-1", "10.0.0.1:1234")); got != "req-1" {
+		t.Errorf("request-id fallback: got %q", got)
+	}
+	if got := shardKey(mk("", "", "10.0.0.1:1234")); got != "10.0.0.1" {
+		t.Errorf("remote-host fallback: got %q", got)
+	}
+}
+
+func TestRouterProbeLoopRuns(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	m := NewMetrics(obs.NewRegistry())
+	rt, err := NewRouter(RouterConfig{
+		Replicas:      []string{a.url()},
+		ProbeInterval: 5 * time.Millisecond,
+		Metrics:       m,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer rt.Close()
+	a.ready.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.Ring().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background probe loop never ejected the failed shard")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	a.ready.Store(true)
+	for rt.Ring().Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("background probe loop never re-admitted the recovered shard")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Zipf generates request keys under a Zipf(s) popularity law: key ordinal 0
+// is the hottest, and the probability of ordinal k falls off as
+// 1/(v+k)^s. The cluster bench uses it for the hot-key scenario — real IoT
+// fleets are never uniform; a handful of chatty devices dominate — and the
+// router's spillover exists exactly for the shard those ordinals hash to.
+//
+// The generator is deterministic for a given (seed, s, v, n): two bench runs
+// with the same parameters replay the same key sequence, which is what makes
+// before/after comparisons of BENCH_cluster.json meaningful. It is not safe
+// for concurrent use; give each load-generating goroutine its own Zipf with
+// a distinct seed.
+type Zipf struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    uint64
+}
+
+// NewZipf returns a deterministic Zipf key generator over n ordinals
+// [0, n) with exponent s > 1 and offset v >= 1 (v=1 is the classic law),
+// seeded by seed.
+func NewZipf(seed int64, s, v float64, n uint64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: zipf needs n > 0")
+	}
+	if s <= 1 || v < 1 {
+		return nil, fmt.Errorf("cluster: zipf needs s > 1 and v >= 1 (got s=%v v=%v)", s, v)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, v, n-1)
+	if z == nil {
+		return nil, fmt.Errorf("cluster: invalid zipf parameters s=%v v=%v n=%d", s, v, n)
+	}
+	return &Zipf{rng: rng, zipf: z, n: n}, nil
+}
+
+// Next returns the next ordinal in [0, n), hot ordinals most often.
+func (z *Zipf) Next() uint64 { return z.zipf.Uint64() }
+
+// NextKey returns the next ordinal formatted as a stable key string
+// ("dev-<ordinal>"), the form the bench sends as X-Shard-Key.
+func (z *Zipf) NextKey() string { return fmt.Sprintf("dev-%d", z.Next()) }

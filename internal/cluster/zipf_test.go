@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestZipfDeterministicForSeed(t *testing.T) {
+	a, err := NewZipf(42, 1.5, 1, 10000)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	b, _ := NewZipf(42, 1.5, 1, 10000)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, x, y)
+		}
+	}
+	c, _ := NewZipf(43, 1.5, 1, 10000)
+	same := 0
+	for i := 0; i < 10000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	// Different seeds must not replay the same stream. (Zipf mass
+	// concentrates on a few ordinals, so many individual draws coincide by
+	// chance; identical streams would match all 10000.)
+	if same > 9900 {
+		t.Fatalf("different seeds produced near-identical streams (%d/10000 equal)", same)
+	}
+}
+
+// TestZipfDistributionSanity checks the popularity law: ordinal 0 dominates,
+// frequency is non-increasing in rank (up to noise), and at s=1.5 the top
+// ordinal carries a large constant share — the skew the hot-key bench
+// scenario relies on to saturate one shard.
+func TestZipfDistributionSanity(t *testing.T) {
+	z, err := NewZipf(7, 1.5, 1, 1<<16)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	const draws = 200000
+	counts := map[uint64]int{}
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	top := float64(counts[0]) / draws
+	// Zeta(1.5)^-1 ≈ 0.38: ordinal 0 should hold roughly that share.
+	if top < 0.25 || top > 0.55 {
+		t.Errorf("ordinal 0 holds %.1f%% of draws, want ~38%%", 100*top)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[3] {
+		t.Errorf("frequency not decreasing in rank: c0=%d c1=%d c3=%d",
+			counts[0], counts[1], counts[3])
+	}
+	// The tail is long: many distinct ordinals appear.
+	if len(counts) < 50 {
+		t.Errorf("only %d distinct ordinals in %d draws; tail too short", len(counts), draws)
+	}
+	// All draws stay in range.
+	ords := make([]uint64, 0, len(counts))
+	for k := range counts {
+		ords = append(ords, k)
+	}
+	sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+	if max := ords[len(ords)-1]; max >= 1<<16 {
+		t.Errorf("ordinal %d out of range [0, 2^16)", max)
+	}
+}
+
+func TestZipfKeyFormat(t *testing.T) {
+	z, err := NewZipf(1, 2, 1, 4)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		k := z.NextKey()
+		if len(k) < 5 || k[:4] != "dev-" {
+			t.Fatalf("key %q does not match dev-<ordinal>", k)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(1, 1.5, 1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(1, 1.0, 1, 10); err == nil {
+		t.Error("s=1 accepted (law requires s > 1)")
+	}
+	if _, err := NewZipf(1, 1.5, 0.5, 10); err == nil {
+		t.Error("v<1 accepted")
+	}
+}

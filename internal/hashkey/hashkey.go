@@ -1,0 +1,45 @@
+// Package hashkey is the request-key hash shared by every layer that
+// partitions traffic by key: the registry's deterministic canary splitter and
+// the cluster tier's consistent-hash ring. Both need the same property — a
+// short, human-chosen key (a request ID, a device name, "user-42") must land
+// uniformly on [0, 2^64) — and both must agree on the mapping, so a key that
+// hashes to the canary side of a split on one node hashes the same way
+// everywhere.
+//
+// The construction is FNV-1a followed by murmur3's fmix64 avalanche
+// finisher. The finalizer matters: raw FNV of short keys leaves the high
+// bits nearly constant (the trailing bytes only reach the low bits), so
+// without it every short key would land on the same side of a weighted
+// split, and ring vnodes would clump. fmix64 makes every input bit flip
+// every output bit with probability ~1/2 (see the avalanche test).
+package hashkey
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 maps key to a uniformly distributed 64-bit value: FNV-1a over the
+// bytes of key, finished with murmur3's fmix64 avalanche step. It is
+// allocation-free and deterministic across processes (no per-process seed),
+// which is what lets independent routers and replicas agree on key placement.
+func Hash64(key string) uint64 {
+	x := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		x ^= uint64(key[i])
+		x *= fnvPrime64
+	}
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Fraction maps key to [0, 1) with 53 bits of precision: the weighted-split
+// form of Hash64 (a canary weight w captures exactly the keys with
+// Fraction < w).
+func Fraction(key string) float64 {
+	return float64(Hash64(key)>>11) / float64(1<<53)
+}

@@ -1,0 +1,113 @@
+package hashkey
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// fmix64 is the reference finisher, applied to the stdlib FNV-1a sum. The
+// package's manual FNV loop must be bit-identical to hash/fnv — this is what
+// keeps the extracted hash exactly the one the registry's canary splitter
+// shipped with (registry behavior must not change under the refactor).
+func referenceHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func TestHash64MatchesStdlibFNV(t *testing.T) {
+	keys := []string{"", "a", "ab", "request-1", "request-2", "zzzzzzzz",
+		"device/0000", "device/0001", "\x00\xff", "日本語"}
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, fmt.Sprintf("user-%d", i))
+	}
+	for _, k := range keys {
+		if got, want := Hash64(k), referenceHash(k); got != want {
+			t.Fatalf("Hash64(%q) = %#x, reference (stdlib fnv + fmix64) = %#x", k, got, want)
+		}
+	}
+}
+
+func TestFractionRangeAndDeterminism(t *testing.T) {
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		f := Fraction(k)
+		if !(f >= 0 && f < 1) {
+			t.Fatalf("Fraction(%q) = %v outside [0,1)", k, f)
+		}
+		if f != Fraction(k) {
+			t.Fatalf("Fraction(%q) not deterministic", k)
+		}
+	}
+}
+
+// TestHash64Distribution buckets sequential human-style keys by their high
+// bits: the clump FNV alone would produce. Each of 64 buckets should hold
+// ~1/64 of the keys; a chi-squared-style bound catches gross skew.
+func TestHash64Distribution(t *testing.T) {
+	const (
+		n       = 1 << 17
+		buckets = 64
+	)
+	prefixes := []string{"user-", "device/", "req", ""}
+	for _, prefix := range prefixes {
+		var counts [buckets]int
+		for i := 0; i < n; i++ {
+			h := Hash64(fmt.Sprintf("%s%d", prefix, i))
+			counts[h>>(64-6)]++
+		}
+		mean := float64(n) / buckets
+		for b, c := range counts {
+			dev := math.Abs(float64(c)-mean) / mean
+			// 4σ for a binomial with p=1/64: σ/mean = sqrt((1-p)/(n·p)) ≈ 2.2%.
+			if dev > 0.10 {
+				t.Errorf("prefix %q bucket %d holds %d keys, mean %.0f (%.1f%% off)",
+					prefix, b, c, mean, 100*dev)
+			}
+		}
+	}
+}
+
+// TestHash64Avalanche flips single input bits and checks that on average
+// about half the 64 output bits flip — the property that makes short keys
+// with a common prefix spread across the whole ring instead of clumping.
+func TestHash64Avalanche(t *testing.T) {
+	var flips, trials int
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		base := Hash64(string(key))
+		for bit := 0; bit < 8*len(key); bit++ {
+			mutated := append([]byte(nil), key...)
+			mutated[bit/8] ^= 1 << (bit % 8)
+			flips += bits.OnesCount64(base ^ Hash64(string(mutated)))
+			trials++
+		}
+		if trials > 50000 {
+			break
+		}
+	}
+	avg := float64(flips) / float64(trials)
+	if avg < 30 || avg > 34 {
+		t.Fatalf("average output bits flipped per input-bit flip = %.2f, want ~32", avg)
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("device/%06d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hash64(keys[i%len(keys)])
+	}
+}

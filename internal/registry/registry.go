@@ -31,7 +31,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"sync"
@@ -39,6 +38,7 @@ import (
 	"time"
 
 	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/hashkey"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
 	"github.com/apdeepsense/apdeepsense/internal/serve"
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
@@ -143,21 +143,12 @@ func (rt *routeTable) pick(key string) (*Version, string) {
 	return rt.current, RouteCurrent
 }
 
-// hashFraction maps a request key to [0, 1): FNV-1a followed by a murmur3
-// fmix64 avalanche. The finalizer matters — raw FNV of short keys leaves the
-// high bits nearly constant (the trailing bytes only reach the low bits), so
-// without it every key would land on the same side of the split.
-func hashFraction(key string) float64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	x := h.Sum64()
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return float64(x>>11) / float64(1<<53)
-}
+// hashFraction maps a request key to [0, 1): the avalanche-finished request
+// key hash shared with the cluster tier's consistent-hash ring
+// (internal/hashkey), so canary splits and shard placement agree on what a
+// key hashes to. Bit-identical to the FNV-1a + fmix64 construction this
+// package originally carried inline (pinned by hashkey's stdlib-FNV test).
+func hashFraction(key string) float64 { return hashkey.Fraction(key) }
 
 // model is one named entry: its registered versions and the atomic route
 // snapshot. mu serializes mutations (add/remove/swap); the request path is

@@ -26,20 +26,55 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 var (
-	// ErrQueueFull is returned by Do/DoBatch when the pending queue is at
-	// QueueDepth: explicit backpressure for the caller to surface (HTTP 429).
+	// ErrQueueFull is the class of every queue-full rejection: errors.Is
+	// matches it on the *QueueFullError values Do/DoBatch actually return —
+	// explicit backpressure for the caller to surface (HTTP 429).
 	ErrQueueFull = errors.New("serve: queue full")
 	// ErrClosed is returned by Do/DoBatch after Close has begun.
 	ErrClosed = errors.New("serve: coalescer closed")
 	// ErrConfig is returned (wrapped) by New for invalid configurations.
 	ErrConfig = errors.New("serve: invalid configuration")
 )
+
+// QueueFullError is the typed queue-full rejection: it matches ErrQueueFull
+// under errors.Is and carries a retry budget — how long the caller should
+// back off before the queue has plausibly drained. The hint is the current
+// queue depth times the coalescer's observed per-row service time (an EWMA
+// over recent flushes, divided across flush workers), so a lightly loaded
+// pool hints milliseconds while a deeply backed-up one hints its true drain
+// horizon. HTTP servers surface it as a Retry-After header on 429.
+type QueueFullError struct {
+	// Depth is the queue depth observed at rejection (== QueueDepth).
+	Depth int
+	// RetryAfter estimates the time for the present queue to drain.
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: queue full (depth %d, retry after %v)", e.Depth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrQueueFull) hold for every QueueFullError, so
+// the typed rejection slots into existing sentinel checks unchanged.
+func (e *QueueFullError) Is(target error) bool { return target == ErrQueueFull }
+
+// RetryAfter extracts the retry budget from a queue-full rejection anywhere
+// in err's chain. ok is false for every other error (including nil).
+func RetryAfter(err error) (hint time.Duration, ok bool) {
+	var qf *QueueFullError
+	if errors.As(err, &qf) {
+		return qf.RetryAfter, true
+	}
+	return 0, false
+}
 
 // Flush reasons recorded by Metrics.Flushes.
 const (
@@ -142,6 +177,11 @@ type Coalescer[Req, Res any] struct {
 	kick    chan struct{}          // dispatcher wakeup (1-buffered, coalescing)
 	batches chan []*call[Req, Res] // dispatcher → flush workers
 	drained chan struct{}          // closed when dispatcher + workers have exited
+
+	// rowNanos is an EWMA of per-row flush wall time (float64 bits), updated
+	// after every flush; it prices the RetryAfter hint on QueueFullError.
+	// Zero until the first flush completes.
+	rowNanos atomic.Uint64
 }
 
 // New builds a Coalescer whose batches are executed by flush. The flush
@@ -244,9 +284,10 @@ func (c *Coalescer[Req, Res]) enqueue(it *call[Req, Res]) error {
 		return ErrClosed
 	}
 	if len(c.queue) >= c.cfg.QueueDepth {
+		depth := len(c.queue)
 		c.mu.Unlock()
 		c.cfg.Metrics.reject()
-		return ErrQueueFull
+		return &QueueFullError{Depth: depth, RetryAfter: c.retryAfter(depth)}
 	}
 	c.queue = append(c.queue, it)
 	depth := len(c.queue)
@@ -263,9 +304,10 @@ func (c *Coalescer[Req, Res]) enqueueAll(items []*call[Req, Res]) error {
 		return ErrClosed
 	}
 	if len(c.queue)+len(items) > c.cfg.QueueDepth {
+		depth := len(c.queue)
 		c.mu.Unlock()
 		c.cfg.Metrics.reject()
-		return ErrQueueFull
+		return &QueueFullError{Depth: depth, RetryAfter: c.retryAfter(depth)}
 	}
 	c.queue = append(c.queue, items...)
 	depth := len(c.queue)
@@ -273,6 +315,43 @@ func (c *Coalescer[Req, Res]) enqueueAll(items []*call[Req, Res]) error {
 	c.cfg.Metrics.depth(depth)
 	c.wake()
 	return nil
+}
+
+// retryAfter prices a queue-full rejection: the time for depth queued rows
+// to drain at the observed per-row flush rate, split across flush workers.
+// Before any flush has completed (no rate observation yet) the hint falls
+// back to MaxWait — the latency budget the first flush is bounded by.
+func (c *Coalescer[Req, Res]) retryAfter(depth int) time.Duration {
+	perRow := math.Float64frombits(c.rowNanos.Load())
+	if perRow <= 0 {
+		return c.cfg.MaxWait
+	}
+	d := time.Duration(perRow * float64(depth) / float64(c.cfg.FlushWorkers))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// observeFlush folds one flush's per-row wall time into the EWMA behind
+// retryAfter. α = 0.2: a few flushes re-center the estimate after a load or
+// batch-shape shift, while single outlier flushes barely move it.
+func (c *Coalescer[Req, Res]) observeFlush(dur time.Duration, rows int) {
+	if rows <= 0 || dur <= 0 {
+		return
+	}
+	sample := float64(dur.Nanoseconds()) / float64(rows)
+	for {
+		old := c.rowNanos.Load()
+		prev := math.Float64frombits(old)
+		next := sample
+		if prev > 0 {
+			next = 0.8*prev + 0.2*sample
+		}
+		if c.rowNanos.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
 }
 
 // wake nudges the dispatcher; the 1-buffered channel coalesces bursts.
@@ -456,7 +535,9 @@ func (c *Coalescer[Req, Res]) runBatch(batch []*call[Req, Res]) {
 		c.cfg.Metrics.waited(now.Sub(it.enq))
 	}
 	c.cfg.Metrics.rows(len(live))
+	flushStart := time.Now()
 	ress, err := c.safeFlush(reqs)
+	c.observeFlush(time.Since(flushStart), len(live))
 	if err == nil && len(ress) != len(reqs) {
 		err = fmt.Errorf("serve: flush returned %d results for %d requests", len(ress), len(reqs))
 	}

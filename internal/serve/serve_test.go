@@ -523,3 +523,71 @@ func TestStressRandomCancellation(t *testing.T) {
 		t.Fatalf("Close after stress: %v", err)
 	}
 }
+
+// TestQueueFullRetryAfter pins the typed rejection: a full queue returns a
+// *QueueFullError that matches ErrQueueFull, reports the observed depth, and
+// carries a retry budget — MaxWait before any flush has calibrated the rate,
+// the EWMA-priced drain estimate afterwards (checked deterministically via
+// observeFlush below, not wall clocks).
+func TestQueueFullRetryAfter(t *testing.T) {
+	b := newBlockedCoalescer(t, Config{MaxBatch: 4, QueueDepth: 4, MaxWait: 5 * time.Millisecond})
+	wg := b.fillQueue(t, 4)
+
+	_, err := b.c.Do(context.Background(), 99)
+	var qf *QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("Do on full queue err = %T %v, want *QueueFullError", err, err)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Error("QueueFullError does not match ErrQueueFull under errors.Is")
+	}
+	if qf.Depth != 4 {
+		t.Errorf("QueueFullError.Depth = %d, want 4", qf.Depth)
+	}
+	// No flush has completed: the hint is the MaxWait fallback.
+	if qf.RetryAfter != 5*time.Millisecond {
+		t.Errorf("uncalibrated RetryAfter = %v, want MaxWait (5ms)", qf.RetryAfter)
+	}
+	if hint, ok := RetryAfter(err); !ok || hint != qf.RetryAfter {
+		t.Errorf("RetryAfter(err) = (%v, %v), want (%v, true)", hint, ok, qf.RetryAfter)
+	}
+	if _, ok := RetryAfter(nil); ok {
+		t.Error("RetryAfter(nil) reported a hint")
+	}
+	if _, ok := RetryAfter(ErrClosed); ok {
+		t.Error("RetryAfter(ErrClosed) reported a hint")
+	}
+	close(b.release)
+	wg.Wait()
+}
+
+// TestRetryAfterRateMath drives the EWMA directly so the drain-estimate
+// arithmetic is pinned without depending on scheduler timing.
+func TestRetryAfterRateMath(t *testing.T) {
+	c := mustNew(t, Config{MaxBatch: 4, QueueDepth: 16, FlushWorkers: 2, MaxWait: 7 * time.Millisecond},
+		func(reqs []int) ([]int, error) { return reqs, nil })
+	defer c.Close(context.Background())
+
+	if got := c.retryAfter(8); got != 7*time.Millisecond {
+		t.Errorf("retryAfter before calibration = %v, want MaxWait (7ms)", got)
+	}
+	c.observeFlush(10*time.Millisecond, 10) // first sample: 1ms/row
+	// 8 rows at 1ms/row across 2 workers = 4ms.
+	if got := c.retryAfter(8); got != 4*time.Millisecond {
+		t.Errorf("retryAfter(8) after 1ms/row = %v, want 4ms", got)
+	}
+	c.observeFlush(30*time.Millisecond, 10) // 3ms/row sample → EWMA 1.4ms/row
+	if got := c.retryAfter(10); got != 7*time.Millisecond {
+		t.Errorf("retryAfter(10) after EWMA update = %v, want 7ms", got)
+	}
+	// The floor keeps the hint meaningful for tiny queues and fast models.
+	if got := c.retryAfter(1); got != time.Millisecond {
+		t.Errorf("retryAfter(1) = %v, want the 1ms floor", got)
+	}
+	// Degenerate observations must not poison the estimate.
+	c.observeFlush(0, 4)
+	c.observeFlush(time.Millisecond, 0)
+	if got := c.retryAfter(10); got != 7*time.Millisecond {
+		t.Errorf("retryAfter(10) after degenerate samples = %v, want 7ms", got)
+	}
+}

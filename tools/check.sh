@@ -8,11 +8,12 @@
 # propagation benchmark with its metrics snapshot (results/BENCH_batch.json +
 # results/BENCH_obs.prom) and smoke runs of the serving and registry
 # benchmarks, and finally run the compiled-propagator and quantized-propagator
-# benchmarks and diff each against its committed trajectory with
-# tools/benchdiff. The smoke bench runs write to a scratch directory so short
-# cells never clobber the committed results/BENCH_serve.json /
-# BENCH_registry.json (regenerate those with `make bench-serve` /
-# `make bench-registry` / `make bench-compile` / `make bench-quant`).
+# benchmarks and a 2-replica cluster smoke and diff each against its
+# committed trajectory with tools/benchdiff. The smoke bench runs write to a
+# scratch directory so short cells never clobber the committed
+# results/BENCH_serve.json / BENCH_registry.json / BENCH_cluster.json
+# (regenerate those with `make bench-serve` / `make bench-registry` /
+# `make bench-compile` / `make bench-quant` / `make bench-cluster`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +32,9 @@ go test -race ./internal/obs/... ./internal/stream/... ./internal/serve/... ./ex
 
 echo "== go test -race (model registry: hot-swap, shadow, manifest reload)"
 go test -race ./internal/registry/...
+
+echo "== go test -race (cluster tier: hash, ring, router, budgets)"
+go test -race ./internal/hashkey/... ./internal/cluster/...
 
 echo "== manifest hot-reload smoke (end-to-end through the HTTP server)"
 go test -race -run 'TestManifestReloadSmoke|TestReadinessLifecycle' ./examples/server/
@@ -69,5 +73,13 @@ go run ./cmd/apds-bench -quant -results "$smokedir"
 # Same loose tolerance: catches the fixed-point path silently losing its
 # integer kernels (scalar fallback) or its size advantage, not machine noise.
 go run ./tools/benchdiff -base results/BENCH_quant.json -fresh "$smokedir/BENCH_quant.json" -tol 0.6
+
+echo "== apds-bench -cluster (2-replica smoke) + benchdiff vs committed trajectory"
+go run ./cmd/apds-bench -cluster -cluster-replicas 2 -cluster-duration 300ms -results "$smokedir"
+# The committed file carries the full 4-replica sweep; the smoke's 2-replica
+# prefix pairs with it by scenario index. Loose tolerance again: the gate is
+# for the router losing its scaling (speedup) or its latency profile, not for
+# box-to-box qps differences.
+go run ./tools/benchdiff -base results/BENCH_cluster.json -fresh "$smokedir/BENCH_cluster.json" -tol 0.6
 
 echo "check: ok"
