@@ -3,11 +3,11 @@
 # the oracle-backed differential harness + a fuzz smoke pass over every fuzz
 # target + the batched propagation benchmark with its metrics snapshot
 # (results/BENCH_batch.json, results/BENCH_obs.prom) + smoke runs of the
-# serving, registry, compiled-propagator, and quantized-propagator benchmarks
-# (the last two diffed against their committed trajectories with
-# tools/benchdiff).
+# serving, registry, compiled-propagator, quantized-propagator, and
+# sequence-path benchmarks (the last three diffed against their committed
+# trajectories with tools/benchdiff).
 
-.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile bench-quant bench-cluster build
+.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile bench-quant bench-cluster bench-seq build
 
 check:
 	./tools/check.sh
@@ -25,6 +25,8 @@ fuzz:
 	go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 2m ./internal/proptest
 	go test -run NONE -fuzz 'FuzzCompiledVsInterpreted' -fuzztime 2m ./internal/proptest
 	go test -run NONE -fuzz 'FuzzQuantizedVsFloat' -fuzztime 2m ./internal/proptest
+	go test -run NONE -fuzz 'FuzzExactVsOracle' -fuzztime 2m ./internal/proptest
+	go test -run NONE -fuzz 'FuzzConvVsOracle' -fuzztime 2m ./internal/proptest
 	go test -run NONE -fuzz 'FuzzQMadd' -fuzztime 2m ./internal/tensor
 	go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 2m ./internal/nn
 
@@ -72,3 +74,10 @@ bench-quant:
 # 2-replica smoke and diffs it against this file.
 bench-cluster:
 	go run ./cmd/apds-bench -cluster -results results
+
+# The sequence benchmark: conv/RNN/GRU moment-propagation paths plus the
+# exact-vs-PWL activation backend cost-parity measurement, recorded as
+# results/BENCH_seq.json (the committed artifact). `tools/benchdiff` diffs a
+# fresh run against it in check.sh.
+bench-seq:
+	go run ./cmd/apds-bench -seq -results results

@@ -36,6 +36,7 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/registry"
 	"github.com/apdeepsense/apdeepsense/internal/rnn"
 	"github.com/apdeepsense/apdeepsense/internal/serve"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
 	"github.com/apdeepsense/apdeepsense/internal/stream"
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
 	"github.com/apdeepsense/apdeepsense/internal/train"
@@ -400,6 +401,57 @@ var (
 	NewLSTM = rnn.NewLSTM
 	// TrainLSTM fits an LSTM with BPTT and variational recurrent dropout.
 	TrainLSTM = rnn.TrainLSTM
+)
+
+// Sequence uncertainty estimators: the conv/RNN/GRU moment-propagation
+// paths behind the same Predict contract as the dense ApDeepSense
+// estimator, servable through the model registry via AddVersionEstimator.
+type (
+	// ConvEstimator predicts mean and variance for fixed-length
+	// time-series inputs through a ConvNet's moment propagation.
+	ConvEstimator = conv.Estimator
+	// RNNEstimator predicts through an Elman cell's step-wise moments.
+	RNNEstimator = rnn.Estimator
+	// GRUEstimator predicts through a GRU's step-wise moments.
+	GRUEstimator = rnn.GRUEstimator
+)
+
+// Sequence estimator constructors.
+var (
+	// NewConvEstimator wraps a ConvNet for steps-long inputs.
+	NewConvEstimator = conv.NewEstimator
+	// NewRNNEstimator wraps an Elman cell for steps-long inputs.
+	NewRNNEstimator = rnn.NewEstimator
+	// NewGRUEstimator wraps a GRU for steps-long inputs.
+	NewGRUEstimator = rnn.NewGRUEstimator
+)
+
+// MomentMode selects the activation-moment backend a layer is propagated
+// with: MomentsAuto (exact for rectifiers, PWL otherwise), MomentsPWL, or
+// MomentsExact. Settable per layer, per propagator (Options), and per
+// registry model ("activation_moments" in the manifest).
+type MomentMode = nn.MomentMode
+
+// Activation-moment backend modes.
+const (
+	// MomentsAuto defers to the default: exact for rectifiers, PWL else.
+	MomentsAuto = nn.MomentsAuto
+	// MomentsPWL forces the piecewise-linear closed form.
+	MomentsPWL = nn.MomentsPWL
+	// MomentsExact forces the exact analytical moments (rectifiers only;
+	// a build error elsewhere).
+	MomentsExact = nn.MomentsExact
+)
+
+// Exact rectified-Gaussian moments and the manifest-string parser.
+var (
+	// RectifiedMoments returns the exact mean and variance of
+	// max(0, X) for X ~ N(mu, sigma²).
+	RectifiedMoments = stats.RectifiedMoments
+	// LeakyRectifiedMoments is the leaky-ReLU generalization.
+	LeakyRectifiedMoments = stats.LeakyRectifiedMoments
+	// ParseMomentMode converts "auto" | "pwl" | "exact" to a MomentMode.
+	ParseMomentMode = nn.ParseMomentMode
 )
 
 // Streaming inference re-exports (internal/stream).

@@ -51,6 +51,7 @@ func run(args []string) error {
 	registryBench := fs.Bool("registry", false, "benchmark registry serving under continuous hot-swap/reload/shadow (writes BENCH_registry.json)")
 	compileBench := fs.Bool("compile", false, "benchmark the load-time compiled propagator vs the interpreted one, plus a hot-reload-while-serving measurement (writes BENCH_compile.json)")
 	quantBench := fs.Bool("quant", false, "benchmark the int8 fixed-point propagator vs the float paths, plus model-size and Edison projections (writes BENCH_quant.json)")
+	seqBench := fs.Bool("seq", false, "benchmark the conv/RNN/GRU sequence moment paths and exact-vs-PWL activation backend parity (writes BENCH_seq.json)")
 	clusterBench := fs.Bool("cluster", false, "benchmark the sharded multi-replica serving tier under open-loop load (writes BENCH_cluster.json)")
 	clusterReplicas := fs.Int("cluster-replicas", 4, "with -cluster: replica-count ceiling for the scale sweep (failure scenarios need 4)")
 	clusterCell := fs.Duration("cluster-duration", 2*time.Second, "with -cluster: steady-state measurement window per scenario cell")
@@ -72,8 +73,8 @@ func run(args []string) error {
 		// observe, so imply -batch rather than fail.
 		*batch = true
 	}
-	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench && !*compileBench && !*quantBench && !*clusterBench {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, -compile, -quant, -cluster, or -obs")
+	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench && !*compileBench && !*quantBench && !*seqBench && !*clusterBench {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, -compile, -quant, -seq, -cluster, or -obs")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -157,6 +158,11 @@ func run(args []string) error {
 	}
 	if *quantBench {
 		if err := emitQuantBench(*resultDir); err != nil {
+			return err
+		}
+	}
+	if *seqBench {
+		if err := emitSeqBench(*resultDir); err != nil {
 			return err
 		}
 	}

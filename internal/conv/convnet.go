@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
 	"github.com/apdeepsense/apdeepsense/internal/piecewise"
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
@@ -19,14 +20,28 @@ type Net struct {
 	convs []*Conv1D
 	head  *nn.Network
 
-	// acts caches each conv layer's PWL activation for moment propagation.
-	acts []*piecewise.Func
-	prop *core.Propagator
+	// acts/kernels cache each conv layer's PWL activation and its
+	// activation-moment kernel, resolved once through core.KernelFor so
+	// the conv stack obeys the same backend dispatch (exact rectifier
+	// closed form by default, PWL otherwise) as the dense propagator.
+	acts    []*piecewise.Func
+	kernels []*core.ActKernel
+	prop    *core.Propagator
 }
 
-// NewNet validates layer compatibility and prepares moment propagation.
-// The head's input dimension must equal the last conv layer's OutCh.
+// NewNet validates layer compatibility and prepares moment propagation
+// under default options. The head's input dimension must equal the last
+// conv layer's OutCh.
 func NewNet(convs []*Conv1D, head *nn.Network) (*Net, error) {
+	return NewNetOpts(convs, head, core.Options{})
+}
+
+// NewNetOpts is NewNet with explicit propagation options. The options'
+// ActivationMoments is the default backend for conv layers whose own
+// Moments field is MomentsAuto, exactly mirroring how nn.Layer.Moments
+// interacts with the dense propagator; the head propagator is built from
+// the same options.
+func NewNetOpts(convs []*Conv1D, head *nn.Network, opts core.Options) (*Net, error) {
 	if len(convs) == 0 {
 		return nil, fmt.Errorf("no conv layers: %w", ErrConfig)
 	}
@@ -44,15 +59,25 @@ func NewNet(convs []*Conv1D, head *nn.Network) (*Net, error) {
 		return nil, fmt.Errorf("head input %d != pooled channels %d: %w",
 			head.InputDim(), last.OutCh, ErrConfig)
 	}
-	n := &Net{convs: convs, head: head, acts: make([]*piecewise.Func, len(convs))}
+	n := &Net{
+		convs:   convs,
+		head:    head,
+		acts:    make([]*piecewise.Func, len(convs)),
+		kernels: make([]*core.ActKernel, len(convs)),
+	}
 	for i, c := range convs {
-		f, err := activationFunc(c.Act)
+		mode := c.Moments
+		if mode == nn.MomentsAuto {
+			mode = opts.ActivationMoments
+		}
+		f, k, err := core.KernelFor(c.Act, mode, opts)
 		if err != nil {
 			return nil, fmt.Errorf("conv layer %d: %w", i, err)
 		}
 		n.acts[i] = f
+		n.kernels[i] = k
 	}
-	prop, err := core.NewPropagator(head, core.Options{})
+	prop, err := core.NewPropagator(head, opts)
 	if err != nil {
 		return nil, fmt.Errorf("head propagator: %w", err)
 	}
@@ -63,12 +88,19 @@ func NewNet(convs []*Conv1D, head *nn.Network) (*Net, error) {
 // Head returns the dense head network.
 func (n *Net) Head() *nn.Network { return n.head }
 
+// HeadPropagator returns the dense head's moment propagator.
+func (n *Net) HeadPropagator() *core.Propagator { return n.prop }
+
 // Convs returns the conv layers (shared, treat as read-only).
 func (n *Net) Convs() []*Conv1D {
 	out := make([]*Conv1D, len(n.convs))
 	copy(out, n.convs)
 	return out
 }
+
+// MomentsExact reports whether conv layer i serves the exact analytical
+// activation-moment backend.
+func (n *Net) MomentsExact(i int) bool { return n.kernels[i].Exact() }
 
 // Forward runs the deterministic (weight-scaled) pass end to end.
 func (n *Net) Forward(x *Seq) (tensor.Vector, error) {
@@ -102,10 +134,65 @@ func (n *Net) PropagateMoments(x *Seq) (core.GaussianVec, error) {
 	g := DeterministicSeq(x)
 	for i, c := range n.convs {
 		var err error
-		g, err = c.PropagateMoments(g, n.acts[i])
+		g, err = c.PropagateMomentsKernel(g, n.kernels[i])
 		if err != nil {
 			return core.GaussianVec{}, fmt.Errorf("conv %d: %w", i, err)
 		}
 	}
 	return n.prop.PropagateFrom(GlobalAvgPoolMoments(g))
+}
+
+// PropagateBatch runs PropagateMoments over a batch of sequences. The conv
+// stack has no cross-sample arithmetic (each sample's moment recursion is
+// independent), so the batched result is bit-identical to sequential
+// PropagateMoments calls by construction — the property the differential
+// harness pins.
+func (n *Net) PropagateBatch(xs []*Seq) ([]core.GaussianVec, error) {
+	out := make([]core.GaussianVec, len(xs))
+	for i, x := range xs {
+		g, err := n.PropagateMoments(x)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
+// Cost returns the modeled per-inference cost of PropagateMoments for an
+// input of the given steps (conv output lengths, hence cost, depend on the
+// input length). The activation charge per element follows the dense
+// propagator's model: OpsPerExactMoments for exact rectifier layers,
+// per-piece PWL charges otherwise — so exact-vs-PWL cost parity holds for
+// the conv stack by the same construction.
+func (n *Net) Cost(steps int) (edison.Cost, error) {
+	var c edison.Cost
+	s := steps
+	for i, l := range n.convs {
+		outSteps, err := l.OutSteps(s)
+		if err != nil {
+			return edison.Cost{}, fmt.Errorf("conv %d: %w", i, err)
+		}
+		elems := int64(outSteps) * int64(l.OutCh)
+		window := int64(l.InCh) * int64(l.Kernel)
+		// Mean and variance window sums (2 FLOPs per tap each).
+		c.DenseFLOPs += 2 * 2 * window * elems
+		// Dropout moment algebra per channel partial sum plus bias add.
+		c.ElementOps += 5*int64(l.InCh)*elems + elems
+		if n.kernels[i].Exact() {
+			c.ElementOps += elems * core.OpsPerExactMoments
+		} else {
+			for _, piece := range n.acts[i].Pieces() {
+				if piece.K == 0 {
+					c.ElementOps += elems * core.OpsPerConstPiece
+				} else {
+					c.ElementOps += elems * core.OpsPerLinearPiece
+				}
+			}
+		}
+		s = outSteps
+	}
+	// Global average pooling: one mean and one variance pass.
+	c.ElementOps += 2 * int64(s) * int64(n.convs[len(n.convs)-1].OutCh)
+	return c.Add(n.prop.Cost()), nil
 }

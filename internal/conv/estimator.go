@@ -1,0 +1,96 @@
+package conv
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// Estimator adapts a conv Net to the core.Estimator contract so hybrid
+// time-series models plug into the registry, the serving tier, and the
+// benchmark harness alongside dense ApDeepSense. The flat input vector is
+// interpreted as a fixed-length sequence in the same step-major layout as
+// Seq.Data (x[t*channels+c]); the step count is fixed at construction
+// because the estimator contract has no shape channel.
+type Estimator struct {
+	net    *Net
+	steps  int
+	obsVar float64
+	cost   edison.Cost
+}
+
+var _ core.Estimator = (*Estimator)(nil)
+
+// NewEstimator wraps net as an estimator over steps-long sequences. obsVar
+// (>= 0) is the observation-noise variance added to regression predictive
+// variances, mirroring core.NewApDeepSense.
+func NewEstimator(net *Net, steps int, obsVar float64) (*Estimator, error) {
+	if net == nil {
+		return nil, fmt.Errorf("nil net: %w", ErrConfig)
+	}
+	if obsVar < 0 {
+		return nil, fmt.Errorf("negative obsVar %v: %w", obsVar, ErrConfig)
+	}
+	cost, err := net.Cost(steps)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{net: net, steps: steps, obsVar: obsVar, cost: cost}, nil
+}
+
+// Steps returns the fixed sequence length the estimator expects.
+func (e *Estimator) Steps() int { return e.steps }
+
+// Net returns the underlying hybrid network.
+func (e *Estimator) Net() *Net { return e.net }
+
+// Name implements core.Estimator.
+func (e *Estimator) Name() string { return "ApDeepSense-Conv1D" }
+
+func (e *Estimator) seq(x tensor.Vector) (*Seq, error) {
+	inCh := e.net.convs[0].InCh
+	if len(x) != e.steps*inCh {
+		return nil, fmt.Errorf("input length %d != steps %d × channels %d: %w",
+			len(x), e.steps, inCh, ErrConfig)
+	}
+	s := NewSeq(e.steps, inCh)
+	copy(s.Data, x)
+	return s, nil
+}
+
+// Predict implements core.Estimator: one closed-form moment pass through
+// the conv stack, pooling, and the dense head.
+func (e *Estimator) Predict(x tensor.Vector) (core.GaussianVec, error) {
+	s, err := e.seq(x)
+	if err != nil {
+		return core.GaussianVec{}, err
+	}
+	g, err := e.net.PropagateMoments(s)
+	if err != nil {
+		return core.GaussianVec{}, err
+	}
+	for i := range g.Var {
+		g.Var[i] += e.obsVar
+	}
+	return g, nil
+}
+
+// PredictProbs implements core.Estimator: Gaussian logits through the
+// mean-field softmax link. The observation-noise floor is not applied to
+// logits, matching core.ApDeepSense.
+func (e *Estimator) PredictProbs(x tensor.Vector) (tensor.Vector, error) {
+	s, err := e.seq(x)
+	if err != nil {
+		return nil, err
+	}
+	g, err := e.net.PropagateMoments(s)
+	if err != nil {
+		return nil, err
+	}
+	return core.MeanFieldSoftmax(g), nil
+}
+
+// Cost implements core.Estimator.
+func (e *Estimator) Cost() edison.Cost { return e.cost }

@@ -6,6 +6,7 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/core"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
 	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
 )
 
 // PropagateMoments pushes a Gaussian sequence through the convolution with
@@ -20,16 +21,47 @@ import (
 //	Var[y]    = Σ_c ((μ_a² + σ_a²)p − μ_a²p²)
 //
 // The activation is then applied element-wise through the PWL moment
-// machinery (eqs. 12–26) with the function given by act.
+// machinery (eqs. 12–26) with the function given by act. This PWL-typed
+// entry point is kept for callers that carry their own piecewise functions;
+// Net resolves kernels once (including the exact rectifier backend) and
+// uses PropagateMomentsKernel.
 func (l *Conv1D) PropagateMoments(g GaussianSeq, act *piecewise.Func) (GaussianSeq, error) {
+	return l.PropagateMomentsKernel(g, core.NewActKernel(act))
+}
+
+// PropagateMomentsKernel is PropagateMoments against a prebuilt
+// activation-moment kernel — the first-class path Net serves on. For PWL
+// kernels it is bit-identical to PropagateMoments (the kernel reproduces
+// core.ActivationMoments exactly); exact kernels dispatch rectifier layers
+// to the closed-form moments.
+//
+// Two numeric edge cases are handled explicitly rather than through the
+// generic dropout algebra:
+//   - KeepProb == 1: the generic variance (μ_a²+σ_a²)·p − μ_a²·p² rounds
+//     σ_a² away entirely once μ_a² ≳ σ_a²/ε, silently zeroing the variance
+//     of confident channels. With no mask there is no mask variance, so the
+//     sum reduces to mean += μ_a, variance += σ_a² exactly.
+//   - Var/Mean shape disagreement (including a nil Var) is rejected up
+//     front; the generic loop would have indexed out of bounds or silently
+//     read zeros.
+func (l *Conv1D) PropagateMomentsKernel(g GaussianSeq, ak *core.ActKernel) (GaussianSeq, error) {
+	if g.Mean == nil || g.Var == nil {
+		return GaussianSeq{}, fmt.Errorf("moments: nil mean or variance sequence: %w", ErrConfig)
+	}
 	if g.Mean.Channels != l.InCh {
 		return GaussianSeq{}, fmt.Errorf("moments: input has %d channels, want %d: %w", g.Mean.Channels, l.InCh, ErrConfig)
+	}
+	if g.Var.Steps != g.Mean.Steps || g.Var.Channels != g.Mean.Channels {
+		return GaussianSeq{}, fmt.Errorf("moments: variance shape %dx%d != mean shape %dx%d: %w",
+			g.Var.Steps, g.Var.Channels, g.Mean.Steps, g.Mean.Channels, ErrConfig)
 	}
 	outSteps, err := l.OutSteps(g.Mean.Steps)
 	if err != nil {
 		return GaussianSeq{}, err
 	}
 	p := l.KeepProb
+	bounds := make([]stats.Boundary, ak.NumBounds())
+	pms := make([]stats.PartialMoments, ak.NumBounds())
 	out := NewGaussianSeq(outSteps, l.OutCh)
 	for t := 0; t < outSteps; t++ {
 		base := t * l.Stride
@@ -43,13 +75,18 @@ func (l *Conv1D) PropagateMoments(g GaussianSeq, act *piecewise.Func) (GaussianS
 					muA += g.Mean.At(base+k, c) * w
 					varA += g.Var.At(base+k, c) * w * w
 				}
-				mean += p * muA
-				variance += (muA*muA+varA)*p - muA*muA*p*p
+				if p == 1 {
+					mean += muA
+					variance += varA
+				} else {
+					mean += p * muA
+					variance += (muA*muA+varA)*p - muA*muA*p*p
+				}
 			}
 			if variance < 0 {
 				variance = 0
 			}
-			m, v := core.ActivationMoments(mean, variance, act)
+			m, v := ak.Moments(mean, variance, bounds, pms)
 			out.Mean.Set(t, o, m)
 			out.Var.Set(t, o, v)
 		}
@@ -61,9 +98,15 @@ func (l *Conv1D) PropagateMoments(g GaussianSeq, act *piecewise.Func) (GaussianS
 // per-channel Gaussian vector: the mean of means, and the variance of the
 // average under the (diagonal) independence approximation, Var/steps².
 // Note the same caveat as everywhere in ApDeepSense: temporal correlations
-// induced by the shared channel masks are dropped.
+// induced by the shared channel masks are dropped. A zero-step sequence
+// pools to the zero point mass per channel (0/0 would otherwise poison the
+// head with NaNs); it cannot arise through Net, whose conv stack already
+// rejects sequences shorter than the kernel.
 func GlobalAvgPoolMoments(g GaussianSeq) core.GaussianVec {
 	out := core.NewGaussianVec(g.Mean.Channels)
+	if g.Mean.Steps == 0 {
+		return out
+	}
 	n := float64(g.Mean.Steps)
 	for c := 0; c < g.Mean.Channels; c++ {
 		var m, v float64
@@ -99,6 +142,8 @@ func activationFunc(act nn.Activation) (*piecewise.Func, error) {
 		return piecewise.Identity(), nil
 	case nn.ActReLU:
 		return piecewise.ReLU(), nil
+	case nn.ActLeakyReLU:
+		return piecewise.LeakyReLU(nn.LeakyAlpha), nil
 	case nn.ActTanh:
 		return piecewise.Tanh(7)
 	case nn.ActSigmoid:

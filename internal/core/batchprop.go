@@ -344,6 +344,12 @@ type ActKernel struct {
 	k, c      []float64        // per-piece slope and intercept
 	infB      []stats.Boundary // boundary terms, precomputed at ±Inf knots
 	finiteIdx []int            // indices of the finite knots
+	// exact routes non-degenerate Gaussians to the closed-form rectifier
+	// moments (stats.RectifiedMoments / LeakyRectifiedMoments) with slope
+	// alpha instead of the PWL assembly. The point-mass shortcut is shared,
+	// so exact and PWL kernels agree bit-exactly below SigmaFloor.
+	exact bool
+	alpha float64
 }
 
 func NewActKernel(f *piecewise.Func) *ActKernel {
@@ -377,6 +383,32 @@ func NewActKernel(f *piecewise.Func) *ActKernel {
 	return ak
 }
 
+// NewExactActKernel builds a kernel that serves f's moments from the exact
+// analytical rectifier forms instead of the PWL assembly. f must be in the
+// rectifier family (piecewise.ReLU / piecewise.LeakyReLU); the PWL state is
+// still prepared so Eval (point masses) and introspection keep working.
+func NewExactActKernel(f *piecewise.Func) (*ActKernel, error) {
+	alpha, ok := f.Rectifier()
+	if !ok {
+		return nil, fmt.Errorf("core: %s is not a rectifier, no exact moment form: %w", f.Name(), ErrInput)
+	}
+	ak := NewActKernel(f)
+	ak.exact = true
+	ak.alpha = alpha
+	return ak, nil
+}
+
+// Exact reports whether the kernel dispatches to the exact analytical
+// rectifier moments rather than the PWL closed form.
+func (ak *ActKernel) Exact() bool { return ak.exact }
+
+// Func returns the kernel's PWL function (shared, treat as read-only).
+func (ak *ActKernel) Func() *piecewise.Func { return ak.f }
+
+// NumBounds returns the boundary-scratch length Moments requires — callers
+// outside the propagator (the sequence paths) size their own scratch with it.
+func (ak *ActKernel) NumBounds() int { return len(ak.knots) }
+
 // Moments pushes one scalar Gaussian through the kernel, using bounds and
 // pms (each at least len(knots) long) as per-worker scratch — caller-owned
 // so the per-element call zeroes no stack arrays.
@@ -385,6 +417,12 @@ func (ak *ActKernel) Moments(mu, variance float64, bounds []stats.Boundary, pms 
 	if sigma <= SigmaFloor*(1+math.Abs(mu)) {
 		// Point mass: the PWL function maps it to another point mass.
 		return ak.f.Eval(mu), 0
+	}
+	if ak.exact {
+		if ak.alpha == 0 {
+			return stats.RectifiedMoments(mu, sigma)
+		}
+		return stats.LeakyRectifiedMoments(mu, sigma, ak.alpha)
 	}
 
 	n := len(ak.k)

@@ -188,7 +188,10 @@ func TestActivationKernelExact(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(3))
 	for _, n := range nets {
-		prop, err := NewPropagator(n, Options{})
+		// Force the PWL backend: this test pins the PWL kernel to the scalar
+		// PWL reference; the exact rectifier backend (the ReLU default) is
+		// pinned to its own closed form in exact_test.go.
+		prop, err := NewPropagator(n, Options{ActivationMoments: nn.MomentsPWL})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+)
+
+// KernelFor resolves one activation to its PWL representation and its
+// activation-moment kernel under the given mode — the single source of truth
+// for moment-backend dispatch, shared by the dense propagator and the
+// sequence paths (internal/conv, internal/rnn). MomentsAuto resolves to the
+// exact analytical backend for the rectifier family and the PWL closed form
+// for everything else; MomentsExact on an activation without a closed form
+// (tanh, sigmoid) is an error. opts supplies the PWL piece counts (zero
+// values take the paper's defaults); its own ActivationMoments field is NOT
+// consulted — pass the already-resolved mode.
+func KernelFor(act nn.Activation, mode nn.MomentMode, opts Options) (*piecewise.Func, *ActKernel, error) {
+	opts.fillDefaults()
+	var (
+		f   *piecewise.Func
+		err error
+	)
+	switch act {
+	case nn.ActIdentity:
+		f = piecewise.Identity()
+	case nn.ActReLU:
+		f = piecewise.ReLU()
+	case nn.ActLeakyReLU:
+		f = piecewise.LeakyReLU(nn.LeakyAlpha)
+	case nn.ActTanh:
+		f, err = piecewise.Tanh(opts.TanhPieces)
+	case nn.ActSigmoid:
+		f, err = piecewise.Sigmoid(opts.SigmoidPieces)
+	default:
+		err = fmt.Errorf("unsupported activation %v: %w", act, ErrInput)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	_, rect := act.Rectifier()
+	switch {
+	case mode == nn.MomentsExact && !rect && act != nn.ActIdentity:
+		return nil, nil, fmt.Errorf("no exact moment form for %v: %w", act, ErrInput)
+	case rect && mode != nn.MomentsPWL:
+		// Exact is the rectifier default (MomentsAuto) and the explicit
+		// request; the PWL identity kernel is already exact for identity
+		// layers, so only rectifiers dispatch to the closed form.
+		k, kerr := NewExactActKernel(f)
+		if kerr != nil {
+			return nil, nil, kerr
+		}
+		return f, k, nil
+	default:
+		return f, NewActKernel(f), nil
+	}
+}

@@ -23,6 +23,13 @@ const (
 	OpsPerLinearPiece = 88
 	// OpsPerConstPiece is the per-element op count of a k = 0 piece.
 	OpsPerConstPiece = 24
+	// OpsPerExactMoments is the per-element op count of the exact rectifier
+	// moment backend (stats.RectifiedMoments): two erfc, one exp, and the
+	// surrounding arithmetic — the same transcendental mix as one constant
+	// plus one linear PWL piece, which is exactly what the 2-piece rectifier
+	// PWL costs. Exact-vs-PWL cost parity for ReLU layers is by construction
+	// in the model and measured by `apds-bench -seq`.
+	OpsPerExactMoments = OpsPerConstPiece + OpsPerLinearPiece
 )
 
 // Options configures a Propagator.
@@ -33,6 +40,14 @@ type Options struct {
 	// SigmoidPieces is the PWL piece count approximating sigmoid layers.
 	// Defaults to 7.
 	SigmoidPieces int
+	// ActivationMoments is the propagator-wide default activation-moment
+	// backend for layers whose own nn.Layer.Moments is MomentsAuto.
+	// MomentsAuto (the zero value) resolves to exact for the rectifier
+	// family (ReLU, leaky-ReLU — where the closed form strictly dominates
+	// the 2-piece PWL's conditioning at equal modeled cost) and PWL for
+	// everything else. MomentsExact on a tanh/sigmoid layer is a
+	// construction error.
+	ActivationMoments nn.MomentMode
 }
 
 func (o *Options) fillDefaults() {
@@ -115,28 +130,17 @@ func NewPropagator(net *nn.Network, opts Options, extra ...Option) (*Propagator,
 		maxDim:  net.InputDim(),
 	}
 	for i, l := range layers {
-		var (
-			f   *piecewise.Func
-			err error
-		)
-		switch l.Act {
-		case nn.ActIdentity:
-			f = piecewise.Identity()
-		case nn.ActReLU:
-			f = piecewise.ReLU()
-		case nn.ActTanh:
-			f, err = piecewise.Tanh(opts.TanhPieces)
-		case nn.ActSigmoid:
-			f, err = piecewise.Sigmoid(opts.SigmoidPieces)
-		default:
-			err = fmt.Errorf("layer %d: unsupported activation %v: %w", i, l.Act, ErrInput)
+		mode := l.Moments
+		if mode == nn.MomentsAuto {
+			mode = opts.ActivationMoments
 		}
+		f, k, err := KernelFor(l.Act, mode, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: prepare layer %d: %w", i, err)
 		}
 		p.acts[i] = f
 		p.wsq[i] = l.W.Square()
-		p.kernels[i] = NewActKernel(f)
+		p.kernels[i] = k
 		if l.OutDim() > p.maxDim {
 			p.maxDim = l.OutDim()
 		}
@@ -167,6 +171,10 @@ func (p *Propagator) Network() *nn.Network { return p.net }
 // activation.
 func (p *Propagator) ActivationPieces(i int) int { return p.acts[i].NumPieces() }
 
+// MomentsExact reports whether layer i's activation moments are served by
+// the exact analytical rectifier backend (vs the PWL closed form).
+func (p *Propagator) MomentsExact(i int) bool { return p.kernels[i].Exact() }
+
 // Propagate runs the full ApDeepSense pass: the input point mass is pushed
 // through every layer's dropout-aware affine map (eqs. 9–10) and PWL
 // activation (eqs. 12–26), yielding the Gaussian approximation of the output
@@ -196,6 +204,10 @@ func (p *Propagator) PropagateFrom(g GaussianVec) (GaussianVec, error) {
 	timed := h != nil && h.LayerTime != nil
 	var t0 time.Time
 	g = g.Clone()
+	sc := p.scratch.Get().(*batchScratch)
+	sc.warm = true
+	sc.ensure(0, p.maxBounds)
+	defer p.scratch.Put(sc)
 	for i, l := range p.net.Layers() {
 		if timed {
 			t0 = time.Now()
@@ -205,12 +217,25 @@ func (p *Propagator) PropagateFrom(g GaussianVec) (GaussianVec, error) {
 		if err != nil {
 			return GaussianVec{}, fmt.Errorf("propagate layer %d: %w", i, err)
 		}
-		ActivationMomentsVec(g, p.acts[i])
+		p.activateVec(g, i, sc)
 		if timed {
 			h.LayerTime(i, 1, time.Since(t0))
 		}
 	}
 	return g, nil
+}
+
+// activateVec applies layer li's activation-moment kernel element-wise —
+// the per-sample counterpart of the batched panel sweep. For PWL kernels it
+// is bit-identical to ActivationMomentsVec (the kernel reproduces
+// ActivationMoments exactly); for exact kernels it dispatches to the
+// closed-form rectifier moments on every entry point alike, which is what
+// keeps interpreted, batched, and compiled dispatch bit-identical.
+func (p *Propagator) activateVec(g GaussianVec, li int, sc *batchScratch) {
+	ak := p.kernels[li]
+	for j := range g.Mean {
+		g.Mean[j], g.Var[j] = ak.Moments(g.Mean[j], g.Var[j], sc.bounds, sc.pms)
+	}
 }
 
 // PropagateTrace runs the moment propagation and additionally returns the
@@ -224,13 +249,17 @@ func (p *Propagator) PropagateTrace(x tensor.Vector) (GaussianVec, []GaussianVec
 	g := Deterministic(x)
 	layers := p.net.Layers()
 	trace := make([]GaussianVec, 0, len(layers))
+	sc := p.scratch.Get().(*batchScratch)
+	sc.warm = true
+	sc.ensure(0, p.maxBounds)
+	defer p.scratch.Put(sc)
 	for i, l := range layers {
 		var err error
 		g, err = DenseMoments(g, l, p.wsq[i])
 		if err != nil {
 			return GaussianVec{}, nil, fmt.Errorf("propagate-trace layer %d: %w", i, err)
 		}
-		ActivationMomentsVec(g, p.acts[i])
+		p.activateVec(g, i, sc)
 		trace = append(trace, g.Clone())
 	}
 	return g, trace, nil
@@ -250,12 +279,17 @@ func (p *Propagator) computeCost() edison.Cost {
 		// Element-wise prep: μ⊙p (1 pass) and (μ²+σ²)p − μ²p² (4 passes)
 		// over the inputs, bias add (1 pass) over the outputs.
 		c.ElementOps += 5*in + out
-		// Activation moment propagation, per piece per output element.
-		for _, piece := range p.acts[i].Pieces() {
-			if piece.K == 0 {
-				c.ElementOps += out * OpsPerConstPiece
-			} else {
-				c.ElementOps += out * OpsPerLinearPiece
+		// Activation moment propagation: the exact rectifier closed form per
+		// element, or the PWL assembly per piece per element.
+		if p.kernels[i].Exact() {
+			c.ElementOps += out * OpsPerExactMoments
+		} else {
+			for _, piece := range p.acts[i].Pieces() {
+				if piece.K == 0 {
+					c.ElementOps += out * OpsPerConstPiece
+				} else {
+					c.ElementOps += out * OpsPerLinearPiece
+				}
 			}
 		}
 	}

@@ -23,7 +23,14 @@ const (
 	ActTanh
 	// ActSigmoid is the logistic function 1/(1+e^{−x}).
 	ActSigmoid
+	// ActLeakyReLU is x for x > 0, LeakyAlpha·x otherwise.
+	ActLeakyReLU
 )
+
+// LeakyAlpha is the negative-side slope of ActLeakyReLU. Fixed rather than
+// per-layer: the serialized format stays a pure enum and every consumer
+// (propagation, training, the exact-moment backend) agrees on the slope.
+const LeakyAlpha = 0.01
 
 // String returns the canonical lower-case name of the activation.
 func (a Activation) String() string {
@@ -36,6 +43,8 @@ func (a Activation) String() string {
 		return "tanh"
 	case ActSigmoid:
 		return "sigmoid"
+	case ActLeakyReLU:
+		return "leaky_relu"
 	default:
 		return fmt.Sprintf("activation(%d)", int(a))
 	}
@@ -43,7 +52,21 @@ func (a Activation) String() string {
 
 // Valid reports whether a names a supported activation.
 func (a Activation) Valid() bool {
-	return a >= ActIdentity && a <= ActSigmoid
+	return a >= ActIdentity && a <= ActLeakyReLU
+}
+
+// Rectifier reports whether a is in the rectifier family (ReLU/leaky-ReLU)
+// and returns its negative-side slope — the activations with closed-form
+// Gaussian moments (stats.RectifiedMoments) the exact backend can serve.
+func (a Activation) Rectifier() (alpha float64, ok bool) {
+	switch a {
+	case ActReLU:
+		return 0, true
+	case ActLeakyReLU:
+		return LeakyAlpha, true
+	default:
+		return 0, false
+	}
 }
 
 // ParseActivation converts a canonical name into an Activation.
@@ -57,6 +80,8 @@ func ParseActivation(s string) (Activation, error) {
 		return ActTanh, nil
 	case "sigmoid":
 		return ActSigmoid, nil
+	case "leaky_relu":
+		return ActLeakyReLU, nil
 	default:
 		return 0, fmt.Errorf("nn: unknown activation %q", s)
 	}
@@ -74,6 +99,11 @@ func (a Activation) Apply(x float64) float64 {
 		return math.Tanh(x)
 	case ActSigmoid:
 		return 1 / (1 + math.Exp(-x))
+	case ActLeakyReLU:
+		if x > 0 {
+			return x
+		}
+		return LeakyAlpha * x
 	default:
 		return x
 	}
@@ -93,6 +123,11 @@ func (a Activation) Derivative(x float64) float64 {
 	case ActSigmoid:
 		s := 1 / (1 + math.Exp(-x))
 		return s * (1 - s)
+	case ActLeakyReLU:
+		if x > 0 {
+			return 1
+		}
+		return LeakyAlpha
 	default:
 		return 1
 	}

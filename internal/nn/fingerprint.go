@@ -32,6 +32,10 @@ func (n *Network) Fingerprint() string {
 		writeU64(uint64(l.OutDim()))
 		writeU64(uint64(l.Act))
 		writeU64(math.Float64bits(l.KeepProb))
+		// The moment mode is serving-relevant state (it changes the served
+		// numbers and which compiled program a version may share), so it is
+		// fingerprinted alongside the weights.
+		writeU64(uint64(l.Moments))
 		for _, w := range l.W.Data {
 			writeU64(math.Float64bits(w))
 		}

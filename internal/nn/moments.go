@@ -1,0 +1,56 @@
+package nn
+
+import "fmt"
+
+// MomentMode selects the activation-moment backend a layer is propagated
+// with: the general PWL closed form (paper §III, eqs. 7–26) or the exact
+// analytical rectifier moments (Thompson & McCrory 2026). The mode is part
+// of the model format (serialized per layer, covered by the fingerprint)
+// because it changes the served numbers: two versions with identical
+// weights but different modes must not share a compiled program.
+type MomentMode int
+
+const (
+	// MomentsAuto defers to the propagator's default: exact for the
+	// rectifier family (where the closed form dominates the PWL assembly at
+	// equal modeled cost), PWL otherwise.
+	MomentsAuto MomentMode = iota
+	// MomentsPWL forces the piecewise-linear closed form.
+	MomentsPWL
+	// MomentsExact forces the exact analytical moments. Building a
+	// propagator with MomentsExact on a layer outside the rectifier family
+	// (tanh, sigmoid) is an error — there is no closed form to dispatch to.
+	MomentsExact
+)
+
+// String returns the canonical manifest/report name of the mode.
+func (m MomentMode) String() string {
+	switch m {
+	case MomentsAuto:
+		return "auto"
+	case MomentsPWL:
+		return "pwl"
+	case MomentsExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("moments(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined mode.
+func (m MomentMode) Valid() bool { return m >= MomentsAuto && m <= MomentsExact }
+
+// ParseMomentMode converts a manifest string ("", "auto", "pwl", "exact")
+// into a MomentMode.
+func ParseMomentMode(s string) (MomentMode, error) {
+	switch s {
+	case "", "auto":
+		return MomentsAuto, nil
+	case "pwl":
+		return MomentsPWL, nil
+	case "exact":
+		return MomentsExact, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown activation_moments mode %q", s)
+	}
+}

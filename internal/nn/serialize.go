@@ -45,6 +45,10 @@ type wireLayer struct {
 	Bias          []float64
 	Act           int
 	KeepProb      float64
+	// Moments is the layer's activation-moment backend (MomentMode). gob
+	// skips unknown/missing fields, so models written before the field
+	// existed decode it as 0 (MomentsAuto) — no version bump needed.
+	Moments int
 }
 
 // wireModel is the serialized form of a network.
@@ -65,6 +69,7 @@ func (n *Network) Save(w io.Writer) error {
 			Bias:     append([]float64(nil), l.B...),
 			Act:      int(l.Act),
 			KeepProb: l.KeepProb,
+			Moments:  int(l.Moments),
 		}
 		wm.Layers = append(wm.Layers, wl)
 	}
@@ -95,6 +100,15 @@ func Load(r io.Reader) (*Network, error) {
 		if !act.Valid() {
 			return nil, fmt.Errorf("nn: layer %d has invalid activation %d: %w: %w", i, wl.Act, ErrModel, ErrConfig)
 		}
+		moments := MomentMode(wl.Moments)
+		if !moments.Valid() {
+			return nil, fmt.Errorf("nn: layer %d has invalid moment mode %d: %w: %w", i, wl.Moments, ErrModel, ErrConfig)
+		}
+		if moments == MomentsExact {
+			if _, ok := act.Rectifier(); !ok && act != ActIdentity {
+				return nil, fmt.Errorf("nn: layer %d requests exact moments for %v (no closed form): %w: %w", i, act, ErrModel, ErrConfig)
+			}
+		}
 		if !allFinite(wl.Weights) || !allFinite(wl.Bias) {
 			return nil, fmt.Errorf("nn: layer %d has non-finite weights: %w: %w", i, ErrModel, ErrConfig)
 		}
@@ -105,6 +119,7 @@ func Load(r io.Reader) (*Network, error) {
 			B:        append(tensor.Vector(nil), wl.Bias...),
 			Act:      act,
 			KeepProb: wl.KeepProb,
+			Moments:  moments,
 		})
 	}
 	net, err := FromLayers(layers)

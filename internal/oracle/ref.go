@@ -66,6 +66,14 @@ func NewRef(net *nn.Network, opts core.Options, kahan bool) (*Ref, error) {
 		case nn.ActReLU:
 			f = piecewise.ReLU()
 			r.trueAct[i] = func(x float64) float64 { return math.Max(0, x) }
+		case nn.ActLeakyReLU:
+			f = piecewise.LeakyReLU(nn.LeakyAlpha)
+			r.trueAct[i] = func(x float64) float64 {
+				if x < 0 {
+					return nn.LeakyAlpha * x
+				}
+				return x
+			}
 		case nn.ActTanh:
 			f, err = piecewise.Tanh(opts.TanhPieces)
 			r.trueAct[i] = math.Tanh
@@ -196,11 +204,11 @@ func (r *Ref) ForwardTrue(x tensor.Vector) (core.GaussianVec, error) {
 	if len(x) != r.net.InputDim() {
 		return core.GaussianVec{}, fmt.Errorf("oracle: input dim %d, want %d: %w", len(x), r.net.InputDim(), core.ErrInput)
 	}
-	// ReLU's kink at 0 still needs a panel split; smooth activations need
-	// no splits.
+	// The rectifier kink at 0 still needs a panel split; smooth activations
+	// need no splits.
 	breaks := make([][]float64, len(r.pwl))
 	for i, l := range r.net.Layers() {
-		if l.Act == nn.ActReLU {
+		if l.Act == nn.ActReLU || l.Act == nn.ActLeakyReLU {
 			breaks[i] = []float64{0}
 		}
 	}
@@ -209,8 +217,17 @@ func (r *Ref) ForwardTrue(x tensor.Vector) (core.GaussianVec, error) {
 }
 
 func (r *Ref) forward(g core.GaussianVec, acts []func(float64) float64, breaks [][]float64) (core.GaussianVec, CondBudget, error) {
+	return r.forwardFromSeed(g, acts, breaks, 0, 0)
+}
+
+// forwardFromSeed is forward with an incoming error budget already
+// accumulated by an upstream stage (a conv stack or recurrence feeding this
+// network as its head): the seed (dMu, dVar) is amplified and added to by
+// each layer exactly as the layer-local budget recursion does for the
+// running error of a standalone pass.
+func (r *Ref) forwardFromSeed(g core.GaussianVec, acts []func(float64) float64, breaks [][]float64, seedMu, seedVar float64) (core.GaussianVec, CondBudget, error) {
 	sqrt2OverPi := math.Sqrt(2 / math.Pi)
-	var dMu, dVar float64
+	dMu, dVar := seedMu, seedVar
 	for i, l := range r.net.Layers() {
 		// Dense-step sensitivity on the running error, evaluated before the
 		// step consumes the input moments: the fast dense step is

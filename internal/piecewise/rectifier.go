@@ -1,0 +1,45 @@
+package piecewise
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeakyReLU returns the 2-piece leaky rectifier: slope alpha on (−∞, 0),
+// slope 1 on (0, ∞), both through the origin. alpha must be in [0, 1];
+// alpha = 0 is ReLU. Unlike the tanh/sigmoid constructions this PWL is the
+// activation itself, not an approximation — its sup-norm model error is 0 —
+// so the exact-moment backend and this PWL disagree only in conditioning.
+func LeakyReLU(alpha float64) *Func {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("piecewise: leaky slope %v outside [0, 1]", alpha))
+	}
+	f, err := New("leaky_relu", []Piece{
+		{A: math.Inf(-1), B: 0, K: alpha, C: 0},
+		{A: 0, B: math.Inf(1), K: 1, C: 0},
+	})
+	if err != nil {
+		// Static construction; unreachable by design.
+		panic(err)
+	}
+	return f
+}
+
+// Rectifier reports whether f is a member of the rectifier family — exactly
+// two pieces meeting at 0, zero intercepts, unit positive slope, negative
+// slope in [0, 1] — and returns the negative-side slope. This is the shape
+// test behind the exact-moment backend's auto dispatch: stats.RectifiedMoments
+// and stats.LeakyRectifiedMoments are closed forms for precisely this family.
+func (f *Func) Rectifier() (alpha float64, ok bool) {
+	if len(f.pieces) != 2 {
+		return 0, false
+	}
+	neg, pos := f.pieces[0], f.pieces[1]
+	if neg.B != 0 || pos.A != 0 || neg.C != 0 || pos.C != 0 || pos.K != 1 {
+		return 0, false
+	}
+	if neg.K < 0 || neg.K > 1 {
+		return 0, false
+	}
+	return neg.K, true
+}

@@ -1,0 +1,97 @@
+package proptest
+
+import (
+	"math"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+)
+
+// asymMean is the asymptotic expansion of the rectified-Gaussian mean for
+// deep negative standardization z = mu/sigma << 0:
+//
+//	E[max(0,X)] = sigma·phi(z)·(1/z²)·(1 − 3/z² + 15/z⁴ − 105/z⁶ + …)
+//
+// The truncation error after the 105/z⁶ term is ~945/z⁸ relative, which at
+// |z| ≥ 9 is below 2.2e-5 — an independent ground truth precise enough to
+// separate a correct tail from a total loss of the result.
+func asymMean(mu, sigma float64) float64 {
+	z := mu / sigma
+	z2 := z * z
+	phi := math.Exp(-z2/2) / math.Sqrt(2*math.Pi)
+	return sigma * phi / z2 * (1 - 3/z2 + 15/(z2*z2) - 105/(z2*z2*z2))
+}
+
+// TestExactBeatsPWLDeepTail is the motivating table for the exact backend:
+// at deep negative z the 2-piece PWL assembly computes the surviving
+// probability mass via erf, which rounds to −1 below |z| ≈ 8.3 and returns
+// a mean of exactly 0 — total relative error 1 — while the erfc-based
+// closed form tracks the asymptotic series to ≤ 1e-4 relative. Both
+// backends are evaluated through their real kernel entry points.
+func TestExactBeatsPWLDeepTail(t *testing.T) {
+	relu := piecewise.ReLU()
+	pwl := core.NewActKernel(relu)
+	exact, err := core.NewExactActKernel(relu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := make([]stats.Boundary, pwl.NumBounds())
+	pms := make([]stats.PartialMoments, pwl.NumBounds())
+
+	for _, tc := range []struct {
+		mu, sigma float64
+	}{
+		{-9, 1},
+		{-10, 1},
+		{-12, 1},
+		{-20, 1},
+		{-9e-3, 1e-3},
+		{-1.1e6, 1e5},
+	} {
+		truth := asymMean(tc.mu, tc.sigma)
+		exM, _ := exact.Moments(tc.mu, tc.sigma*tc.sigma, bounds, pms)
+		pwM, _ := pwl.Moments(tc.mu, tc.sigma*tc.sigma, bounds, pms)
+
+		exErr := math.Abs(exM-truth) / truth
+		if exErr > 1e-4 {
+			t.Errorf("mu=%v sigma=%v: exact mean %v vs series %v, rel err %v > 1e-4",
+				tc.mu, tc.sigma, exM, truth, exErr)
+		}
+		pwErr := math.Abs(pwM-truth) / truth
+		if pwErr < 0.5 {
+			// If the PWL assembly ever resolves these tails the table is
+			// stale and the exact backend's advantage must be re-argued.
+			t.Errorf("mu=%v sigma=%v: PWL mean %v unexpectedly accurate (rel err %v)",
+				tc.mu, tc.sigma, pwM, pwErr)
+		}
+	}
+}
+
+// TestExactMatchesPWLInterior: away from the tails the two backends agree
+// to ~1e-12 relative — the exact backend is a strict conditioning upgrade,
+// not a different function.
+func TestExactMatchesPWLInterior(t *testing.T) {
+	relu := piecewise.ReLU()
+	pwl := core.NewActKernel(relu)
+	exact, err := core.NewExactActKernel(relu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := make([]stats.Boundary, pwl.NumBounds())
+	pms := make([]stats.PartialMoments, pwl.NumBounds())
+	for _, z := range []float64{-4, -2, -0.5, 0, 0.5, 2, 4} {
+		for _, sigma := range []float64{1e-3, 1, 1e3} {
+			mu := z * sigma
+			exM, exV := exact.Moments(mu, sigma*sigma, bounds, pms)
+			pwM, pwV := pwl.Moments(mu, sigma*sigma, bounds, pms)
+			if d := math.Abs(exM - pwM); d > 1e-12*math.Max(sigma, math.Abs(exM)) {
+				t.Errorf("z=%v sigma=%v: mean exact %v vs pwl %v", z, sigma, exM, pwM)
+			}
+			if d := math.Abs(exV - pwV); d > 1e-11*math.Max(sigma*sigma, exV) {
+				t.Errorf("z=%v sigma=%v: var exact %v vs pwl %v", z, sigma, exV, pwV)
+			}
+		}
+	}
+}

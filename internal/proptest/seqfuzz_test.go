@@ -1,0 +1,164 @@
+package proptest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/oracle"
+	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+)
+
+// fuzzMoment maps an arbitrary fuzzed float64 into a hostile-but-finite
+// moment value, preserving magnitude structure (the fuzzer can reach deep
+// tails, sub-floor sigmas, and huge means) while excluding NaN/Inf and
+// magnitudes past 1e8, where rectified moments themselves overflow
+// meaningful comparison.
+func fuzzMoment(raw float64) float64 {
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		return 0
+	}
+	if math.Abs(raw) > 1e8 {
+		return math.Mod(raw, 1e8)
+	}
+	return raw
+}
+
+// phi0 is the standard normal density at zero — the sharp bound on how far
+// a rectified mean can sit above max(0, mu).
+const phi0 = 0.3989422804014327
+
+// FuzzExactVsOracle fuzzes the exact rectifier closed forms on raw (mu,
+// sigma) pairs — including |z| > 8 deep tails and sub-SigmaFloor variances
+// the quadrature oracle cannot resolve. Analytical invariants are enforced
+// everywhere; where the quadrature oracle is trustworthy (moderate z, sane
+// sigma) the closed forms must also match it to the RelTight contract.
+func FuzzExactVsOracle(f *testing.F) {
+	f.Add(0.0, 1.0)
+	f.Add(-9.0, 1.0)      // deep tail: PWL loses this entirely
+	f.Add(12.0, 1.0)      // deep positive tail
+	f.Add(1.0, 1e-300)    // sub-floor sigma: point-mass shortcut
+	f.Add(-1e6, 1e-3)     // extreme standardization
+	f.Add(1e-300, 1e-300) // denormal territory
+	f.Add(-2.5, 97.0)     // bulk
+	f.Fuzz(func(t *testing.T, muRaw, sigmaRaw float64) {
+		mu := fuzzMoment(muRaw)
+		sigma := math.Abs(fuzzMoment(sigmaRaw))
+
+		relu := piecewise.ReLU()
+		leaky := piecewise.LeakyReLU(nn.LeakyAlpha)
+		exactR, err := core.NewExactActKernel(relu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactL, err := core.NewExactActKernel(leaky)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds := make([]stats.Boundary, exactR.NumBounds())
+		pms := make([]stats.PartialMoments, exactR.NumBounds())
+
+		mR, vR := exactR.Moments(mu, sigma*sigma, bounds, pms)
+		mL, vL := exactL.Moments(mu, sigma*sigma, bounds, pms)
+
+		// Analytical invariants — valid for every finite (mu, sigma),
+		// including regions no quadrature can certify.
+		for _, c := range []struct {
+			name     string
+			m, v     float64
+			mLo, mHi float64
+			vHi      float64
+		}{
+			{"relu", mR, vR, math.Max(0, mu), math.Max(0, mu) + phi0*sigma, sigma * sigma},
+			{"leaky", mL, vL,
+				nn.LeakyAlpha*mu + (1-nn.LeakyAlpha)*math.Max(0, mu),
+				nn.LeakyAlpha*mu + (1-nn.LeakyAlpha)*(math.Max(0, mu)+phi0*sigma),
+				sigma * sigma},
+		} {
+			if math.IsNaN(c.m) || math.IsInf(c.m, 0) || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+				t.Fatalf("%s(mu=%v sigma=%v): non-finite moments (%v, %v)", c.name, mu, sigma, c.m, c.v)
+			}
+			slack := 1e-12 * (math.Abs(mu) + sigma + 1)
+			if c.m < c.mLo-slack || c.m > c.mHi+slack {
+				t.Errorf("%s(mu=%v sigma=%v): mean %v outside [%v, %v]", c.name, mu, sigma, c.m, c.mLo, c.mHi)
+			}
+			if c.v < 0 || c.v > c.vHi*(1+1e-12)+1e-300 {
+				t.Errorf("%s(mu=%v sigma=%v): var %v outside [0, %v]", c.name, mu, sigma, c.v, c.vHi)
+			}
+		}
+
+		// Quadrature cross-check, restricted to where the oracle itself is
+		// accurate: moderate standardization and sigma comfortably above
+		// the point-mass floor.
+		z := mu / sigma
+		if sigma < 1e-12 || sigma > 1e6 || math.Abs(mu) > 1e6 || math.Abs(z) > 6 {
+			return
+		}
+		reluEval := func(x float64) float64 { return math.Max(0, x) }
+		leakyEval := func(x float64) float64 {
+			if x < 0 {
+				return nn.LeakyAlpha * x
+			}
+			return x
+		}
+		for _, c := range []struct {
+			name string
+			eval func(float64) float64
+			m, v float64
+		}{
+			{"relu", reluEval, mR, vR},
+			{"leaky", leakyEval, mL, vL},
+		} {
+			wm, wv := oracle.ActMoments(c.eval, []float64{0}, mu, sigma*sigma)
+			scale := math.Abs(mu) + sigma
+			if d := math.Abs(c.m - wm); d > RelTight*math.Max(math.Abs(wm), scale*1e-3) {
+				t.Errorf("%s(mu=%v sigma=%v): mean %v vs quadrature %v", c.name, mu, sigma, c.m, wm)
+			}
+			if d := math.Abs(c.v - wv); d > RelTight*math.Max(wv, scale*scale*1e-3) {
+				t.Errorf("%s(mu=%v sigma=%v): var %v vs quadrature %v", c.name, mu, sigma, c.v, wv)
+			}
+		}
+	})
+}
+
+// FuzzConvVsOracle drives the full conv fast path — strided moment
+// recursion, pooling, dense head, mixed exact/PWL layer backends — against
+// the sequence oracle on fuzzer-chosen networks and input scales, under the
+// same no-hand-tuned-epsilon contract as the dense target.
+func FuzzConvVsOracle(f *testing.F) {
+	f.Add(uint64(1), 1.0)
+	f.Add(uint64(3), 0.0)
+	f.Add(uint64(7), 0.5)
+	f.Add(uint64(11), 0.25)
+	f.Add(uint64(20260808), 1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, rawScale float64) {
+		scale := fuzzScale(rawScale)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		net, steps := GenConvNet(rng)
+		ref, err := oracle.NewConvRef(net, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := GenSeq(rng, steps, net.Convs()[0].InCh)
+		for i := range x.Data {
+			x.Data[i] *= scale
+		}
+		got, err := net.PropagateMoments(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, cond, err := ref.ForwardCond(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !finite(want) {
+			t.Skip("oracle output not finite: outside the comparison domain")
+		}
+		if err := CompareVec(got, want, RelTight, cond); err != nil {
+			t.Errorf("seed %d scale %v: conv vs oracle: %v", seed, scale, err)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/apdeepsense/apdeepsense/internal/conv"
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/nn"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// momentsOf digs the resolved activation backend of layer 0 out of a version
+// built from a network.
+func momentsOf(t *testing.T, v *Version) bool {
+	t.Helper()
+	ap, ok := v.Estimator().(*core.ApDeepSense)
+	if !ok {
+		t.Fatalf("estimator is %T, want *core.ApDeepSense", v.Estimator())
+	}
+	return ap.Propagator().MomentsExact(0)
+}
+
+// TestManifestActivationMoments drives the manifest's "activation_moments"
+// flag end to end: a rectifier model declared "pwl" must serve on the PWL
+// backend, and flipping the manifest to "exact" rebuilds new version ids on
+// the exact backend.
+func TestManifestActivationMoments(t *testing.T) {
+	dir := t.TempDir()
+	writeModel(t, dir, "a.model", 1)
+	manPath := filepath.Join(dir, "registry.json")
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:              "demo",
+		ActivationMoments: "pwl",
+		Versions:          []ManifestVersion{{ID: "v1", Path: "a.model"}},
+		Current:           "v1",
+	}}})
+
+	r := New(Config{})
+	defer closeRegistry(t, r)
+	l := NewLoader(r, manPath)
+	if _, err := l.Reload(true); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Version("demo", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if momentsOf(t, v) {
+		t.Error(`manifest "pwl": version serves on the exact backend`)
+	}
+
+	// Same file under a new version id with the manifest flipped to exact:
+	// the rebuilt version must resolve ReLU layers to the exact closed form.
+	writeManifest(t, manPath, Manifest{Models: []ManifestModel{{
+		Name:              "demo",
+		ActivationMoments: "exact",
+		Versions:          []ManifestVersion{{ID: "v1", Path: "a.model"}, {ID: "v2", Path: "a.model"}},
+		Current:           "v2",
+	}}})
+	if _, err := l.Reload(true); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r.Version("demo", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !momentsOf(t, v2) {
+		t.Error(`manifest "exact": version serves on the PWL backend`)
+	}
+
+	// Both backends must serve: the mode is a numerical formulation choice,
+	// not a routing change.
+	x := tensor.Vector{0.5, -1, 2}
+	if _, _, err := r.Predict(context.Background(), "demo", "k", x); err != nil {
+		t.Fatalf("serving after mode flip: %v", err)
+	}
+}
+
+// TestManifestMomentsValidation: unknown modes are a manifest validation
+// error, not a silent fallback.
+func TestManifestMomentsValidation(t *testing.T) {
+	man := Manifest{Models: []ManifestModel{{
+		Name:              "m",
+		ActivationMoments: "quadrature",
+		Versions:          []ManifestVersion{{ID: "v1", Path: "x.model"}},
+		Current:           "v1",
+	}}}
+	if err := man.Validate(); !errors.Is(err, ErrManifest) {
+		t.Fatalf("err = %v, want ErrManifest", err)
+	}
+}
+
+// TestCompileCacheSeparatesMomentModes: the compile cache is keyed by the
+// moment mode along with the weight fingerprint — two versions of the SAME
+// weights under different backends must not share a program (their fused
+// activation closures differ), while two versions under the same backend
+// must.
+func TestCompileCacheSeparatesMomentModes(t *testing.T) {
+	r := New(Config{})
+	defer closeRegistry(t, r)
+
+	net := testNet(t, 9)
+	if err := r.SetActivationMoments("a", nn.MomentsPWL); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetActivationMoments("b", nn.MomentsExact); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetActivationMoments("c", nn.MomentsExact); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		if _, err := r.AddVersion(m, "v1", net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// pwl and exact builds of one fingerprint → two cache entries; the
+	// second exact build must hit the first's entry.
+	if got := r.compiles.size(); got != 2 {
+		t.Errorf("compile cache holds %d programs, want 2 (pwl + shared exact)", got)
+	}
+}
+
+// TestExactOnTanhModelFailsBuild: a model-level "exact" default on a net
+// with non-rectifier hidden layers is a build error surfaced by AddVersion,
+// mirroring the construction-time error contract everywhere else.
+func TestExactOnTanhModelFailsBuild(t *testing.T) {
+	r := New(Config{})
+	defer closeRegistry(t, r)
+	net, err := nn.New(nn.Config{
+		InputDim: 3, Hidden: []int{4}, OutputDim: 2,
+		Activation: nn.ActTanh, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetActivationMoments("m", nn.MomentsExact); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddVersion("m", "v1", net); err == nil {
+		t.Fatal("exact-on-tanh version built without error")
+	}
+}
+
+// TestServeConvEstimator registers the conv sequence estimator through
+// AddVersionEstimator and serves it: the sequence paths are first-class
+// registry citizens, and served responses stay bit-identical to direct
+// estimator calls.
+func TestServeConvEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	c1, err := conv.NewConv1D(3, 2, 6, 2, nn.ActReLU, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := nn.New(nn.Config{
+		InputDim: 6, Hidden: []int{8}, OutputDim: 2,
+		Activation: nn.ActReLU, OutputActivation: nn.ActIdentity,
+		KeepProb: 0.9, Seed: 73,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnet, err := conv.NewNet([]*conv.Conv1D{c1}, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 11
+	est, err := conv.NewEstimator(cnet, steps, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The registry's all-ones warmup probes net.InputDim() inputs — the
+	// dense head's shape, not the sequence estimator's flattened steps ×
+	// channels contract — so sequence estimators register with warmup off.
+	r := New(Config{SkipWarmup: true})
+	defer closeRegistry(t, r)
+	if _, err := r.AddVersionEstimator("conv", "v1", head, est); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetRoutes("conv", "v1", "", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	x := make(tensor.Vector, steps*2)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got, served, err := r.Predict(context.Background(), "conv", "req", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Version != "v1" {
+		t.Fatalf("served %q, want v1", served.Version)
+	}
+	want, err := est.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Mean {
+		if math.Float64bits(got.Mean[i]) != math.Float64bits(want.Mean[i]) ||
+			math.Float64bits(got.Var[i]) != math.Float64bits(want.Var[i]) {
+			t.Errorf("dim %d: served (%v, %v) != direct (%v, %v)",
+				i, got.Mean[i], got.Var[i], want.Mean[i], want.Var[i])
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package rnn
+
+import (
+	"fmt"
+
+	"github.com/apdeepsense/apdeepsense/internal/core"
+	"github.com/apdeepsense/apdeepsense/internal/edison"
+	"github.com/apdeepsense/apdeepsense/internal/tensor"
+)
+
+// Estimator adapts a Cell to the core.Estimator contract so recurrent
+// models plug into the registry, the serving tier, and the benchmark
+// harness alongside dense ApDeepSense. The flat input vector is interpreted
+// as a fixed-length sequence in step-major layout (x[t*inDim+i]); the step
+// count is fixed at construction because the estimator contract has no
+// shape channel.
+type Estimator struct {
+	prop   *CellProp
+	steps  int
+	obsVar float64
+	cost   edison.Cost
+}
+
+var _ core.Estimator = (*Estimator)(nil)
+
+// NewEstimator wraps cell as an estimator over steps-long sequences. obsVar
+// (>= 0) is the observation-noise variance added to regression predictive
+// variances, mirroring core.NewApDeepSense.
+func NewEstimator(cell *Cell, steps int, obsVar float64) (*Estimator, error) {
+	if cell == nil {
+		return nil, fmt.Errorf("rnn: nil cell: %w", ErrConfig)
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("rnn: steps %d: %w", steps, ErrConfig)
+	}
+	if obsVar < 0 {
+		return nil, fmt.Errorf("rnn: negative obsVar %v: %w", obsVar, ErrConfig)
+	}
+	prop, err := cell.NewProp()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{prop: prop, steps: steps, obsVar: obsVar, cost: cellCost(cell, steps, prop)}, nil
+}
+
+// cellCost models one PropagateMoments pass: per step, the input and
+// recurrent mean matmuls plus the W² variance matmul, the dropout moment
+// algebra, and the activation moment charge (exact closed form or per-piece
+// PWL, the dense propagator's model); then the linear readout.
+func cellCost(c *Cell, steps int, prop *CellProp) edison.Cost {
+	var cost edison.Cost
+	in, h, out := int64(c.InDim), int64(c.HiddenDim), int64(c.OutDim)
+	perStep := edison.Cost{
+		DenseFLOPs: 2*in*h + 2*2*h*h,
+		ElementOps: 5*h + h,
+	}
+	if prop.ak.Exact() {
+		perStep.ElementOps += h * core.OpsPerExactMoments
+	} else {
+		for _, piece := range prop.ak.Func().Pieces() {
+			if piece.K == 0 {
+				perStep.ElementOps += h * core.OpsPerConstPiece
+			} else {
+				perStep.ElementOps += h * core.OpsPerLinearPiece
+			}
+		}
+	}
+	cost = cost.Add(perStep.Scale(int64(steps)))
+	cost.DenseFLOPs += 2 * 2 * h * out
+	cost.ElementOps += out
+	return cost
+}
+
+// Steps returns the fixed sequence length the estimator expects.
+func (e *Estimator) Steps() int { return e.steps }
+
+// Cell returns the underlying cell.
+func (e *Estimator) Cell() *Cell { return e.prop.c }
+
+// Name implements core.Estimator.
+func (e *Estimator) Name() string { return "ApDeepSense-RNN" }
+
+func (e *Estimator) seq(x tensor.Vector) ([]tensor.Vector, error) {
+	in := e.prop.c.InDim
+	if len(x) != e.steps*in {
+		return nil, fmt.Errorf("rnn: input length %d != steps %d × dim %d: %w",
+			len(x), e.steps, in, ErrConfig)
+	}
+	xs := make([]tensor.Vector, e.steps)
+	for t := 0; t < e.steps; t++ {
+		xs[t] = tensor.Vector(x[t*in : (t+1)*in])
+	}
+	return xs, nil
+}
+
+func (e *Estimator) propagate(x tensor.Vector) (core.GaussianVec, error) {
+	xs, err := e.seq(x)
+	if err != nil {
+		return core.GaussianVec{}, err
+	}
+	h := core.NewGaussianVec(e.prop.c.HiddenDim)
+	for _, step := range xs {
+		if err := e.prop.Step(h, step); err != nil {
+			return core.GaussianVec{}, err
+		}
+	}
+	return e.prop.Readout(h), nil
+}
+
+// Predict implements core.Estimator: one closed-form moment pass through
+// the recurrence and readout.
+func (e *Estimator) Predict(x tensor.Vector) (core.GaussianVec, error) {
+	g, err := e.propagate(x)
+	if err != nil {
+		return core.GaussianVec{}, err
+	}
+	for i := range g.Var {
+		g.Var[i] += e.obsVar
+	}
+	return g, nil
+}
+
+// PredictProbs implements core.Estimator: Gaussian logits through the
+// mean-field softmax link, without the observation-noise floor.
+func (e *Estimator) PredictProbs(x tensor.Vector) (tensor.Vector, error) {
+	g, err := e.propagate(x)
+	if err != nil {
+		return nil, err
+	}
+	return core.MeanFieldSoftmax(g), nil
+}
+
+// Cost implements core.Estimator.
+func (e *Estimator) Cost() edison.Cost { return e.cost }
+
+// GRUEstimator adapts a GRU to the core.Estimator contract with the same
+// flat step-major input convention as Estimator.
+type GRUEstimator struct {
+	prop   *GRUProp
+	steps  int
+	obsVar float64
+	cost   edison.Cost
+}
+
+var _ core.Estimator = (*GRUEstimator)(nil)
+
+// NewGRUEstimator wraps g as an estimator over steps-long sequences.
+func NewGRUEstimator(g *GRU, steps int, obsVar float64) (*GRUEstimator, error) {
+	if g == nil {
+		return nil, fmt.Errorf("gru: nil model: %w", ErrConfig)
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("gru: steps %d: %w", steps, ErrConfig)
+	}
+	if obsVar < 0 {
+		return nil, fmt.Errorf("gru: negative obsVar %v: %w", obsVar, ErrConfig)
+	}
+	prop, err := g.NewProp()
+	if err != nil {
+		return nil, err
+	}
+	return &GRUEstimator{prop: prop, steps: steps, obsVar: obsVar, cost: gruCost(g, steps, prop)}, nil
+}
+
+// gruCost models one GRU moment pass: three input matmuls, three recurrent
+// mean matmuls plus their W² variance twins, two sigmoid and one tanh PWL
+// moment passes, and the product-moment element work; then the readout.
+func gruCost(g *GRU, steps int, prop *GRUProp) edison.Cost {
+	var cost edison.Cost
+	in, h, out := int64(g.InDim), int64(g.HiddenDim), int64(g.OutDim)
+	perStep := edison.Cost{
+		DenseFLOPs: 3*2*in*h + 3*2*2*h*h,
+		// Mask algebra (5), three gate bias adds (3), two products of
+		// Gaussians and the convex combination (~5 each).
+		ElementOps: 5*h + 3*h + 15*h,
+	}
+	for _, ak := range []*core.ActKernel{prop.sig, prop.sig, prop.tanh} {
+		for _, piece := range ak.Func().Pieces() {
+			if piece.K == 0 {
+				perStep.ElementOps += h * core.OpsPerConstPiece
+			} else {
+				perStep.ElementOps += h * core.OpsPerLinearPiece
+			}
+		}
+	}
+	cost = cost.Add(perStep.Scale(int64(steps)))
+	cost.DenseFLOPs += 2 * 2 * h * out
+	cost.ElementOps += out
+	return cost
+}
+
+// Steps returns the fixed sequence length the estimator expects.
+func (e *GRUEstimator) Steps() int { return e.steps }
+
+// GRU returns the underlying model.
+func (e *GRUEstimator) GRU() *GRU { return e.prop.g }
+
+// Name implements core.Estimator.
+func (e *GRUEstimator) Name() string { return "ApDeepSense-GRU" }
+
+func (e *GRUEstimator) propagate(x tensor.Vector) (core.GaussianVec, error) {
+	in := e.prop.g.InDim
+	if len(x) != e.steps*in {
+		return core.GaussianVec{}, fmt.Errorf("gru: input length %d != steps %d × dim %d: %w",
+			len(x), e.steps, in, ErrConfig)
+	}
+	h := core.NewGaussianVec(e.prop.g.HiddenDim)
+	for t := 0; t < e.steps; t++ {
+		if err := e.prop.StepMoments(h, tensor.Vector(x[t*in:(t+1)*in])); err != nil {
+			return core.GaussianVec{}, err
+		}
+	}
+	return e.prop.ReadoutMoments(h), nil
+}
+
+// Predict implements core.Estimator.
+func (e *GRUEstimator) Predict(x tensor.Vector) (core.GaussianVec, error) {
+	g, err := e.propagate(x)
+	if err != nil {
+		return core.GaussianVec{}, err
+	}
+	for i := range g.Var {
+		g.Var[i] += e.obsVar
+	}
+	return g, nil
+}
+
+// PredictProbs implements core.Estimator.
+func (e *GRUEstimator) PredictProbs(x tensor.Vector) (tensor.Vector, error) {
+	g, err := e.propagate(x)
+	if err != nil {
+		return nil, err
+	}
+	return core.MeanFieldSoftmax(g), nil
+}
+
+// Cost implements core.Estimator.
+func (e *GRUEstimator) Cost() edison.Cost { return e.cost }

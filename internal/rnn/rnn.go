@@ -25,7 +25,7 @@ import (
 
 	"github.com/apdeepsense/apdeepsense/internal/core"
 	"github.com/apdeepsense/apdeepsense/internal/nn"
-	"github.com/apdeepsense/apdeepsense/internal/piecewise"
+	"github.com/apdeepsense/apdeepsense/internal/stats"
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
 )
 
@@ -49,6 +49,9 @@ type Cell struct {
 	Act nn.Activation
 	// KeepProb is the recurrent-state keep probability.
 	KeepProb float64
+	// Moments selects the activation-moment backend for the recurrence
+	// (auto resolves to the exact closed form for rectifiers).
+	Moments nn.MomentMode
 }
 
 // NewCell builds a Glorot-initialized cell.
@@ -159,78 +162,150 @@ func (c *Cell) checkSeq(xs []tensor.Vector) error {
 	return nil
 }
 
+// CellProp is a prepared moment propagator for one Cell: the squared weight
+// matrices, the resolved activation-moment kernel (exact closed form for
+// rectifier recurrences by default, PWL otherwise — the same dispatch as the
+// dense propagator, via core.KernelFor), and reusable scratch. Build once
+// per trained cell with Cell.NewProp; Step/Readout are the first-class
+// step-level propagation API the differential harness exercises.
+//
+// A CellProp snapshots W² at construction; rebuild it after mutating the
+// cell's weights.
+type CellProp struct {
+	c    *Cell
+	ak   *core.ActKernel
+	whSq *tensor.Matrix
+	woSq *tensor.Matrix
+
+	preMean, preVar, muIn, varIn, xContrib tensor.Vector
+	bounds                                 []stats.Boundary
+	pms                                    []stats.PartialMoments
+}
+
+// NewProp prepares moment propagation for the cell's current weights.
+func (c *Cell) NewProp() (*CellProp, error) {
+	mode := c.Moments
+	_, ak, err := core.KernelFor(c.Act, mode, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("rnn: %w", err)
+	}
+	return &CellProp{
+		c: c, ak: ak,
+		whSq: c.Wh.Square(), woSq: c.Wo.Square(),
+		preMean:  make(tensor.Vector, c.HiddenDim),
+		preVar:   make(tensor.Vector, c.HiddenDim),
+		muIn:     make(tensor.Vector, c.HiddenDim),
+		varIn:    make(tensor.Vector, c.HiddenDim),
+		xContrib: make(tensor.Vector, c.HiddenDim),
+		bounds:   make([]stats.Boundary, ak.NumBounds()),
+		pms:      make([]stats.PartialMoments, ak.NumBounds()),
+	}, nil
+}
+
+// MomentsExact reports whether the recurrence serves the exact analytical
+// activation-moment backend.
+func (p *CellProp) MomentsExact() bool { return p.ak.Exact() }
+
+// Step advances the hidden-state moments one timestep in place:
+//
+//	pre = x_t Wx + b + dropout-moments(h_{t−1}) Wh      (eqs. 9–10)
+//	h_t ~ activation moments of pre                      (eqs. 12–26 / exact)
+//
+// KeepProb == 1 bypasses the dropout moment algebra — (μ²+σ²)·p − μ²·p²
+// rounds σ² away against a large μ, and with no mask the input moments pass
+// through unchanged.
+func (p *CellProp) Step(h core.GaussianVec, x tensor.Vector) error {
+	c := p.c
+	if len(x) != c.InDim {
+		return fmt.Errorf("step input dim %d, want %d: %w", len(x), c.InDim, ErrConfig)
+	}
+	if h.Dim() != c.HiddenDim {
+		return fmt.Errorf("state dim %d, want %d: %w", h.Dim(), c.HiddenDim, ErrConfig)
+	}
+	kp := c.KeepProb
+	c.Wx.MulVecInto(x, p.xContrib)
+	if kp == 1 {
+		copy(p.muIn, h.Mean)
+		copy(p.varIn, h.Var)
+	} else {
+		for i := 0; i < c.HiddenDim; i++ {
+			mu, s2 := h.Mean[i], h.Var[i]
+			p.muIn[i] = mu * kp
+			p.varIn[i] = (mu*mu+s2)*kp - mu*mu*kp*kp
+		}
+	}
+	c.Wh.MulVecInto(p.muIn, p.preMean)
+	p.whSq.MulVecInto(p.varIn, p.preVar)
+	for j := 0; j < c.HiddenDim; j++ {
+		m := p.xContrib[j] + p.preMean[j] + c.B[j]
+		v := p.preVar[j]
+		if v < 0 {
+			v = 0
+		}
+		h.Mean[j], h.Var[j] = p.ak.Moments(m, v, p.bounds, p.pms)
+	}
+	return nil
+}
+
+// Readout maps final-state moments through the linear readout.
+func (p *CellProp) Readout(h core.GaussianVec) core.GaussianVec {
+	c := p.c
+	out := core.NewGaussianVec(c.OutDim)
+	c.Wo.MulVecInto(h.Mean, out.Mean)
+	p.woSq.MulVecInto(h.Var, out.Var)
+	for j := range out.Mean {
+		out.Mean[j] += c.Bo[j]
+	}
+	return out
+}
+
 // PropagateMoments runs the closed-form moment pass: the hidden state is a
-// diagonal Gaussian updated per step —
-//
-//	pre   = x_t Wx + b + dropout-moments(h_{t−1}) Wh      (eqs. 9–10)
-//	h_t   ~ PWL-activation moments of pre                  (eqs. 12–26)
-//
-// — and the readout maps the final state's moments linearly. The per-step
-// application of the dropout formulas treats the recurrent mask as fresh at
-// each step; the shared-mask temporal correlation is dropped, which the
-// tests show is a variance-underestimating approximation of the same nature
-// as the paper's layer-wise independence.
+// diagonal Gaussian updated per step (CellProp.Step), and the readout maps
+// the final state's moments linearly. The per-step application of the
+// dropout formulas treats the recurrent mask as fresh at each step; the
+// shared-mask temporal correlation is dropped, which the tests show is a
+// variance-underestimating approximation of the same nature as the paper's
+// layer-wise independence.
 func (c *Cell) PropagateMoments(xs []tensor.Vector) (core.GaussianVec, error) {
 	if err := c.checkSeq(xs); err != nil {
 		return core.GaussianVec{}, err
 	}
-	act, err := actFunc(c.Act)
+	prop, err := c.NewProp()
 	if err != nil {
 		return core.GaussianVec{}, err
 	}
-	whSq := c.Wh.Square()
-	woSq := c.Wo.Square()
-	p := c.KeepProb
-
 	h := core.NewGaussianVec(c.HiddenDim)
-	preMean := make(tensor.Vector, c.HiddenDim)
-	preVar := make(tensor.Vector, c.HiddenDim)
-	muIn := make(tensor.Vector, c.HiddenDim)
-	varIn := make(tensor.Vector, c.HiddenDim)
-	xContrib := make(tensor.Vector, c.HiddenDim)
-
 	for _, x := range xs {
-		c.Wx.MulVecInto(x, xContrib)
-		for i := 0; i < c.HiddenDim; i++ {
-			mu, s2 := h.Mean[i], h.Var[i]
-			muIn[i] = mu * p
-			varIn[i] = (mu*mu+s2)*p - mu*mu*p*p
-		}
-		c.Wh.MulVecInto(muIn, preMean)
-		whSq.MulVecInto(varIn, preVar)
-		for j := 0; j < c.HiddenDim; j++ {
-			m := xContrib[j] + preMean[j] + c.B[j]
-			v := preVar[j]
-			if v < 0 {
-				v = 0
-			}
-			h.Mean[j], h.Var[j] = core.ActivationMoments(m, v, act)
+		if err := prop.Step(h, x); err != nil {
+			return core.GaussianVec{}, err
 		}
 	}
-
-	out := core.NewGaussianVec(c.OutDim)
-	c.Wo.MulVecInto(h.Mean, out.Mean)
-	woSq.MulVecInto(h.Var, out.Var)
-	for j := range out.Mean {
-		out.Mean[j] += c.Bo[j]
-	}
-	return out, nil
+	return prop.Readout(h), nil
 }
 
-// actFunc resolves the PWL representation with the paper's defaults.
-func actFunc(act nn.Activation) (*piecewise.Func, error) {
-	switch act {
-	case nn.ActIdentity:
-		return piecewise.Identity(), nil
-	case nn.ActReLU:
-		return piecewise.ReLU(), nil
-	case nn.ActTanh:
-		return piecewise.Tanh(7)
-	case nn.ActSigmoid:
-		return piecewise.Sigmoid(7)
-	default:
-		return nil, fmt.Errorf("activation %v: %w", act, ErrConfig)
+// PropagateMomentsBatch runs PropagateMoments over a batch of sequences
+// with one shared CellProp. Each sequence's recursion is independent, so
+// the result is bit-identical to sequential PropagateMoments calls — the
+// property the differential harness pins.
+func (c *Cell) PropagateMomentsBatch(seqs [][]tensor.Vector) ([]core.GaussianVec, error) {
+	prop, err := c.NewProp()
+	if err != nil {
+		return nil, err
 	}
+	out := make([]core.GaussianVec, len(seqs))
+	for s, xs := range seqs {
+		if err := c.checkSeq(xs); err != nil {
+			return nil, fmt.Errorf("sequence %d: %w", s, err)
+		}
+		h := core.NewGaussianVec(c.HiddenDim)
+		for _, x := range xs {
+			if err := prop.Step(h, x); err != nil {
+				return nil, fmt.Errorf("sequence %d: %w", s, err)
+			}
+		}
+		out[s] = prop.Readout(h)
+	}
+	return out, nil
 }
 
 // SpectralRadiusBound returns a crude stability bound on the recurrent

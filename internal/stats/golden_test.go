@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// updateExactGolden regenerates testdata/exact_moments_golden.json from the
+// current implementation:
+//
+//	go test ./internal/stats -run TestGoldenExactMoments -update
+//
+// The golden file pins the exact rectified-Gaussian closed forms bit-for-bit
+// on a grid that spans the bulk, both deep tails, sub-floor sigmas, and
+// extreme magnitudes. The exact backend is the default moment path for every
+// ReLU/leaky-ReLU layer, so any reformulation of the Φ/φ identities — however
+// innocent-looking — must show up as an explicit diff here, not as a silent
+// drift in trained-model predictions.
+var updateExactGolden = flag.Bool("update", false, "rewrite the exact-moments golden file")
+
+const exactGoldenPath = "testdata/exact_moments_golden.json"
+
+type goldenMoment struct {
+	Mu    string `json:"mu"`
+	Sigma string `json:"sigma"`
+	Alpha string `json:"alpha,omitempty"`
+	Mean  string `json:"mean"`
+	Var   string `json:"var"`
+}
+
+type exactGoldenFile struct {
+	Comment string         `json:"comment"`
+	ReLU    []goldenMoment `json:"relu"`
+	Leaky   []goldenMoment `json:"leaky"`
+}
+
+// exactGoldenGrid is the pinned input grid: z from deep negative to deep
+// positive at several sigma scales, plus denormal and huge magnitudes.
+func exactGoldenGrid() (mus, sigmas []float64) {
+	for _, sigma := range []float64{1e-300, 1e-9, 1e-3, 1, 1e3, 1e8} {
+		for _, z := range []float64{-30, -12, -9, -6, -2, -0.5, 0, 0.5, 2, 6, 9, 12, 30} {
+			mus = append(mus, z*sigma)
+			sigmas = append(sigmas, sigma)
+		}
+	}
+	// Off-grid irrationals so the table is not accidentally symmetric.
+	mus = append(mus, math.Pi, -math.E, 1e6*math.Sqrt2)
+	sigmas = append(sigmas, math.Sqrt2, math.Pi, 1e-2)
+	return mus, sigmas
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func parseG(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("golden file holds unparseable float %q: %v", s, err)
+	}
+	return v
+}
+
+// TestGoldenExactMoments pins RectifiedMoments and LeakyRectifiedMoments
+// bit-exactly against testdata/exact_moments_golden.json.
+func TestGoldenExactMoments(t *testing.T) {
+	mus, sigmas := exactGoldenGrid()
+	const alpha = 0.01
+
+	var relu, leaky []goldenMoment
+	for i := range mus {
+		m, v := RectifiedMoments(mus[i], sigmas[i])
+		relu = append(relu, goldenMoment{
+			Mu: fmtG(mus[i]), Sigma: fmtG(sigmas[i]), Mean: fmtG(m), Var: fmtG(v),
+		})
+		m, v = LeakyRectifiedMoments(mus[i], sigmas[i], alpha)
+		leaky = append(leaky, goldenMoment{
+			Mu: fmtG(mus[i]), Sigma: fmtG(sigmas[i]), Alpha: fmtG(alpha), Mean: fmtG(m), Var: fmtG(v),
+		})
+	}
+
+	if *updateExactGolden {
+		g := exactGoldenFile{
+			Comment: "Exact rectified-Gaussian moments, bit-pinned. Regenerate with: go test ./internal/stats -run TestGoldenExactMoments -update",
+			ReLU:    relu,
+			Leaky:   leaky,
+		}
+		js, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(exactGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(exactGoldenPath, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", exactGoldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(exactGoldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	var want exactGoldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want []goldenMoment) {
+		if len(want) != len(got) {
+			t.Fatalf("%s: golden has %d rows, implementation grid has %d", name, len(want), len(got))
+		}
+		for i := range got {
+			for _, c := range []struct {
+				field string
+				g, w  string
+			}{
+				{"mu", got[i].Mu, want[i].Mu},
+				{"sigma", got[i].Sigma, want[i].Sigma},
+				{"mean", got[i].Mean, want[i].Mean},
+				{"var", got[i].Var, want[i].Var},
+			} {
+				gv, wv := parseG(t, c.g), parseG(t, c.w)
+				if math.Float64bits(gv) != math.Float64bits(wv) {
+					t.Errorf("%s row %d (mu=%s sigma=%s) field %s: got %v (bits %#x), golden %v (bits %#x)\n"+
+						"intentional change? regenerate with -update and review the diff",
+						name, i, got[i].Mu, got[i].Sigma, c.field, gv, math.Float64bits(gv), wv, math.Float64bits(wv))
+				}
+			}
+		}
+	}
+	check("relu", relu, want.ReLU)
+	check("leaky", leaky, want.Leaky)
+}

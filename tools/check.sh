@@ -7,13 +7,14 @@
 # seconds of mutation catch shallow regressions), then record the batched
 # propagation benchmark with its metrics snapshot (results/BENCH_batch.json +
 # results/BENCH_obs.prom) and smoke runs of the serving and registry
-# benchmarks, and finally run the compiled-propagator and quantized-propagator
-# benchmarks and a 2-replica cluster smoke and diff each against its
-# committed trajectory with tools/benchdiff. The smoke bench runs write to a
-# scratch directory so short cells never clobber the committed
-# results/BENCH_serve.json / BENCH_registry.json / BENCH_cluster.json
-# (regenerate those with `make bench-serve` / `make bench-registry` /
-# `make bench-compile` / `make bench-quant` / `make bench-cluster`).
+# benchmarks, and finally run the compiled-propagator, quantized-propagator,
+# and sequence-path (conv/RNN/GRU + exact-vs-PWL parity) benchmarks and a
+# 2-replica cluster smoke and diff each against its committed trajectory with
+# tools/benchdiff. The smoke bench runs write to a scratch directory so short
+# cells never clobber the committed results/BENCH_serve.json /
+# BENCH_registry.json / BENCH_cluster.json / BENCH_seq.json (regenerate those
+# with `make bench-serve` / `make bench-registry` / `make bench-compile` /
+# `make bench-quant` / `make bench-cluster` / `make bench-seq`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,6 +40,9 @@ go test -race ./internal/hashkey/... ./internal/cluster/...
 echo "== manifest hot-reload smoke (end-to-end through the HTTP server)"
 go test -race -run 'TestManifestReloadSmoke|TestReadinessLifecycle' ./examples/server/
 
+echo "== go test -race (sequence paths: conv + rnn)"
+go test -race ./internal/conv/... ./internal/rnn/...
+
 echo "== go test -race (oracle + differential harness)"
 go test -race ./internal/oracle/... ./internal/proptest/...
 
@@ -47,6 +51,8 @@ go test -run NONE -fuzz 'FuzzPropagateVsOracle' -fuzztime 10s ./internal/proptes
 go test -run NONE -fuzz 'FuzzBatchVsSequential' -fuzztime 10s ./internal/proptest
 go test -run NONE -fuzz 'FuzzCompiledVsInterpreted' -fuzztime 10s ./internal/proptest
 go test -run NONE -fuzz 'FuzzQuantizedVsFloat' -fuzztime 10s ./internal/proptest
+go test -run NONE -fuzz 'FuzzExactVsOracle' -fuzztime 10s ./internal/proptest
+go test -run NONE -fuzz 'FuzzConvVsOracle' -fuzztime 10s ./internal/proptest
 go test -run NONE -fuzz 'FuzzQMadd' -fuzztime 10s ./internal/tensor
 go test -run NONE -fuzz 'FuzzLoadModel' -fuzztime 10s ./internal/nn
 
@@ -81,5 +87,12 @@ go run ./cmd/apds-bench -cluster -cluster-replicas 2 -cluster-duration 300ms -re
 # for the router losing its scaling (speedup) or its latency profile, not for
 # box-to-box qps differences.
 go run ./tools/benchdiff -base results/BENCH_cluster.json -fresh "$smokedir/BENCH_cluster.json" -tol 0.6
+
+echo "== apds-bench -seq + benchdiff vs committed trajectory"
+go run ./cmd/apds-bench -seq -results "$smokedir"
+# Catches a sequence fast path silently degenerating (e.g. per-element
+# alloc/abstraction creep) and the exact backend losing cost parity with the
+# PWL one, not cross-machine noise.
+go run ./tools/benchdiff -base results/BENCH_seq.json -fresh "$smokedir/BENCH_seq.json" -tol 0.6
 
 echo "check: ok"
