@@ -7,7 +7,7 @@
 # sequence-path benchmarks (the last three diffed against their committed
 # trajectories with tools/benchdiff).
 
-.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile bench-quant bench-cluster bench-seq build
+.PHONY: check test fuzz bench bench-hooks bench-serve bench-registry bench-compile bench-quant bench-cluster bench-seq bench-sessions build
 
 check:
 	./tools/check.sh
@@ -81,3 +81,12 @@ bench-cluster:
 # fresh run against it in check.sh.
 bench-seq:
 	go run ./cmd/apds-bench -seq -results results
+
+# The session-fleet benchmark: 1M resident device sessions through the
+# struct-of-arrays arena — create/ingest/window throughput, bytes per
+# session, whole-fleet snapshot/restore with verdict continuity, and a full
+# idle-eviction churn through the timing wheel — recorded as
+# results/BENCH_stream.json (the committed artifact). check.sh runs a 20k
+# smoke and diffs its rates against this file.
+bench-sessions:
+	go run ./cmd/apds-bench -sessions -results results

@@ -36,6 +36,7 @@ import (
 	"github.com/apdeepsense/apdeepsense/internal/registry"
 	"github.com/apdeepsense/apdeepsense/internal/rnn"
 	"github.com/apdeepsense/apdeepsense/internal/serve"
+	"github.com/apdeepsense/apdeepsense/internal/session"
 	"github.com/apdeepsense/apdeepsense/internal/stats"
 	"github.com/apdeepsense/apdeepsense/internal/stream"
 	"github.com/apdeepsense/apdeepsense/internal/tensor"
@@ -265,6 +266,10 @@ type (
 var (
 	// NewPredictCoalescer builds a coalescer flushing into PredictBatch.
 	NewPredictCoalescer = serve.NewPredict
+	// NewPredictKeyedCoalescer builds a coalescer whose queue is split into
+	// per-tenant FIFOs drained by weighted round-robin, so one hot tenant
+	// cannot starve the rest (ServeConfig.TenantWeights/TenantQueueDepth).
+	NewPredictKeyedCoalescer = serve.NewPredictKeyed
 	// NewProbsCoalescer builds a coalescer flushing into PredictProbsBatch.
 	NewProbsCoalescer = serve.NewPredictProbs
 	// NewServeMetrics registers coalescer metrics on a registry.
@@ -304,6 +309,8 @@ type (
 	ModelManifestVersion = registry.ManifestVersion
 	// ModelManifestCanary is a manifest's weighted candidate split.
 	ModelManifestCanary = registry.ManifestCanary
+	// ModelManifestSessions is a manifest's resident session-fleet block.
+	ModelManifestSessions = registry.ManifestSessions
 	// ModelManifestLoader ties a registry to a manifest file: explicit
 	// reloads plus a poll-based watch loop.
 	ModelManifestLoader = registry.Loader
@@ -477,8 +484,76 @@ var (
 	NewOnlineStandardizer = stream.NewOnlineStandardizer
 	// NewGate bounds the mean predictive standard deviation.
 	NewGate = stream.NewGate
+	// NewGateWithHysteresis bounds the mean predictive standard deviation
+	// with consecutive-window escalate/readmit streaks (NewGate is the 1/1
+	// special case).
+	NewGateWithHysteresis = stream.NewGateWithHysteresis
 	// NewStreamPipeline assembles a streaming predictor.
 	NewStreamPipeline = stream.NewPipeline
+)
+
+// StreamDecision is the uncertainty gate's verdict for one prediction.
+type StreamDecision = stream.Decision
+
+// Gate decisions.
+const (
+	// StreamAccept means uncertainty is within budget.
+	StreamAccept = stream.Accept
+	// StreamEscalate means uncertainty exceeds the budget: defer to a
+	// fallback (bigger model, cloud, human).
+	StreamEscalate = stream.Escalate
+)
+
+// Session-fleet re-exports (internal/session): the resident device-session
+// manager — per-device streaming state (windower ring, online-standardizer
+// moments, surprisal statistics, calibrated drift gate) held in a sharded
+// struct-of-arrays arena that sustains millions of resident sessions on one
+// node, with timing-wheel idle eviction and whole-fleet snapshot/restore
+// that continues every device's verdict stream bit for bit across restarts.
+type (
+	// SessionManager owns a fleet of resident device sessions.
+	SessionManager = session.Manager
+	// SessionConfig tunes a SessionManager (window shape, gate policy,
+	// sharding, idle eviction, batching).
+	SessionConfig = session.Config
+	// SessionVerdict is one per-sample ingest outcome (prediction,
+	// surprisal z, calibrated score, gate decision).
+	SessionVerdict = session.Verdict
+	// SessionStats is a point-in-time fleet counter snapshot.
+	SessionStats = session.Stats
+	// SessionSnapshotInfo summarizes one snapshot or restore pass.
+	SessionSnapshotInfo = session.SnapshotInfo
+	// SessionMetrics instruments a fleet into an ObsRegistry.
+	SessionMetrics = session.Metrics
+	// SessionCalibrator maps surprisal z-scores to calibrated scores via
+	// isotonic interpolation.
+	SessionCalibrator = session.Calibrator
+	// SessionPredictBatchFunc is the batched model hook a SessionManager
+	// predicts through (wrap a ModelRegistry for hot-swap-safe fleets).
+	SessionPredictBatchFunc = session.PredictBatchFunc
+)
+
+// Session-fleet constructors and error classes.
+var (
+	// NewSessionManager builds a fleet manager over a batched predictor.
+	NewSessionManager = session.NewManager
+	// NewSessionMetrics registers the fleet metric families.
+	NewSessionMetrics = session.NewMetrics
+	// DefaultSessionCalibrator is the built-in logistic-derived isotonic
+	// calibrator (score 0.9 at roughly 4.2 sigma).
+	DefaultSessionCalibrator = session.DefaultCalibrator
+	// FitIsotonicCalibrator fits a monotone calibrator to (z, target)
+	// pairs by pool-adjacent-violators.
+	FitIsotonicCalibrator = session.FitIsotonic
+	// ErrSessionConfig marks invalid SessionConfig values.
+	ErrSessionConfig = session.ErrConfig
+	// ErrSessionClosed marks ingests after Close began.
+	ErrSessionClosed = session.ErrClosed
+	// ErrSessionEvicted marks a session evicted mid-prediction.
+	ErrSessionEvicted = session.ErrEvicted
+	// ErrSessionSnapshot marks unreadable, corrupt, or incompatible fleet
+	// snapshots (and retryable mid-pass shrink races during Snapshot).
+	ErrSessionSnapshot = session.ErrSnapshot
 )
 
 // Quantization re-exports (internal/quantize): int8 post-training weight

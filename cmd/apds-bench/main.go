@@ -13,6 +13,7 @@
 //	apds-bench -batch -obs               # same, plus a metrics snapshot (BENCH_obs.prom)
 //	apds-bench -serve                    # coalesced-vs-per-request serving benchmark
 //	apds-bench -registry                 # registry serving under continuous hot-swap
+//	apds-bench -sessions                 # resident session fleet: 1M sessions, snapshot/restore, churn
 package main
 
 import (
@@ -53,6 +54,9 @@ func run(args []string) error {
 	quantBench := fs.Bool("quant", false, "benchmark the int8 fixed-point propagator vs the float paths, plus model-size and Edison projections (writes BENCH_quant.json)")
 	seqBench := fs.Bool("seq", false, "benchmark the conv/RNN/GRU sequence moment paths and exact-vs-PWL activation backend parity (writes BENCH_seq.json)")
 	clusterBench := fs.Bool("cluster", false, "benchmark the sharded multi-replica serving tier under open-loop load (writes BENCH_cluster.json)")
+	sessionsBench := fs.Bool("sessions", false, "benchmark the resident session fleet: create/ingest/window throughput, snapshot/restore, idle churn (writes BENCH_stream.json)")
+	sessionCount := fs.Int("session-count", 1_000_000, "with -sessions: resident sessions to hold")
+	sessionStream := fs.Int("session-stream", 200_000, "with -sessions: devices streamed to window completion")
 	clusterReplicas := fs.Int("cluster-replicas", 4, "with -cluster: replica-count ceiling for the scale sweep (failure scenarios need 4)")
 	clusterCell := fs.Duration("cluster-duration", 2*time.Second, "with -cluster: steady-state measurement window per scenario cell")
 	clusterReplica := fs.Bool("cluster-replica", false, "internal: run as one cluster bench replica (spawned by -cluster)")
@@ -73,8 +77,8 @@ func run(args []string) error {
 		// observe, so imply -batch rather than fail.
 		*batch = true
 	}
-	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench && !*compileBench && !*quantBench && !*seqBench && !*clusterBench {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, -compile, -quant, -seq, -cluster, or -obs")
+	if !*all && *tableN == 0 && *figN == 0 && !*ablations && !*verify && !*batch && !*serveBench && !*registryBench && !*compileBench && !*quantBench && !*seqBench && !*clusterBench && !*sessionsBench {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -ablations, -verify, -batch, -serve, -registry, -compile, -quant, -seq, -cluster, -sessions, or -obs")
 	}
 
 	scale, err := scaleByName(*scaleName)
@@ -168,6 +172,11 @@ func run(args []string) error {
 	}
 	if *clusterBench {
 		if err := emitClusterBench(*resultDir, *clusterReplicas, *clusterCell); err != nil {
+			return err
+		}
+	}
+	if *sessionsBench {
+		if err := emitSessionsBench(*resultDir, *sessionCount, *sessionStream); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,9 @@
 //	POST /v1/models/{name}/predict       {"input": [..]} or {"inputs": [[..],..]}
 //	GET  /v1/models                      registered models, routes, fingerprints
 //	POST /v1/models/{name}/reload        admin: force a manifest reload
+//	POST /v1/sessions/{id}/ingest        resident session fleet: ingest one sample (sessions.go)
+//	DELETE /v1/sessions/{id}             evict a device's session
+//	GET  /v1/sessions                    fleet stats
 //	GET  /livez                          process liveness (always 200)
 //	GET  /readyz                         200 once a model has a routable version
 //	GET  /healthz                        alias for /readyz (fingerprint as ETag)
@@ -59,6 +62,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
@@ -79,6 +83,11 @@ type service struct {
 	device  *apds.Device
 	metrics *serverMetrics
 	logger  *slog.Logger
+	// sessions is the resident device-session fleet (nil unless configured
+	// via the manifest "sessions" block or the -sessions flags; see
+	// sessions.go).
+	sessions   *apds.SessionManager
+	sessionCfg *sessionSettings
 }
 
 func main() {
@@ -90,15 +99,36 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "coalescer: latency budget of the oldest queued row")
 	queueDepth := flag.Int("queue-depth", 0, "coalescer: queued-row bound before 429s (0 = 4x max-batch)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown: bound on connection + queue drain")
+	sessionsOn := flag.Bool("sessions", false, "enable the resident session fleet in -model/demo modes (manifest mode uses the \"sessions\" block instead)")
+	sessionChannels := flag.Int("session-channels", 1, "sessions: channels per sample")
+	sessionLength := flag.Int("session-length", 1, "sessions: samples per window")
+	sessionStride := flag.Int("session-stride", 1, "sessions: samples between windows")
+	sessionStandardize := flag.Bool("session-standardize", true, "sessions: per-session window standardization")
+	sessionIdle := flag.Duration("session-idle", 0, "sessions: evict sessions idle this long (0 = never)")
+	sessionSnapshot := flag.String("session-snapshot", "", "sessions: fleet snapshot path (restore at startup, write on shutdown)")
+	sessionSnapshotEvery := flag.Duration("session-snapshot-interval", 0, "sessions: periodic snapshot interval (0 = only on shutdown)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("apds-server: ")
 
+	var sess *sessionSettings
+	if *sessionsOn {
+		sess = &sessionSettings{
+			model: defaultModel,
+			cfg: apds.SessionConfig{
+				Channels: *sessionChannels, Length: *sessionLength, Stride: *sessionStride,
+				Standardize: *sessionStandardize,
+				IdleTimeout: *sessionIdle,
+			},
+			snapshotPath:     *sessionSnapshot,
+			snapshotInterval: *sessionSnapshotEvery,
+		}
+	}
 	svc, err := newService(*modelPath, *manifestPath, apds.ServeConfig{
 		MaxBatch:   *maxBatch,
 		MaxWait:    *maxWait,
 		QueueDepth: *queueDepth,
-	})
+	}, sess)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,6 +144,7 @@ func main() {
 	if svc.loader != nil && *watchInterval > 0 {
 		go svc.loader.Watch(ctx, *watchInterval, log.Printf)
 	}
+	svc.startSessionLoops(ctx)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -137,13 +168,22 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
+	// The fleet snapshots before the registry drains: handlers are done, so
+	// the sessions are quiescent, and the final snapshot needs no predictions.
+	if err := svc.closeSessions(drainCtx); err != nil {
+		log.Printf("session shutdown: %v", err)
+	}
 	if err := svc.close(drainCtx); err != nil {
 		log.Printf("registry drain: %v", err)
 	}
 	log.Print("drained")
 }
 
-func newService(modelPath, manifestPath string, serveCfg apds.ServeConfig) (*service, error) {
+// newService assembles the registry-backed stack. sess enables the resident
+// session fleet for -model/demo modes; in manifest mode the manifest's
+// "sessions" block takes precedence (the fleet's window shape and gate
+// policy belong with the model routing they apply to).
+func newService(modelPath, manifestPath string, serveCfg apds.ServeConfig, sess *sessionSettings) (*service, error) {
 	m := newServerMetrics()
 	serveCfg.Metrics = apds.NewServeMetrics(m.reg)
 	reg := apds.NewModelRegistry(apds.ModelRegistryConfig{
@@ -168,6 +208,25 @@ func newService(modelPath, manifestPath string, serveCfg apds.ServeConfig) (*ser
 		if _, err := svc.loader.Reload(true); err != nil {
 			return nil, err
 		}
+		// Session config rides in the manifest. It is read once at startup:
+		// the fleet's resident state (window rings, gate moments) is bound to
+		// its window shape, so reshaping it hot would invalidate every session.
+		man, err := apds.LoadModelManifest(manifestPath)
+		if err != nil {
+			return nil, err
+		}
+		if man.Sessions != nil {
+			if sess, err = sessionSettingsFromManifest(man.Sessions, filepath.Dir(manifestPath)); err != nil {
+				return nil, err
+			}
+		} else {
+			sess = nil
+		}
+		if sess != nil {
+			if err := svc.initSessions(sess); err != nil {
+				return nil, err
+			}
+		}
 		return svc, nil
 	}
 
@@ -187,6 +246,11 @@ func newService(modelPath, manifestPath string, serveCfg apds.ServeConfig) (*ser
 	if err := reg.SetRoutes(defaultModel, "v1", "", 0, ""); err != nil {
 		return nil, err
 	}
+	if sess != nil {
+		if err := svc.initSessions(sess); err != nil {
+			return nil, err
+		}
+	}
 	return svc, nil
 }
 
@@ -203,6 +267,11 @@ func (s *service) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/models", s.instrument("/v1/models", s.handleModels))
 	mux.HandleFunc("POST /v1/models/{name}/predict", s.instrument("/v1/models/{name}/predict", s.handleModelPredict))
 	mux.HandleFunc("POST /v1/models/{name}/reload", s.instrument("/v1/models/{name}/reload", s.handleModelReload))
+	if s.sessions != nil {
+		mux.HandleFunc("POST /v1/sessions/{id}/ingest", s.instrument("/v1/sessions/{id}/ingest", s.handleSessionIngest))
+		mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("/v1/sessions/{id}", s.handleSessionEvict))
+		mux.HandleFunc("GET /v1/sessions", s.instrument("/v1/sessions", s.handleSessions))
+	}
 	mux.HandleFunc("GET /livez", s.instrument("/livez", s.handleLivez))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	// /healthz predates the livez/readyz split and aliases readiness: a

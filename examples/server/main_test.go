@@ -501,7 +501,7 @@ func TestManifestReloadSmoke(t *testing.T) {
 		Current:  "v1",
 	}}})
 
-	svc, err := newService("", manPath, apds.ServeConfig{})
+	svc, err := newService("", manPath, apds.ServeConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

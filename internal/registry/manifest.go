@@ -34,6 +34,65 @@ var ErrManifest = errors.New("registry: invalid manifest")
 //	}
 type Manifest struct {
 	Models []ManifestModel `json:"models"`
+	// Sessions, when present, configures the resident device-session fleet
+	// (internal/session) served alongside the models:
+	//
+	//	"sessions": {
+	//	  "model": "demo",
+	//	  "channels": 3, "length": 8, "stride": 4,
+	//	  "standardize": true,
+	//	  "warmup_windows": 8, "drift_threshold": 0.9,
+	//	  "escalate_after": 2, "readmit_after": 2,
+	//	  "idle_timeout": "10m",
+	//	  "snapshot_path": "fleet.apsf", "snapshot_interval": "30s"
+	//	}
+	Sessions *ManifestSessions `json:"sessions,omitempty"`
+}
+
+// ManifestSessions configures the resident session fleet: which model the
+// fleet predicts through (hot-swap safe — the session manager resolves the
+// live version per batch), the per-device window shape and gate policy, and
+// where the whole-fleet snapshot persists. SnapshotPath is resolved relative
+// to the manifest's directory, like model version paths. Durations use
+// time.ParseDuration syntax ("30s", "10m").
+type ManifestSessions struct {
+	Model            string  `json:"model"`
+	Channels         int     `json:"channels"`
+	Length           int     `json:"length"`
+	Stride           int     `json:"stride"`
+	Standardize      bool    `json:"standardize,omitempty"`
+	WarmupWindows    int     `json:"warmup_windows,omitempty"`
+	DriftThreshold   float64 `json:"drift_threshold,omitempty"`
+	EscalateAfter    int     `json:"escalate_after,omitempty"`
+	ReadmitAfter     int     `json:"readmit_after,omitempty"`
+	IdleTimeout      string  `json:"idle_timeout,omitempty"`
+	SnapshotPath     string  `json:"snapshot_path,omitempty"`
+	SnapshotInterval string  `json:"snapshot_interval,omitempty"`
+}
+
+// ParsedIdleTimeout returns the idle-eviction timeout (0 when unset).
+func (ms *ManifestSessions) ParsedIdleTimeout() (time.Duration, error) {
+	return parseOptionalDuration("idle_timeout", ms.IdleTimeout)
+}
+
+// ParsedSnapshotInterval returns the periodic-snapshot interval (0 = only
+// snapshot on shutdown).
+func (ms *ManifestSessions) ParsedSnapshotInterval() (time.Duration, error) {
+	return parseOptionalDuration("snapshot_interval", ms.SnapshotInterval)
+}
+
+func parseOptionalDuration(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("sessions: %s %q: %v: %w", field, s, err, ErrManifest)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("sessions: %s %q negative: %w", field, s, ErrManifest)
+	}
+	return d, nil
 }
 
 // ManifestModel is one model entry.
@@ -116,6 +175,37 @@ func (man *Manifest) Validate() error {
 		}
 		if m.Shadow != "" && !ids[m.Shadow] {
 			return fmt.Errorf("model %q: shadow %q not among versions: %w", m.Name, m.Shadow, ErrManifest)
+		}
+	}
+	if s := man.Sessions; s != nil {
+		if s.Model == "" {
+			return fmt.Errorf("sessions: empty model: %w", ErrManifest)
+		}
+		if !names[s.Model] {
+			return fmt.Errorf("sessions: model %q not among models: %w", s.Model, ErrManifest)
+		}
+		if s.Channels < 1 || s.Length < 1 || s.Stride < 1 {
+			return fmt.Errorf("sessions: channels=%d length=%d stride=%d (all must be >= 1): %w",
+				s.Channels, s.Length, s.Stride, ErrManifest)
+		}
+		if s.WarmupWindows < 0 {
+			return fmt.Errorf("sessions: warmup_windows %d < 0: %w", s.WarmupWindows, ErrManifest)
+		}
+		if s.DriftThreshold < 0 || s.DriftThreshold > 1 {
+			return fmt.Errorf("sessions: drift_threshold %v outside [0, 1]: %w", s.DriftThreshold, ErrManifest)
+		}
+		if s.EscalateAfter < 0 || s.ReadmitAfter < 0 {
+			return fmt.Errorf("sessions: escalate_after %d, readmit_after %d (must be >= 0): %w",
+				s.EscalateAfter, s.ReadmitAfter, ErrManifest)
+		}
+		if _, err := s.ParsedIdleTimeout(); err != nil {
+			return err
+		}
+		if _, err := s.ParsedSnapshotInterval(); err != nil {
+			return err
+		}
+		if s.SnapshotInterval != "" && s.SnapshotPath == "" {
+			return fmt.Errorf("sessions: snapshot_interval without snapshot_path: %w", ErrManifest)
 		}
 	}
 	return nil

@@ -78,6 +78,75 @@ func TestManifestValidate(t *testing.T) {
 	}
 }
 
+func TestManifestSessionsValidate(t *testing.T) {
+	base := func() Manifest {
+		return Manifest{
+			Models: []ManifestModel{{
+				Name:     "m",
+				Versions: []ManifestVersion{{ID: "v1", Path: "a.model"}},
+				Current:  "v1",
+			}},
+			Sessions: &ManifestSessions{
+				Model: "m", Channels: 3, Length: 8, Stride: 4,
+				Standardize: true, WarmupWindows: 4, DriftThreshold: 0.9,
+				EscalateAfter: 2, ReadmitAfter: 2,
+				IdleTimeout:  "10m",
+				SnapshotPath: "fleet.apsf", SnapshotInterval: "30s",
+			},
+		}
+	}
+	man := base()
+	if err := man.Validate(); err != nil {
+		t.Fatalf("valid sessions block rejected: %v", err)
+	}
+	if d, err := man.Sessions.ParsedIdleTimeout(); err != nil || d != 10*time.Minute {
+		t.Fatalf("ParsedIdleTimeout = %v, %v", d, err)
+	}
+	if d, err := man.Sessions.ParsedSnapshotInterval(); err != nil || d != 30*time.Second {
+		t.Fatalf("ParsedSnapshotInterval = %v, %v", d, err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"empty model", func(m *Manifest) { m.Sessions.Model = "" }},
+		{"undeclared model", func(m *Manifest) { m.Sessions.Model = "nope" }},
+		{"zero channels", func(m *Manifest) { m.Sessions.Channels = 0 }},
+		{"zero length", func(m *Manifest) { m.Sessions.Length = 0 }},
+		{"negative stride", func(m *Manifest) { m.Sessions.Stride = -1 }},
+		{"negative warmup", func(m *Manifest) { m.Sessions.WarmupWindows = -1 }},
+		{"threshold >1", func(m *Manifest) { m.Sessions.DriftThreshold = 1.5 }},
+		{"threshold negative", func(m *Manifest) { m.Sessions.DriftThreshold = -0.1 }},
+		{"negative escalate", func(m *Manifest) { m.Sessions.EscalateAfter = -1 }},
+		{"negative readmit", func(m *Manifest) { m.Sessions.ReadmitAfter = -2 }},
+		{"unparseable idle timeout", func(m *Manifest) { m.Sessions.IdleTimeout = "soon" }},
+		{"negative idle timeout", func(m *Manifest) { m.Sessions.IdleTimeout = "-1s" }},
+		{"unparseable snapshot interval", func(m *Manifest) { m.Sessions.SnapshotInterval = "often" }},
+		{"interval without path", func(m *Manifest) { m.Sessions.SnapshotPath = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			man := base()
+			tc.mutate(&man)
+			if err := man.Validate(); !errors.Is(err, ErrManifest) {
+				t.Fatalf("want ErrManifest, got %v", err)
+			}
+		})
+	}
+
+	// Defaults-only block: zero thresholds/hysteresis mean "use the session
+	// package defaults", and no snapshot config is fine.
+	minimal := base()
+	minimal.Sessions = &ManifestSessions{Model: "m", Channels: 1, Length: 2, Stride: 1}
+	if err := minimal.Validate(); err != nil {
+		t.Fatalf("minimal sessions block rejected: %v", err)
+	}
+	if d, err := minimal.Sessions.ParsedIdleTimeout(); err != nil || d != 0 {
+		t.Fatalf("unset idle timeout = %v, %v", d, err)
+	}
+}
+
 func TestLoadManifestErrors(t *testing.T) {
 	if _, err := LoadManifest(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Fatal("want error for missing manifest")

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func tenantPrefix(req string) string {
+	for i := 0; i < len(req); i++ {
+		if req[i] == '/' {
+			return req[:i]
+		}
+	}
+	return req
+}
+
+// gatedKeyed is a keyed coalescer test harness: a "gate" request parks the
+// single flush worker on a channel so subsequent requests pile up in the
+// tenant FIFOs, then release() lets the dispatcher cut one observable
+// weighted-round-robin batch from a known queue state.
+type gatedKeyed struct {
+	c       *Coalescer[string, string]
+	mu      sync.Mutex
+	batches [][]string
+	started chan struct{}
+	release chan struct{}
+}
+
+func newGatedKeyed(t *testing.T, cfg Config) *gatedKeyed {
+	t.Helper()
+	g := &gatedKeyed{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	c, err := NewKeyed(cfg, tenantPrefix, func(reqs []string) ([]string, error) {
+		if len(reqs) == 1 && reqs[0] == "gate" {
+			g.started <- struct{}{}
+			<-g.release
+			return reqs, nil
+		}
+		g.mu.Lock()
+		g.batches = append(g.batches, append([]string(nil), reqs...))
+		g.mu.Unlock()
+		return reqs, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.c = c
+	return g
+}
+
+// block parks the flush worker on the gate request and returns once the
+// worker is inside the gate flush.
+func (g *gatedKeyed) block(t *testing.T, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := g.c.Do(context.Background(), "gate"); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-g.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate flush never started")
+	}
+}
+
+func (g *gatedKeyed) do(t *testing.T, wg *sync.WaitGroup, req string) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, err := g.c.Do(context.Background(), req)
+		if err != nil {
+			t.Error(err)
+		} else if got != req {
+			t.Errorf("echo mismatch: got %q want %q", got, req)
+		}
+	}()
+}
+
+func (g *gatedKeyed) firstBatch(t *testing.T) []string {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.batches) == 0 {
+		t.Fatal("no batches flushed")
+	}
+	return g.batches[0]
+}
+
+// TestKeyedFairDrain: with one heavy and one light tenant queued, the first
+// weighted-round-robin batch interleaves both instead of draining the heavy
+// tenant's FIFO first — the light tenant's entire queue rides in batch one.
+func TestKeyedFairDrain(t *testing.T) {
+	g := newGatedKeyed(t, Config{MaxBatch: 8, QueueDepth: 64})
+	defer g.c.Close(context.Background())
+	var wg sync.WaitGroup
+	g.block(t, &wg)
+
+	n := 0
+	for i := 0; i < 12; i++ {
+		g.do(t, &wg, "heavy/"+string(rune('a'+i)))
+		n++
+	}
+	g.do(t, &wg, "light/x")
+	g.do(t, &wg, "light/y")
+	n += 2
+	waitDepth(t, g.c, n)
+	close(g.release)
+	wg.Wait()
+
+	first := g.firstBatch(t)
+	if len(first) != 8 {
+		t.Fatalf("first batch len %d, want MaxBatch=8", len(first))
+	}
+	light := 0
+	for _, r := range first {
+		if tenantPrefix(r) == "light" {
+			light++
+		}
+	}
+	// Equal weights alternate turns, so both queued light rows make batch one.
+	if light != 2 {
+		t.Fatalf("first batch %v has %d light rows, want 2", first, light)
+	}
+}
+
+// TestKeyedWeights: a weight-3 tenant contributes three rows per turn
+// against a weight-1 tenant's one, so an 8-row batch splits 6/2.
+func TestKeyedWeights(t *testing.T) {
+	g := newGatedKeyed(t, Config{
+		MaxBatch:      8,
+		QueueDepth:    64,
+		TenantWeights: map[string]int{"big": 3},
+	})
+	defer g.c.Close(context.Background())
+	var wg sync.WaitGroup
+	g.block(t, &wg)
+
+	for i := 0; i < 6; i++ {
+		g.do(t, &wg, "big/"+string(rune('a'+i)))
+		g.do(t, &wg, "small/"+string(rune('a'+i)))
+	}
+	waitDepth(t, g.c, 12)
+	close(g.release)
+	wg.Wait()
+
+	first := g.firstBatch(t)
+	if len(first) != 8 {
+		t.Fatalf("first batch len %d, want 8", len(first))
+	}
+	big := 0
+	for _, r := range first {
+		if tenantPrefix(r) == "big" {
+			big++
+		}
+	}
+	// Two full turns: big 3+3, small 1+1, whichever tenant the ring starts on.
+	if big != 6 {
+		t.Fatalf("first batch %v has %d big rows, want 6", first, big)
+	}
+}
+
+// TestKeyedTenantQueueDepth: the per-tenant bound rejects one tenant's
+// overflow while the global queue still has room, and other tenants are
+// unaffected. StrictWait plus a long MaxWait keeps the queue parked so the
+// depths are deterministic.
+func TestKeyedTenantQueueDepth(t *testing.T) {
+	c, err := NewKeyed(Config{
+		MaxBatch:         4,
+		MaxWait:          time.Hour,
+		QueueDepth:       64,
+		StrictWait:       true,
+		TenantQueueDepth: 2,
+	}, tenantPrefix, func(reqs []string) ([]string, error) { return reqs, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Do(ctx, "noisy/"+string(rune('a'+i))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	waitDepth(t, c, 2)
+	if _, err := c.Do(ctx, "noisy/c"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-tenant-bound enqueue: err = %v, want ErrQueueFull", err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Do(ctx, "quiet/a"); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitDepth(t, c, 3)
+	if err := c.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestKeyedBitIdenticalResults: results demultiplex to the right caller
+// under keyed scheduling exactly as unkeyed — every caller gets its own
+// echo back across many concurrent tenants and flush workers.
+func TestKeyedBitIdenticalResults(t *testing.T) {
+	c, err := NewKeyed(Config{MaxBatch: 16, QueueDepth: 256, FlushWorkers: 2},
+		tenantPrefix, func(reqs []string) ([]string, error) { return reqs, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(context.Background())
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for gor := 0; gor < 8; gor++ {
+		wg.Add(1)
+		go func(gor int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				req := "t" + string(rune('0'+gor)) + "/" + string(rune('a'+i%26))
+				got, err := c.Do(ctx, req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != req {
+					t.Errorf("demux mismatch: got %q want %q", got, req)
+					return
+				}
+			}
+		}(gor)
+	}
+	wg.Wait()
+}
+
+// TestKeyedConfigValidation: tenant knobs on the unkeyed constructor, nil
+// tenantOf, and bad weights are rejected.
+func TestKeyedConfigValidation(t *testing.T) {
+	echo := func(reqs []string) ([]string, error) { return reqs, nil }
+	if _, err := New(Config{TenantWeights: map[string]int{"a": 1}}, echo); !errors.Is(err, ErrConfig) {
+		t.Fatalf("TenantWeights on New: err = %v, want ErrConfig", err)
+	}
+	if _, err := New(Config{TenantQueueDepth: 4}, echo); !errors.Is(err, ErrConfig) {
+		t.Fatalf("TenantQueueDepth on New: err = %v, want ErrConfig", err)
+	}
+	if _, err := NewKeyed[string, string](Config{}, nil, echo); !errors.Is(err, ErrConfig) {
+		t.Fatalf("nil tenantOf: err = %v, want ErrConfig", err)
+	}
+	if _, err := NewKeyed(Config{TenantWeights: map[string]int{"a": 0}}, tenantPrefix, echo); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero weight: err = %v, want ErrConfig", err)
+	}
+	if _, err := NewKeyed(Config{TenantQueueDepth: -1}, tenantPrefix, echo); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative TenantQueueDepth: err = %v, want ErrConfig", err)
+	}
+	c, err := NewKeyed(Config{TenantQueueDepth: 4, TenantWeights: map[string]int{"a": 2}}, tenantPrefix, echo)
+	if err != nil {
+		t.Fatalf("valid keyed config rejected: %v", err)
+	}
+	c.Close(context.Background())
+}
+
+// waitDepth blocks until the coalescer reports the expected queue depth.
+func waitDepth(t *testing.T, c *Coalescer[string, string], want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Depth() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d never reached %d", c.Depth(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

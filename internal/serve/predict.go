@@ -24,6 +24,16 @@ func NewPredict(est core.Estimator, cfg Config) (*PredictCoalescer, error) {
 	})
 }
 
+// NewPredictKeyed is NewPredict with tenant-fair weighted-round-robin drain:
+// tenantOf maps each request row to a tenant (e.g. the fleet prefix of a
+// device ID), and batches are cut round-robin across tenants so one chatty
+// fleet cannot starve the rest (see NewKeyed).
+func NewPredictKeyed(est core.Estimator, cfg Config, tenantOf func(tensor.Vector) string) (*PredictCoalescer, error) {
+	return NewKeyed(cfg, tenantOf, func(rows []tensor.Vector) ([]core.GaussianVec, error) {
+		return core.PredictBatch(est, rows, 0)
+	})
+}
+
 // NewPredictProbs builds a coalescer whose flushes run est's batched
 // classification path (core.PredictProbsBatch).
 func NewPredictProbs(est core.Estimator, cfg Config) (*ProbsCoalescer, error) {

@@ -116,6 +116,16 @@ type Config struct {
 	// Metrics, when non-nil, receives queue/batch/flush observations (see
 	// NewMetrics). A nil Metrics costs nothing on the hot path.
 	Metrics *Metrics
+	// TenantWeights sets per-tenant weighted-round-robin drain shares for a
+	// keyed coalescer (NewKeyed): a tenant with weight k contributes up to k
+	// rows per scheduling turn. Unlisted tenants get weight 1. Only valid
+	// with NewKeyed; every listed weight must be >= 1.
+	TenantWeights map[string]int
+	// TenantQueueDepth, when > 0, additionally bounds how many requests a
+	// single tenant may have queued at once in a keyed coalescer, so one
+	// chatty fleet cannot consume the whole global QueueDepth. Only valid
+	// with NewKeyed.
+	TenantQueueDepth int
 }
 
 func (c *Config) fillDefaults() error {
@@ -140,6 +150,13 @@ func (c *Config) fillDefaults() error {
 		return fmt.Errorf("QueueDepth %d < MaxBatch %d: %w", c.QueueDepth, c.MaxBatch, ErrConfig)
 	case c.FlushWorkers < 1:
 		return fmt.Errorf("FlushWorkers %d: %w", c.FlushWorkers, ErrConfig)
+	case c.TenantQueueDepth < 0:
+		return fmt.Errorf("TenantQueueDepth %d: %w", c.TenantQueueDepth, ErrConfig)
+	}
+	for name, w := range c.TenantWeights {
+		if w < 1 {
+			return fmt.Errorf("TenantWeights[%q] = %d: %w", name, w, ErrConfig)
+		}
 	}
 	return nil
 }
@@ -160,16 +177,33 @@ type call[Req, Res any] struct {
 	enq time.Time
 }
 
+// tenantFIFO is one tenant's waiting calls inside a keyed coalescer, plus
+// its weighted-round-robin share.
+type tenantFIFO[Req, Res any] struct {
+	calls  []*call[Req, Res]
+	weight int
+}
+
 // Coalescer enqueues concurrent requests and flushes them in batches through
-// a single flush function. Create with New; all methods are safe for
-// concurrent use.
+// a single flush function. Create with New (single shared FIFO) or NewKeyed
+// (per-tenant FIFOs with weighted-round-robin drain); all methods are safe
+// for concurrent use.
 type Coalescer[Req, Res any] struct {
 	cfg   Config
 	flush func([]Req) ([]Res, error)
+	// tenantOf, when non-nil, keys each request to a tenant FIFO (NewKeyed).
+	tenantOf func(Req) string
 
 	mu     sync.Mutex
 	queue  []*call[Req, Res]
 	closed bool
+	// Keyed-mode state (tenantOf != nil): per-tenant FIFOs, the round-robin
+	// ring of tenants with queued work, the drain cursor into it, and the
+	// total queued count. The unkeyed path never touches these.
+	tenants map[string]*tenantFIFO[Req, Res]
+	ring    []string
+	cursor  int
+	total   int
 	// inflight counts batches handed to workers and not yet finished; a
 	// flush worker is genuinely idle iff inflight < FlushWorkers.
 	inflight int
@@ -190,6 +224,29 @@ type Coalescer[Req, Res any] struct {
 // reported to every caller in the batch as an error). It may be called
 // concurrently when FlushWorkers > 1.
 func New[Req, Res any](cfg Config, flush func([]Req) ([]Res, error)) (*Coalescer[Req, Res], error) {
+	if cfg.TenantWeights != nil || cfg.TenantQueueDepth != 0 {
+		return nil, fmt.Errorf("tenant fairness config requires NewKeyed: %w", ErrConfig)
+	}
+	return newCoalescer(cfg, nil, flush)
+}
+
+// NewKeyed builds a tenant-fair Coalescer: tenantOf maps each request to a
+// tenant, each tenant gets its own FIFO, and batches are cut by weighted
+// round-robin across tenants with queued work (Config.TenantWeights sets the
+// shares; unlisted tenants get 1). A tenant sending requests faster than its
+// share is drained can therefore delay only its own traffic — other tenants'
+// head-of-line latency is bounded by the ring, not by the aggressor's queue
+// length. Within one tenant, requests still flush in submission order, and
+// every per-request guarantee of New (bit-identical results, cancellation,
+// backpressure, drain) is unchanged.
+func NewKeyed[Req, Res any](cfg Config, tenantOf func(Req) string, flush func([]Req) ([]Res, error)) (*Coalescer[Req, Res], error) {
+	if tenantOf == nil {
+		return nil, fmt.Errorf("nil tenantOf function: %w", ErrConfig)
+	}
+	return newCoalescer(cfg, tenantOf, flush)
+}
+
+func newCoalescer[Req, Res any](cfg Config, tenantOf func(Req) string, flush func([]Req) ([]Res, error)) (*Coalescer[Req, Res], error) {
 	if flush == nil {
 		return nil, fmt.Errorf("nil flush function: %w", ErrConfig)
 	}
@@ -197,11 +254,15 @@ func New[Req, Res any](cfg Config, flush func([]Req) ([]Res, error)) (*Coalescer
 		return nil, err
 	}
 	c := &Coalescer[Req, Res]{
-		cfg:     cfg,
-		flush:   flush,
-		kick:    make(chan struct{}, 1),
-		batches: make(chan []*call[Req, Res]),
-		drained: make(chan struct{}),
+		cfg:      cfg,
+		flush:    flush,
+		tenantOf: tenantOf,
+		kick:     make(chan struct{}, 1),
+		batches:  make(chan []*call[Req, Res]),
+		drained:  make(chan struct{}),
+	}
+	if tenantOf != nil {
+		c.tenants = make(map[string]*tenantFIFO[Req, Res])
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.FlushWorkers; w++ {
@@ -278,23 +339,7 @@ func (c *Coalescer[Req, Res]) DoBatch(ctx context.Context, reqs []Req) ([]Res, e
 }
 
 func (c *Coalescer[Req, Res]) enqueue(it *call[Req, Res]) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	if len(c.queue) >= c.cfg.QueueDepth {
-		depth := len(c.queue)
-		c.mu.Unlock()
-		c.cfg.Metrics.reject()
-		return &QueueFullError{Depth: depth, RetryAfter: c.retryAfter(depth)}
-	}
-	c.queue = append(c.queue, it)
-	depth := len(c.queue)
-	c.mu.Unlock()
-	c.cfg.Metrics.depth(depth)
-	c.wake()
-	return nil
+	return c.enqueueAll([]*call[Req, Res]{it})
 }
 
 func (c *Coalescer[Req, Res]) enqueueAll(items []*call[Req, Res]) error {
@@ -303,18 +348,93 @@ func (c *Coalescer[Req, Res]) enqueueAll(items []*call[Req, Res]) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	if len(c.queue)+len(items) > c.cfg.QueueDepth {
-		depth := len(c.queue)
+	depth := c.lenLocked()
+	if depth+len(items) > c.cfg.QueueDepth || !c.admitKeyedLocked(items) {
 		c.mu.Unlock()
 		c.cfg.Metrics.reject()
 		return &QueueFullError{Depth: depth, RetryAfter: c.retryAfter(depth)}
 	}
-	c.queue = append(c.queue, items...)
-	depth := len(c.queue)
+	if c.tenantOf == nil {
+		c.queue = append(c.queue, items...)
+	} else {
+		for _, it := range items {
+			c.pushKeyedLocked(it)
+		}
+	}
+	depth = c.lenLocked()
 	c.mu.Unlock()
 	c.cfg.Metrics.depth(depth)
 	c.wake()
 	return nil
+}
+
+// lenLocked returns the total queued count. Caller holds c.mu.
+func (c *Coalescer[Req, Res]) lenLocked() int {
+	if c.tenantOf == nil {
+		return len(c.queue)
+	}
+	return c.total
+}
+
+// admitKeyedLocked checks the per-tenant depth bound for an all-or-nothing
+// admission of items (always true unkeyed or with no per-tenant bound).
+// Caller holds c.mu.
+func (c *Coalescer[Req, Res]) admitKeyedLocked(items []*call[Req, Res]) bool {
+	if c.tenantOf == nil || c.cfg.TenantQueueDepth <= 0 {
+		return true
+	}
+	var added map[string]int
+	for _, it := range items {
+		name := c.tenantOf(it.req)
+		queued := 0
+		if q := c.tenants[name]; q != nil {
+			queued = len(q.calls)
+		}
+		if queued+added[name]+1 > c.cfg.TenantQueueDepth {
+			return false
+		}
+		if added == nil {
+			added = make(map[string]int)
+		}
+		added[name]++
+	}
+	return true
+}
+
+// pushKeyedLocked appends one call to its tenant FIFO, activating the tenant
+// in the round-robin ring if it was idle. Caller holds c.mu.
+func (c *Coalescer[Req, Res]) pushKeyedLocked(it *call[Req, Res]) {
+	name := c.tenantOf(it.req)
+	q := c.tenants[name]
+	if q == nil {
+		w := c.cfg.TenantWeights[name]
+		if w < 1 {
+			w = 1
+		}
+		q = &tenantFIFO[Req, Res]{weight: w}
+		c.tenants[name] = q
+	}
+	if len(q.calls) == 0 {
+		c.ring = append(c.ring, name)
+	}
+	q.calls = append(q.calls, it)
+	c.total++
+}
+
+// oldestLocked returns the enqueue time of the oldest queued call; dispatch
+// uses it to arm the MaxWait timer. Caller holds c.mu and has checked the
+// queue is non-empty.
+func (c *Coalescer[Req, Res]) oldestLocked() time.Time {
+	if c.tenantOf == nil {
+		return c.queue[0].enq
+	}
+	var oldest time.Time
+	for _, name := range c.ring {
+		if head := c.tenants[name].calls[0].enq; oldest.IsZero() || head.Before(oldest) {
+			oldest = head
+		}
+	}
+	return oldest
 }
 
 // retryAfter prices a queue-full rejection: the time for depth queued rows
@@ -380,11 +500,12 @@ func (c *Coalescer[Req, Res]) Close(ctx context.Context) error {
 	}
 }
 
-// Depth reports the number of requests currently waiting to be batched.
+// Depth reports the number of requests currently waiting to be batched
+// (summed across tenants for a keyed coalescer).
 func (c *Coalescer[Req, Res]) Depth() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.queue)
+	return c.lenLocked()
 }
 
 // dispatch is the single scheduling goroutine: it watches the queue and cuts
@@ -402,7 +523,7 @@ func (c *Coalescer[Req, Res]) dispatch() {
 	defer timer.Stop()
 	for {
 		c.mu.Lock()
-		n := len(c.queue)
+		n := c.lenLocked()
 		closed := c.closed
 		idle := c.inflight < c.cfg.FlushWorkers
 		if n == 0 {
@@ -440,11 +561,11 @@ func (c *Coalescer[Req, Res]) dispatch() {
 			// queue exits after one yield, so an isolated request still
 			// flushes with no timer wait.
 			for {
-				prev := len(c.queue)
+				prev := c.lenLocked()
 				c.mu.Unlock()
 				runtime.Gosched()
 				c.mu.Lock()
-				if len(c.queue) <= prev || len(c.queue) >= c.cfg.MaxBatch || c.closed {
+				if c.lenLocked() <= prev || c.lenLocked() >= c.cfg.MaxBatch || c.closed {
 					break
 				}
 			}
@@ -453,13 +574,13 @@ func (c *Coalescer[Req, Res]) dispatch() {
 			switch {
 			case c.closed:
 				reason = ReasonDrain
-			case len(c.queue) >= c.cfg.MaxBatch:
+			case c.lenLocked() >= c.cfg.MaxBatch:
 				reason = ReasonSize
 			default:
 				reason = ReasonIdle
 			}
 		default:
-			wait := time.Until(c.queue[0].enq.Add(c.cfg.MaxWait))
+			wait := time.Until(c.oldestLocked().Add(c.cfg.MaxWait))
 			if wait <= 0 {
 				reason = ReasonTimeout
 			} else {
@@ -485,8 +606,12 @@ func (c *Coalescer[Req, Res]) dispatch() {
 	}
 }
 
-// take pops up to MaxBatch calls. Caller holds c.mu.
+// take pops up to MaxBatch calls — FIFO unkeyed, weighted round-robin across
+// tenant FIFOs keyed. Caller holds c.mu.
 func (c *Coalescer[Req, Res]) take() []*call[Req, Res] {
+	if c.tenantOf != nil {
+		return c.takeKeyed()
+	}
 	n := len(c.queue)
 	if n > c.cfg.MaxBatch {
 		n = c.cfg.MaxBatch
@@ -499,6 +624,52 @@ func (c *Coalescer[Req, Res]) take() []*call[Req, Res] {
 	}
 	c.queue = c.queue[:rest]
 	c.cfg.Metrics.depth(rest)
+	return batch
+}
+
+// takeKeyed cuts one batch by weighted round-robin: starting at the drain
+// cursor, each tenant in the ring contributes up to its weight in rows, the
+// ring is circled until the batch fills or the queue empties, and drained-dry
+// tenants drop out of the ring. The cursor persists across batches, so drain
+// opportunity rotates even when every batch is cut at MaxBatch. Caller holds
+// c.mu.
+func (c *Coalescer[Req, Res]) takeKeyed() []*call[Req, Res] {
+	n := c.total
+	if n > c.cfg.MaxBatch {
+		n = c.cfg.MaxBatch
+	}
+	batch := make([]*call[Req, Res], 0, n)
+	for len(batch) < n {
+		if c.cursor >= len(c.ring) {
+			c.cursor = 0
+		}
+		name := c.ring[c.cursor]
+		q := c.tenants[name]
+		take := q.weight
+		if take > n-len(batch) {
+			take = n - len(batch)
+		}
+		if take > len(q.calls) {
+			take = len(q.calls)
+		}
+		batch = append(batch, q.calls[:take]...)
+		rest := copy(q.calls, q.calls[take:])
+		for i := rest; i < len(q.calls); i++ {
+			q.calls[i] = nil // release call pointers for GC
+		}
+		q.calls = q.calls[:rest]
+		if rest == 0 {
+			// Tenant drained: drop it from the ring and the map (tenant
+			// cardinality is caller-controlled, so idle tenants must not
+			// accumulate). The cursor now points at the next tenant already.
+			c.ring = append(c.ring[:c.cursor], c.ring[c.cursor+1:]...)
+			delete(c.tenants, name)
+		} else {
+			c.cursor++
+		}
+	}
+	c.total -= len(batch)
+	c.cfg.Metrics.depth(c.total)
 	return batch
 }
 

@@ -1,0 +1,106 @@
+package session
+
+import (
+	"time"
+
+	"github.com/apdeepsense/apdeepsense/internal/obs"
+	"github.com/apdeepsense/apdeepsense/internal/stream"
+)
+
+// Metrics is the fleet's observability surface, registered into an
+// internal/obs registry alongside the serving and propagation families.
+// All methods are nil-safe: an unset Config.Metrics costs one nil check
+// per event.
+//
+// Families:
+//
+//	apds_session_resident                sessions currently held
+//	apds_session_created_total           sessions ever created
+//	apds_session_evicted_total{reason}   evictions (idle|explicit)
+//	apds_session_ingest_total            samples ingested
+//	apds_session_windows_total           windows completed and predicted
+//	apds_session_verdicts_total{decision} gate verdicts (accept|escalate)
+//	apds_session_snapshot_seconds        fleet snapshot/restore durations
+//	apds_session_snapshot_bytes          size of the last fleet snapshot
+type Metrics struct {
+	residentG       *obs.Gauge
+	createdC        *obs.Counter
+	evictedC        *obs.CounterVec
+	ingestC         *obs.Counter
+	windowsC        *obs.Counter
+	verdictsC       *obs.CounterVec
+	snapshotSeconds *obs.Histogram
+	snapshotBytes   *obs.Gauge
+}
+
+// NewMetrics registers the session metric families in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		residentG: reg.Gauge("apds_session_resident",
+			"Device sessions currently resident in the fleet."),
+		createdC: reg.Counter("apds_session_created_total",
+			"Device sessions created."),
+		evictedC: reg.CounterVec("apds_session_evicted_total",
+			"Device sessions evicted, by reason.", "reason"),
+		ingestC: reg.Counter("apds_session_ingest_total",
+			"Samples ingested across all sessions."),
+		windowsC: reg.Counter("apds_session_windows_total",
+			"Windows completed and predicted across all sessions."),
+		verdictsC: reg.CounterVec("apds_session_verdicts_total",
+			"Gate verdicts for completed windows, by decision.", "decision"),
+		snapshotSeconds: reg.Histogram("apds_session_snapshot_seconds",
+			"Wall time of fleet snapshot and restore passes.",
+			obs.ExpBuckets(1e-3, 2, 16)),
+		snapshotBytes: reg.Gauge("apds_session_snapshot_bytes",
+			"Size of the most recent fleet snapshot in bytes."),
+	}
+}
+
+func (m *Metrics) resident(n int) {
+	if m != nil {
+		m.residentG.Set(float64(n))
+	}
+}
+
+func (m *Metrics) created() {
+	if m != nil {
+		m.createdC.Inc()
+	}
+}
+
+func (m *Metrics) evicted(reason string, n int) {
+	if m != nil {
+		m.evictedC.With(reason).Add(float64(n))
+	}
+}
+
+func (m *Metrics) ingested() {
+	if m != nil {
+		m.ingestC.Inc()
+	}
+}
+
+func (m *Metrics) window() {
+	if m != nil {
+		m.windowsC.Inc()
+	}
+}
+
+func (m *Metrics) verdict(d stream.Decision) {
+	if m != nil {
+		m.verdictsC.With(d.String()).Inc()
+	}
+}
+
+func (m *Metrics) snapshot(d time.Duration, bytes int64) {
+	if m != nil {
+		m.snapshotSeconds.Observe(d.Seconds())
+		m.snapshotBytes.Set(float64(bytes))
+	}
+}
+
+func (m *Metrics) restore(d time.Duration) {
+	if m != nil {
+		m.snapshotSeconds.Observe(d.Seconds())
+	}
+}

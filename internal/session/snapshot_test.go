@@ -1,0 +1,208 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func fleetConfig() Config {
+	return Config{
+		Channels: 3, Length: 8, Stride: 4,
+		Standardize: true, WarmupWindows: 2,
+		DriftThreshold: 0.6, EscalateAfter: 2, ReadmitAfter: 2,
+		Shards: 16,
+	}
+}
+
+// driveFleet ingests a deterministic per-device stream: quiet devices stay
+// near baseline, loud devices spike mid-stream so some gates latch.
+func driveFleet(t *testing.T, m *Manager, devices, samples, seed int) []Verdict {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var verdicts []Verdict
+	for i := 0; i < samples; i++ {
+		for d := 0; d < devices; d++ {
+			dev := fmt.Sprintf("fleet%d/dev%03d", d%3, d)
+			val := rng.NormFloat64()
+			if d%4 == 0 && i > samples/2 {
+				val *= 50 // drift the every-4th device in the second half
+			}
+			sample := []float64{val, val * 0.5, math.Sin(val)}
+			v, err := m.Ingest(context.Background(), dev, sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verdicts = append(verdicts, v)
+		}
+	}
+	return verdicts
+}
+
+func verdictsEqual(a, b Verdict) bool {
+	return a.Window == b.Window &&
+		a.Decision == b.Decision &&
+		a.Degenerate == b.Degenerate &&
+		math.Float64bits(a.MeanStd) == math.Float64bits(b.MeanStd) &&
+		math.Float64bits(a.Z) == math.Float64bits(b.Z) &&
+		math.Float64bits(a.Score) == math.Float64bits(b.Score) &&
+		bitsEqual(a.Pred.Mean, b.Pred.Mean) &&
+		bitsEqual(a.Pred.Var, b.Pred.Var)
+}
+
+// TestFleetSnapshotRestartContinuity is the acceptance test: snapshot a
+// fleet mid-stream, restore it into a fresh manager ("the restarted
+// node"), replay an identical continuation into both, and require every
+// verdict — prediction, surprisal, z, score, and gate decision — to match
+// bit for bit.
+func TestFleetSnapshotRestartContinuity(t *testing.T) {
+	m1, err := NewManager(fleetConfig(), testPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFleet(t, m1, 24, 40, 7)
+
+	var buf bytes.Buffer
+	info, err := m1.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sessions != 24 {
+		t.Fatalf("snapshot covered %d sessions, want 24", info.Sessions)
+	}
+	if info.Bytes != int64(buf.Len()) {
+		t.Fatalf("info.Bytes %d != written %d", info.Bytes, buf.Len())
+	}
+
+	m2, err := NewManager(fleetConfig(), testPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rinfo, err := m2.Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Sessions != 24 || rinfo.Bytes != info.Bytes {
+		t.Fatalf("restore info %+v != snapshot info %+v", rinfo, info)
+	}
+	if m2.Resident() != 24 {
+		t.Fatalf("restored resident = %d, want 24", m2.Resident())
+	}
+
+	// Identical continuation streams (same seed → same samples, including
+	// the drifted second half that exercises latched gates).
+	v1 := driveFleet(t, m1, 24, 40, 99)
+	v2 := driveFleet(t, m2, 24, 40, 99)
+	if len(v1) != len(v2) {
+		t.Fatalf("verdict count %d != %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if !verdictsEqual(v1[i], v2[i]) {
+			t.Fatalf("verdict %d diverged after restore:\n orig %+v\n rest %+v", i, v1[i], v2[i])
+		}
+	}
+}
+
+// TestFleetSnapshotRejections: corruption (bit flips), truncation,
+// trailing garbage, duplicate devices, and shape mismatches are all
+// refused.
+func TestFleetSnapshotRejections(t *testing.T) {
+	m, err := NewManager(fleetConfig(), testPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFleet(t, m, 6, 20, 3)
+	var buf bytes.Buffer
+	if _, err := m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	fresh := func() *Manager {
+		f, err := NewManager(fleetConfig(), testPredict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// The pristine blob restores.
+	if _, err := fresh().Restore(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	// Single-bit flips: sampled across the blob (the CRC catches them all;
+	// field validation may reject earlier, which is also fine).
+	for bit := 0; bit < 8*len(blob); bit += 997 {
+		mut := bytes.Clone(blob)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := fresh().Restore(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at %d accepted", bit)
+		}
+	}
+	// Truncations.
+	for _, n := range []int{0, 1, 3, 4, 5, 20, 41, len(blob) / 2, len(blob) - 5, len(blob) - 1} {
+		if _, err := fresh().Restore(bytes.NewReader(blob[:n])); !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("truncation to %d: err = %v, want ErrSnapshot", n, err)
+		}
+	}
+	// Trailing garbage.
+	if _, err := fresh().Restore(bytes.NewReader(append(bytes.Clone(blob), 0))); !errors.Is(err, ErrSnapshot) {
+		t.Fatal("trailing byte accepted")
+	}
+	// Restoring into a fleet that already holds one of the devices.
+	dirty := fresh()
+	if _, err := dirty.Restore(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dirty.Restore(bytes.NewReader(blob)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("double restore: err = %v, want ErrSnapshot (duplicate devices)", err)
+	}
+	// Window-shape and standardize-flag mismatches.
+	other := fleetConfig()
+	other.Length = 16
+	mShape, err := NewManager(other, testPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mShape.Restore(bytes.NewReader(blob)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("shape mismatch: err = %v, want ErrSnapshot", err)
+	}
+	noStd := fleetConfig()
+	noStd.Standardize = false
+	mStd, err := NewManager(noStd, testPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mStd.Restore(bytes.NewReader(blob)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("standardize mismatch: err = %v, want ErrSnapshot", err)
+	}
+}
+
+// TestFleetSnapshotEmpty: an empty fleet round-trips.
+func TestFleetSnapshotEmpty(t *testing.T) {
+	m, err := NewManager(fleetConfig(), testPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	info, err := m.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sessions != 0 {
+		t.Fatalf("sessions = %d", info.Sessions)
+	}
+	m2, err := NewManager(fleetConfig(), testPredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Resident() != 0 {
+		t.Fatalf("resident = %d", m2.Resident())
+	}
+}

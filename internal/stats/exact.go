@@ -37,9 +37,9 @@ import "math"
 // point mass (core.SigmaFloor) before dispatching here.
 func RectifiedMoments(mu, sigma float64) (mean, variance float64) {
 	z := mu / sigma
-	cdf := 0.5 * math.Erfc(-z/sqrt2)  // Φ(z), tail-accurate on both sides
-	cdfC := 0.5 * math.Erfc(z/sqrt2)  // Φ(−z)
-	pdf := stdPhi(z)                  // φ(z)
+	cdf := 0.5 * math.Erfc(-z/sqrt2) // Φ(z), tail-accurate on both sides
+	cdfC := 0.5 * math.Erfc(z/sqrt2) // Φ(−z)
+	pdf := stdPhi(z)                 // φ(z)
 	mean = mu*cdf + sigma*pdf
 	v := cdf + z*z*cdf*cdfC + z*pdf*(cdfC-cdf) - pdf*pdf
 	if v < 0 {

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Welford is a streaming mean/variance accumulator using Welford's
 // numerically stable online algorithm. The zero value is ready to use.
@@ -115,6 +118,37 @@ func (w *VecWelford) Merge(o *VecWelford) {
 		w.mean[i] += delta * on / float64(n)
 	}
 	w.n = n
+}
+
+// State returns the accumulator's raw streaming state — the observation
+// count and the per-element running means and M2 sums — as copies. Together
+// with VecWelfordFromState it is the persistence contract: a restored
+// accumulator continues the stream bit-for-bit where the snapshot left off
+// (Add and Merge touch only these three fields).
+func (w *VecWelford) State() (n int64, mean, m2 []float64) {
+	mean = make([]float64, len(w.mean))
+	m2 = make([]float64, len(w.m2))
+	copy(mean, w.mean)
+	copy(m2, w.m2)
+	return w.n, mean, m2
+}
+
+// VecWelfordFromState rebuilds an accumulator from State output. The slices
+// are copied. It rejects mismatched lengths and a negative count; deeper
+// validation (finiteness, non-negative M2) belongs to the serialization
+// layer that owns the wire format.
+func VecWelfordFromState(n int64, mean, m2 []float64) (*VecWelford, error) {
+	if len(mean) != len(m2) {
+		return nil, fmt.Errorf("stats: welford state mean len %d != m2 len %d", len(mean), len(m2))
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("stats: welford state count %d < 0", n)
+	}
+	w := NewVecWelford(len(mean))
+	w.n = n
+	copy(w.mean, mean)
+	copy(w.m2, m2)
+	return w, nil
 }
 
 // Mean returns the running per-element mean. The returned slice is a copy.

@@ -1,0 +1,267 @@
+package stream
+
+// Versioned compact binary snapshot/restore for the streaming state holders
+// (Windower ring, OnlineStandardizer moments). This is the persistence
+// contract the session fleet (internal/session) builds on: a restored holder
+// continues its stream bit-for-bit where the snapshot left off, so gate
+// verdicts replayed after a restore match the uninterrupted run exactly.
+//
+// The format is deliberately not gob: gob's stream preamble and reflection
+// cost are wrong for millions of small records, and its wire format is not
+// stable enough to version by hand. Each snapshot is a fixed little-endian
+// layout — magic, format version, shape, state, and a trailing CRC-32 (IEEE)
+// over everything before it — so corrupt or truncated input is rejected
+// rather than decoded into plausible garbage.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/apdeepsense/apdeepsense/internal/stats"
+)
+
+// ErrSnapshot matches (via errors.Is) every malformed-snapshot rejection:
+// wrong magic, unknown version, truncated or oversized payloads, CRC
+// mismatches, and state that violates the holder's invariants.
+var ErrSnapshot = errors.New("stream: invalid snapshot")
+
+// Snapshot format tags. The version bumps when the layout changes; decoders
+// reject versions they do not know instead of guessing.
+const (
+	windowerMagic     = "APWW"
+	standardizerMagic = "APOS"
+	snapshotVersion   = 1
+)
+
+// appendU16/U32/U64/F64 are the little-endian encoding primitives shared by
+// every snapshot writer in this file.
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// reader is a bounds-checked little-endian cursor: every read reports
+// truncation as an ErrSnapshot instead of panicking.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at %s (offset %d of %d): %w", what, r.off, len(r.b), ErrSnapshot)
+	}
+}
+
+func (r *reader) u16(what string) uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *reader) f64s(dst []float64, what string) {
+	for i := range dst {
+		dst[i] = r.f64(what)
+	}
+}
+
+func (r *reader) magic(want string) {
+	if r.err != nil || r.off+len(want) > len(r.b) {
+		r.fail("magic")
+		return
+	}
+	got := string(r.b[r.off : r.off+len(want)])
+	r.off += len(want)
+	if got != want {
+		r.err = fmt.Errorf("magic %q, want %q: %w", got, want, ErrSnapshot)
+	}
+}
+
+// checkCRC verifies the trailing CRC-32 and that nothing follows it. On
+// success it returns the payload with the checksum stripped.
+func checkCRC(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("short snapshot (%d bytes): %w", len(data), ErrSnapshot)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("crc mismatch (got %08x, want %08x): %w", got, want, ErrSnapshot)
+	}
+	return body, nil
+}
+
+func appendCRC(b []byte) []byte { return appendU32(b, crc32.ChecksumIEEE(b)) }
+
+// AppendBinary appends the windower's versioned snapshot to b: magic,
+// version, shape (channels, length, stride), push count, and the raw ring
+// (the write head is derived from the count on restore — the ring head is
+// count mod length by construction). Ring values are app data and pass
+// through unvalidated (a sensor may legitimately emit NaN; Push accepts it,
+// so the snapshot preserves it).
+func (w *Windower) AppendBinary(b []byte) ([]byte, error) {
+	start := len(b)
+	b = append(b, windowerMagic...)
+	b = appendU16(b, snapshotVersion)
+	b = appendU32(b, uint32(w.channels))
+	b = appendU32(b, uint32(w.length))
+	b = appendU32(b, uint32(w.stride))
+	b = appendU64(b, uint64(w.count))
+	for _, v := range w.buf {
+		b = appendF64(b, v)
+	}
+	return appendU32(b, crc32.ChecksumIEEE(b[start:])), nil
+}
+
+// MarshalBinary returns the windower's versioned snapshot.
+func (w *Windower) MarshalBinary() ([]byte, error) { return w.AppendBinary(nil) }
+
+// UnmarshalWindower rebuilds a windower from MarshalBinary output. It
+// rejects wrong magic, unknown versions, truncated or over-long payloads,
+// CRC mismatches, and shapes NewWindower would refuse.
+func UnmarshalWindower(data []byte) (*Windower, error) {
+	body, err := checkCRC(data)
+	if err != nil {
+		return nil, fmt.Errorf("stream: windower: %w", err)
+	}
+	r := &reader{b: body}
+	r.magic(windowerMagic)
+	if v := r.u16("version"); r.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("stream: windower: version %d, want %d: %w", v, snapshotVersion, ErrSnapshot)
+	}
+	channels := int(r.u32("channels"))
+	length := int(r.u32("length"))
+	stride := int(r.u32("stride"))
+	count := r.u64("count")
+	if r.err != nil {
+		return nil, fmt.Errorf("stream: windower: %w", r.err)
+	}
+	w, err := NewWindower(channels, length, stride)
+	if err != nil {
+		return nil, fmt.Errorf("stream: windower snapshot: %w", err)
+	}
+	if count > math.MaxInt64/2 {
+		return nil, fmt.Errorf("stream: windower: count %d out of range: %w", count, ErrSnapshot)
+	}
+	r.f64s(w.buf, "ring")
+	if r.err != nil {
+		return nil, fmt.Errorf("stream: windower: %w", r.err)
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("stream: windower: %d trailing bytes: %w", len(body)-r.off, ErrSnapshot)
+	}
+	w.count = int(count)
+	w.head = w.count % w.length
+	return w, nil
+}
+
+// AppendBinary appends the standardizer's versioned snapshot to b: magic,
+// version, dimension, and the raw Welford state (count, means, M2 sums).
+// The mutex is held while the state is read, so a snapshot taken during
+// concurrent Observe calls is internally consistent.
+func (s *OnlineStandardizer) AppendBinary(b []byte) ([]byte, error) {
+	s.mu.Lock()
+	n, mean, m2 := s.acc.State()
+	s.mu.Unlock()
+	start := len(b)
+	b = append(b, standardizerMagic...)
+	b = appendU16(b, snapshotVersion)
+	b = appendU32(b, uint32(len(mean)))
+	b = appendU64(b, uint64(n))
+	for _, v := range mean {
+		b = appendF64(b, v)
+	}
+	for _, v := range m2 {
+		b = appendF64(b, v)
+	}
+	return appendU32(b, crc32.ChecksumIEEE(b[start:])), nil
+}
+
+// MarshalBinary returns the standardizer's versioned snapshot.
+func (s *OnlineStandardizer) MarshalBinary() ([]byte, error) { return s.AppendBinary(nil) }
+
+// UnmarshalOnlineStandardizer rebuilds a standardizer from MarshalBinary
+// output. Beyond the structural checks shared with UnmarshalWindower it
+// enforces the Welford invariants a corrupt snapshot could silently break:
+// the count is non-negative, means are finite, and every M2 sum is finite
+// and non-negative (a negative M2 would make Apply take sqrt of a negative
+// variance on every call).
+func UnmarshalOnlineStandardizer(data []byte) (*OnlineStandardizer, error) {
+	body, err := checkCRC(data)
+	if err != nil {
+		return nil, fmt.Errorf("stream: standardizer: %w", err)
+	}
+	r := &reader{b: body}
+	r.magic(standardizerMagic)
+	if v := r.u16("version"); r.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("stream: standardizer: version %d, want %d: %w", v, snapshotVersion, ErrSnapshot)
+	}
+	dim := int(r.u32("dim"))
+	n := r.u64("count")
+	if r.err != nil {
+		return nil, fmt.Errorf("stream: standardizer: %w", r.err)
+	}
+	if dim < 1 || dim > len(body) {
+		// The upper bound is a cheap sanity cap: a dim larger than the whole
+		// payload cannot possibly have its vectors present.
+		return nil, fmt.Errorf("stream: standardizer: dim %d out of range: %w", dim, ErrSnapshot)
+	}
+	if n > math.MaxInt64 {
+		return nil, fmt.Errorf("stream: standardizer: count %d out of range: %w", n, ErrSnapshot)
+	}
+	mean := make([]float64, dim)
+	m2 := make([]float64, dim)
+	r.f64s(mean, "mean")
+	r.f64s(m2, "m2")
+	if r.err != nil {
+		return nil, fmt.Errorf("stream: standardizer: %w", r.err)
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("stream: standardizer: %d trailing bytes: %w", len(body)-r.off, ErrSnapshot)
+	}
+	for i := range mean {
+		if math.IsNaN(mean[i]) || math.IsInf(mean[i], 0) {
+			return nil, fmt.Errorf("stream: standardizer: non-finite mean[%d]: %w", i, ErrSnapshot)
+		}
+		if math.IsNaN(m2[i]) || math.IsInf(m2[i], 0) || m2[i] < 0 {
+			return nil, fmt.Errorf("stream: standardizer: invalid m2[%d] = %v: %w", i, m2[i], ErrSnapshot)
+		}
+	}
+	acc, err := stats.VecWelfordFromState(int64(n), mean, m2)
+	if err != nil {
+		return nil, fmt.Errorf("stream: standardizer: %v: %w", err, ErrSnapshot)
+	}
+	return &OnlineStandardizer{acc: acc}, nil
+}

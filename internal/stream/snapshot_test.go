@@ -1,0 +1,263 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWindowerSnapshotRoundTrip is the property test: for random shapes and
+// random push prefixes (including hostile values — NaN, ±Inf, denormals),
+// a restored windower emits exactly the same windows as the original for
+// every subsequent push.
+func TestWindowerSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hostile := []float64{0, 1, -1, math.NaN(), math.Inf(1), math.Inf(-1), 5e-324, -2.5e308 / 1e8}
+	for iter := 0; iter < 200; iter++ {
+		channels := 1 + rng.Intn(4)
+		length := 1 + rng.Intn(8)
+		stride := 1 + rng.Intn(6)
+		w, err := NewWindower(channels, length, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample := func() []float64 {
+			s := make([]float64, channels)
+			for i := range s {
+				if rng.Intn(8) == 0 {
+					s[i] = hostile[rng.Intn(len(hostile))]
+				} else {
+					s[i] = rng.NormFloat64()
+				}
+			}
+			return s
+		}
+		prefix := rng.Intn(3 * length)
+		for i := 0; i < prefix; i++ {
+			if _, _, err := w.Push(sample()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blob, err := w.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := UnmarshalWindower(blob)
+		if err != nil {
+			t.Fatalf("iter %d (ch=%d len=%d stride=%d prefix=%d): %v",
+				iter, channels, length, stride, prefix, err)
+		}
+		if restored.Count() != w.Count() {
+			t.Fatalf("restored count %d != %d", restored.Count(), w.Count())
+		}
+		// The restored windower must continue the stream identically.
+		for i := 0; i < 3*length; i++ {
+			s := sample()
+			w1, ok1, err1 := w.Push(s)
+			w2, ok2, err2 := restored.Push(s)
+			if (err1 == nil) != (err2 == nil) || ok1 != ok2 {
+				t.Fatalf("push %d diverged: ok %v/%v err %v/%v", i, ok1, ok2, err1, err2)
+			}
+			if ok1 && !bitsEqual(w1, w2) {
+				t.Fatalf("push %d: windows diverged\n orig %v\n rest %v", i, w1, w2)
+			}
+		}
+	}
+}
+
+// bitsEqual compares float slices bit-for-bit (NaN == NaN under this test).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStandardizerSnapshotRoundTrip: a restored standardizer continues the
+// moment stream bit-for-bit — Apply output and internal statistics match the
+// uninterrupted accumulator exactly for every subsequent observation.
+func TestStandardizerSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		dim := 1 + rng.Intn(12)
+		s, err := NewOnlineStandardizer(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := func() []float64 {
+			v := make([]float64, dim)
+			for i := range v {
+				v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+			return v
+		}
+		for i := rng.Intn(40); i > 0; i-- {
+			if err := s.Observe(vec()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := UnmarshalOnlineStandardizer(blob)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if restored.Count() != s.Count() {
+			t.Fatalf("restored count %d != %d", restored.Count(), s.Count())
+		}
+		for i := 0; i < 20; i++ {
+			v := vec()
+			if err := s.Observe(v); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Observe(v); err != nil {
+				t.Fatal(err)
+			}
+			a1, err1 := s.Apply(v)
+			a2, err2 := restored.Apply(v)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("apply: %v / %v", err1, err2)
+			}
+			if !bitsEqual(a1, a2) {
+				t.Fatalf("observation %d: Apply diverged\n orig %v\n rest %v", i, a1, a2)
+			}
+		}
+	}
+}
+
+// TestSnapshotCorruptRejection: every single-bit flip of a valid snapshot
+// must be rejected (the CRC guarantees this for all sub-2^32 corruption of
+// one bit), as must truncations, trailing garbage, wrong magic, and unknown
+// versions. Decoders must never panic on arbitrary input.
+func TestSnapshotCorruptRejection(t *testing.T) {
+	w, err := NewWindower(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := w.Push([]float64{float64(i), -float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewOnlineStandardizer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	wBlob, _ := w.MarshalBinary()
+	sBlob, _ := s.MarshalBinary()
+
+	check := func(name string, decode func([]byte) error, blob []byte) {
+		t.Helper()
+		if err := decode(blob); err != nil {
+			t.Fatalf("%s: valid blob rejected: %v", name, err)
+		}
+		// Single-bit flips anywhere in the payload.
+		for bit := 0; bit < 8*len(blob); bit += 7 {
+			mut := bytes.Clone(blob)
+			mut[bit/8] ^= 1 << (bit % 8)
+			if err := decode(mut); err == nil {
+				t.Fatalf("%s: bit flip at %d accepted", name, bit)
+			} else if !errors.Is(err, ErrSnapshot) && !errors.Is(err, ErrConfig) {
+				t.Fatalf("%s: bit flip at %d: error %v not ErrSnapshot/ErrConfig", name, bit, err)
+			}
+		}
+		// Truncations at every length.
+		for n := 0; n < len(blob); n++ {
+			if err := decode(blob[:n]); err == nil {
+				t.Fatalf("%s: truncation to %d bytes accepted", name, n)
+			}
+		}
+		// Trailing garbage.
+		if err := decode(append(bytes.Clone(blob), 0)); err == nil {
+			t.Fatalf("%s: trailing byte accepted", name)
+		}
+		// Empty and garbage inputs.
+		if err := decode(nil); err == nil {
+			t.Fatalf("%s: nil accepted", name)
+		}
+		if err := decode([]byte("not a snapshot at all, definitely")); err == nil {
+			t.Fatalf("%s: garbage accepted", name)
+		}
+	}
+
+	check("windower", func(b []byte) error {
+		_, err := UnmarshalWindower(b)
+		return err
+	}, wBlob)
+	check("standardizer", func(b []byte) error {
+		_, err := UnmarshalOnlineStandardizer(b)
+		return err
+	}, sBlob)
+
+	// Cross-decode: each magic must be rejected by the other decoder.
+	if _, err := UnmarshalWindower(sBlob); err == nil {
+		t.Fatal("windower decoder accepted standardizer blob")
+	}
+	if _, err := UnmarshalOnlineStandardizer(wBlob); err == nil {
+		t.Fatal("standardizer decoder accepted windower blob")
+	}
+}
+
+// TestStandardizerSnapshotInvariants: structurally valid blobs that violate
+// the Welford invariants (negative M2, non-finite mean) are rejected even
+// though their CRC is correct.
+func TestStandardizerSnapshotInvariants(t *testing.T) {
+	mk := func(mean, m2 float64) []byte {
+		b := []byte(standardizerMagic)
+		b = appendU16(b, snapshotVersion)
+		b = appendU32(b, 1) // dim
+		b = appendU64(b, 3) // count
+		b = appendF64(b, mean)
+		b = appendF64(b, m2)
+		return appendCRC(b)
+	}
+	if _, err := UnmarshalOnlineStandardizer(mk(0, 1)); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	for name, blob := range map[string][]byte{
+		"negative m2": mk(0, -1),
+		"nan m2":      mk(0, math.NaN()),
+		"inf mean":    mk(math.Inf(1), 1),
+		"nan mean":    mk(math.NaN(), 1),
+	} {
+		if _, err := UnmarshalOnlineStandardizer(blob); !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("%s: err = %v, want ErrSnapshot", name, err)
+		}
+	}
+}
+
+// TestWindowerSnapshotHeadInvariant: the head is derived from the count on
+// restore, so a snapshot taken at any phase restores the ring orientation
+// exactly (covered structurally here, behaviorally by the round-trip test).
+func TestWindowerSnapshotHeadInvariant(t *testing.T) {
+	w, err := NewWindower(1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, _, err := w.Push([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, _ := w.MarshalBinary()
+	r, err := UnmarshalWindower(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.head != w.head || r.count != w.count {
+		t.Fatalf("restored head/count %d/%d != %d/%d", r.head, r.count, w.head, w.count)
+	}
+}

@@ -175,22 +175,49 @@ func (d Decision) String() string {
 // treated as unbounded, never silently accepted — and additionally increment
 // the nonFinite counter so the condition is visible in telemetry instead of
 // masquerading as ordinary high uncertainty.
+// A Gate may additionally carry escalate-after-N / readmit-after-M
+// hysteresis (NewGateWithHysteresis), mirroring the cluster health loop's
+// FailAfter/ReadmitAfter shape: the emitted decision only flips to Escalate
+// after N consecutive over-budget checks and only returns to Accept after M
+// consecutive within-budget checks, so a single noisy window cannot flap a
+// stream between accept and escalate. The default gate (NewGate) uses N=M=1,
+// which is exactly the stateless legacy behavior. A hysteresis gate carries
+// per-stream streak state, so share one only across checks that belong to
+// the same logical stream; the N=M=1 default remains freely shareable.
 type Gate struct {
-	maxMeanStd float64
+	maxMeanStd    float64
+	escalateAfter int
+	readmitAfter  int
 
 	mu        sync.Mutex
 	accepted  int64
 	escalated int64
 	nonFinite int64
+	overN     int  // consecutive over-budget checks
+	underN    int  // consecutive within-budget checks
+	latched   bool // current hysteresis state: true = escalating
 }
 
 // NewGate accepts predictions whose mean per-dimension standard deviation is
-// at most maxMeanStd.
+// at most maxMeanStd. The returned gate has no hysteresis (N=M=1): every
+// check's decision reflects that check alone.
 func NewGate(maxMeanStd float64) (*Gate, error) {
+	return NewGateWithHysteresis(maxMeanStd, 1, 1)
+}
+
+// NewGateWithHysteresis builds a gate that escalates only after
+// escalateAfter consecutive over-budget checks and readmits only after
+// readmitAfter consecutive within-budget checks. Both must be >= 1;
+// (1, 1) is the stateless NewGate behavior exactly.
+func NewGateWithHysteresis(maxMeanStd float64, escalateAfter, readmitAfter int) (*Gate, error) {
 	if maxMeanStd <= 0 {
 		return nil, fmt.Errorf("maxMeanStd %v: %w", maxMeanStd, ErrConfig)
 	}
-	return &Gate{maxMeanStd: maxMeanStd}, nil
+	if escalateAfter < 1 || readmitAfter < 1 {
+		return nil, fmt.Errorf("escalateAfter %d, readmitAfter %d (both must be >= 1): %w",
+			escalateAfter, readmitAfter, ErrConfig)
+	}
+	return &Gate{maxMeanStd: maxMeanStd, escalateAfter: escalateAfter, readmitAfter: readmitAfter}, nil
 }
 
 // Check classifies one predictive distribution. Zero-dim predictions and
@@ -199,6 +226,14 @@ func NewGate(maxMeanStd float64) (*Gate, error) {
 // std failed the <= comparison and escalated with no signal, and a NaN
 // variance did the same — indistinguishable from a legitimately uncertain
 // prediction in the gate's statistics.
+// Check also drives the hysteresis state machine: an over-budget check
+// extends the over-streak and latches Escalate once the streak reaches
+// escalateAfter; a within-budget check extends the under-streak and unlatches
+// once it reaches readmitAfter. Degenerate checks escalate IMMEDIATELY,
+// bypassing the escalate-side hysteresis (they still reset the under-streak
+// and extend the over-streak): hysteresis exists to absorb noise, and an
+// unassessable prediction is not noise — the never-silently-accept contract
+// above outranks flap damping.
 func (g *Gate) Check(pred core.GaussianVec) Decision {
 	var s float64
 	degenerate := pred.Dim() == 0
@@ -210,23 +245,42 @@ func (g *Gate) Check(pred core.GaussianVec) Decision {
 		}
 		s += sd
 	}
+	over := degenerate || s/float64(pred.Dim()) > g.maxMeanStd
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if over {
+		g.underN = 0
+		g.overN++
+		if g.overN >= g.escalateAfter {
+			g.latched = true
+		}
+	} else {
+		g.overN = 0
+		g.underN++
+		if g.underN >= g.readmitAfter {
+			g.latched = false
+		}
+	}
 	if degenerate {
-		g.mu.Lock()
 		g.escalated++
 		g.nonFinite++
-		g.mu.Unlock()
 		return Escalate
 	}
-	if s/float64(pred.Dim()) <= g.maxMeanStd {
-		g.mu.Lock()
-		g.accepted++
-		g.mu.Unlock()
-		return Accept
+	if g.latched {
+		g.escalated++
+		return Escalate
 	}
+	g.accepted++
+	return Accept
+}
+
+// Escalated reports whether the gate's hysteresis state is currently
+// latched to Escalate (always mirrors the last decision for N=M=1 gates).
+func (g *Gate) Escalated() bool {
 	g.mu.Lock()
-	g.escalated++
-	g.mu.Unlock()
-	return Escalate
+	defer g.mu.Unlock()
+	return g.latched
 }
 
 // Stats returns the accept and escalate counts so far, plus how many of the

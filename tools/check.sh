@@ -8,9 +8,9 @@
 # propagation benchmark with its metrics snapshot (results/BENCH_batch.json +
 # results/BENCH_obs.prom) and smoke runs of the serving and registry
 # benchmarks, and finally run the compiled-propagator, quantized-propagator,
-# and sequence-path (conv/RNN/GRU + exact-vs-PWL parity) benchmarks and a
-# 2-replica cluster smoke and diff each against its committed trajectory with
-# tools/benchdiff. The smoke bench runs write to a scratch directory so short
+# and sequence-path (conv/RNN/GRU + exact-vs-PWL parity) benchmarks, a
+# 2-replica cluster smoke, and a 20k session-fleet smoke and diff each
+# against its committed trajectory with tools/benchdiff. The smoke bench runs write to a scratch directory so short
 # cells never clobber the committed results/BENCH_serve.json /
 # BENCH_registry.json / BENCH_cluster.json / BENCH_seq.json (regenerate those
 # with `make bench-serve` / `make bench-registry` / `make bench-compile` /
@@ -33,6 +33,9 @@ go test -race ./internal/obs/... ./internal/stream/... ./internal/serve/... ./ex
 
 echo "== go test -race (model registry: hot-swap, shadow, manifest reload)"
 go test -race ./internal/registry/...
+
+echo "== go test -race (session fleet: arena, wheel, snapshot, hammer)"
+go test -race ./internal/session/... ./internal/stats/...
 
 echo "== go test -race (cluster tier: hash, ring, router, budgets)"
 go test -race ./internal/hashkey/... ./internal/cluster/...
@@ -94,5 +97,14 @@ go run ./cmd/apds-bench -seq -results "$smokedir"
 # alloc/abstraction creep) and the exact backend losing cost parity with the
 # PWL one, not cross-machine noise.
 go run ./tools/benchdiff -base results/BENCH_seq.json -fresh "$smokedir/BENCH_seq.json" -tol 0.6
+
+echo "== apds-bench -sessions (smoke) + benchdiff vs committed trajectory"
+go run ./cmd/apds-bench -sessions -session-count 20000 -session-stream 5000 -results "$smokedir"
+# The committed file holds 1M resident sessions; the smoke holds 20k. Only
+# the *_per_sec rates are gated (per-item costs are scale-independent and
+# small runs only get faster); absolute durations and counts are *_sec /
+# plain-count keys benchdiff ignores. Catches the arena losing its
+# struct-of-arrays footprint economics or the wheel degenerating to scans.
+go run ./tools/benchdiff -base results/BENCH_stream.json -fresh "$smokedir/BENCH_stream.json" -tol 0.6
 
 echo "check: ok"
